@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Ablations of the paper's optimizations, each isolated on the
+ * algorithm that motivates it:
+ *
+ *  - instruction fusion (§4.3) on Ring AllReduce: fused vs unfused
+ *    instruction counts and time;
+ *  - pipelining (§6.2, Figure 6) on the Hierarchical AllReduce:
+ *    tiles=1 (no cross-phase overlap) vs deep tiling;
+ *  - aggregation (§5.1) on the Two-Step AllToAll: one coalesced IB
+ *    send per (node, GPU) vs per-chunk IB sends;
+ *  - chunk parallelization (§5.1) on AllToNext: sweep of r.
+ */
+
+#include <cstdio>
+
+#include "collectives/collectives.h"
+#include "bench_util.h"
+#include "compiler/compiler.h"
+#include "dsl/program.h"
+
+using namespace mscclang;
+using namespace mscclang::bench;
+
+namespace {
+
+/** Two-Step AllToAll without the coalesced IB send (Figure 9 line 15
+ *  replaced by per-chunk sends), for the aggregation ablation. */
+std::unique_ptr<Program>
+makeUnaggregatedTwoStep(int N, int G, const AlgoConfig &config)
+{
+    ProgramOptions options;
+    options.name = "twostep_alltoall_noagg";
+    options.protocol = config.protocol;
+    options.instances = config.instances;
+    auto coll = std::make_shared<AllToAllCollective>(N * G, 1);
+    auto prog = std::make_unique<Program>(coll, options);
+    for (int n = 0; n < N; n++) {
+        for (int g = 0; g < G; g++) {
+            for (int m = 0; m < N; m++) {
+                for (int i = 0; i < G; i++) {
+                    ChunkRef c = prog->chunk(m * G + i,
+                                             BufferKind::Input,
+                                             n * G + g);
+                    if (n == m) {
+                        c.copy(n * G + g, BufferKind::Output,
+                               m * G + i);
+                    } else {
+                        c.copy(m * G + g, BufferKind::Scratch,
+                               n * G + i);
+                    }
+                }
+                if (n != m) {
+                    for (int i = 0; i < G; i++) {
+                        // one IB message per chunk: no aggregation
+                        prog->chunk(m * G + g, BufferKind::Scratch,
+                                    n * G + i)
+                            .copy(n * G + g, BufferKind::Output,
+                                  m * G + i);
+                    }
+                }
+            }
+        }
+    }
+    return prog;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("# Ablations of MSCCLang's optimizations\n\n");
+
+    // ---- Instruction fusion on Ring AllReduce (8xA100). ----
+    {
+        Topology topo = makeNdv4(1);
+        AlgoConfig config;
+        config.protocol = Protocol::LL128;
+        config.instances = 8;
+        auto prog = [&] { return makeRingAllReduce(8, 4, config); };
+        CompileOptions fused, unfused;
+        unfused.fuse = false;
+        Compiled with_fusion = compileProgram(*prog(), fused);
+        Compiled without = compileProgram(*prog(), unfused);
+        std::printf("fusion (ring allreduce, 8xA100, 1MB):\n");
+        std::printf("  %-10s instrs=%4d  time=%8.1fus\n", "fused",
+                    with_fusion.stats.instrsAfterFusion,
+                    timeIrUs(topo, with_fusion.ir, 1 << 20, 1));
+        std::printf("  %-10s instrs=%4d  time=%8.1fus\n", "unfused",
+                    without.stats.instrsAfterFusion,
+                    timeIrUs(topo, without.ir, 1 << 20, 1));
+    }
+
+    // ---- Pipelining on Hierarchical AllReduce (2x8 A100). ----
+    {
+        Topology topo = makeNdv4(2);
+        AlgoConfig config;
+        config.protocol = Protocol::Simple;
+        config.instances = 4;
+        Compiled out = compileProgram(
+            *makeHierarchicalAllReduce(2, 8, 2, config));
+        std::printf("\npipelining (hierarchical allreduce, 2x8 A100, "
+                    "1GB):\n");
+        for (int tiles : { 1, 2, 4, 8, 16 }) {
+            std::printf("  tiles=%-3d time=%10.1fus\n", tiles,
+                        timeIrUs(topo, out.ir, 1ULL << 30, tiles));
+        }
+    }
+
+    // ---- Aggregation on Two-Step AllToAll (4x8 A100). ----
+    {
+        Topology topo = makeNdv4(4);
+        AlgoConfig config;
+        config.protocol = Protocol::Simple;
+        Compiled agg =
+            compileProgram(*makeTwoStepAllToAll(4, 8, config));
+        Compiled noagg =
+            compileProgram(*makeUnaggregatedTwoStep(4, 8, config));
+        std::printf("\naggregation (two-step alltoall, 4x8 A100):\n");
+        for (std::uint64_t bytes : { 1ULL << 20, 16ULL << 20,
+                                     256ULL << 20 }) {
+            std::printf("  %-6s aggregated=%10.1fus  per-chunk="
+                        "%10.1fus\n", formatBytes(bytes).c_str(),
+                        timeIrUs(topo, agg.ir, bytes, 4),
+                        timeIrUs(topo, noagg.ir, bytes, 4));
+        }
+    }
+
+    // ---- Parallelization sweep on AllToNext (3x8 A100). ----
+    {
+        Topology topo = makeNdv4(3);
+        std::printf("\nchunk parallelization (alltonext, 3x8 A100, "
+                    "64MB):\n");
+        for (int r : { 1, 2, 4, 8, 16 }) {
+            AlgoConfig config;
+            config.instances = r;
+            config.protocol = Protocol::Simple;
+            Compiled out =
+                compileProgram(*makeAllToNext(3, 8, config));
+            std::printf("  r=%-3d time=%10.1fus (channels=%d)\n", r,
+                        timeIrUs(topo, out.ir, 64ULL << 20),
+                        out.stats.channels);
+        }
+    }
+    std::printf("\n");
+    return 0;
+}

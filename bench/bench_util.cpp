@@ -1,0 +1,82 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/strings.h"
+#include "runtime/communicator.h"
+
+namespace mscclang::bench {
+
+double
+timeIrUs(const Topology &topology, const IrProgram &ir,
+         std::uint64_t bytes, int max_tiles)
+{
+    Communicator comm(topology);
+    RunOptions run;
+    run.bytes = bytes;
+    run.dataMode = false;
+    run.maxTilesPerChunk = max_tiles;
+    return comm.runProgram(ir, run).timeUs;
+}
+
+double
+timeComposedUs(const Topology &topology,
+               const std::vector<IrProgram> &kernels,
+               std::uint64_t bytes, int max_tiles)
+{
+    Communicator comm(topology);
+    std::vector<const IrProgram *> refs;
+    refs.reserve(kernels.size());
+    for (const IrProgram &k : kernels)
+        refs.push_back(&k);
+    RunOptions run;
+    run.bytes = bytes;
+    run.dataMode = false;
+    run.maxTilesPerChunk = max_tiles;
+    return comm.runComposed(refs, run).timeUs;
+}
+
+void
+printFigure(const std::string &title, const std::string &baseline_label,
+            const std::vector<std::uint64_t> &sizes,
+            const std::function<double(std::uint64_t)> &baseline,
+            const std::vector<Series> &series)
+{
+    std::printf("# %s\n", title.c_str());
+    std::printf("# speedup over %s (>1 means faster than baseline)\n",
+                baseline_label.c_str());
+    std::printf("%-8s %14s", "size",
+                (baseline_label + "(us)").c_str());
+    for (const Series &s : series)
+        std::printf(" %22s", s.label.c_str());
+    std::printf("\n");
+
+    for (std::uint64_t bytes : sizes) {
+        double base_us = baseline(bytes);
+        std::printf("%-8s %14.1f", formatBytes(bytes).c_str(), base_us);
+        for (const Series &s : series) {
+            double us = s.timeUs(bytes);
+            std::printf(" %22.2f", base_us / us);
+        }
+        std::printf("\n");
+        std::fflush(stdout);
+    }
+    std::printf("\n");
+}
+
+std::vector<std::uint64_t>
+sweepFromArgs(int argc, char **argv, std::uint64_t def_from,
+              std::uint64_t def_to)
+{
+    std::uint64_t from = def_from, to = def_to;
+    for (int i = 1; i + 1 < argc; i++) {
+        if (std::strcmp(argv[i], "--from") == 0)
+            from = parseBytes(argv[i + 1]);
+        if (std::strcmp(argv[i], "--to") == 0)
+            to = parseBytes(argv[i + 1]);
+    }
+    return sizeSweep(from, to);
+}
+
+} // namespace mscclang::bench

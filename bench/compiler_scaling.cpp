@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Compiler micro-benchmarks (google-benchmark): wall-clock cost of
+ * tracing, lowering, fusing, scheduling and verifying each collective
+ * as the machine grows. The paper reports its programs took "15
+ * minutes to an hour to write"; this bench shows compiling them takes
+ * milliseconds, so exploration is interactive.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "collectives/collectives.h"
+#include "compiler/compiler.h"
+#include "compiler/verifier.h"
+
+using namespace mscclang;
+
+namespace {
+
+void
+BM_CompileRingAllReduce(benchmark::State &state)
+{
+    int ranks = static_cast<int>(state.range(0));
+    AlgoConfig config;
+    config.instances = 8;
+    for (auto _ : state) {
+        auto prog = makeRingAllReduce(ranks, 4, config);
+        Compiled out = compileProgram(*prog);
+        benchmark::DoNotOptimize(out.ir.totalInstructions());
+    }
+    state.SetComplexityN(ranks);
+}
+BENCHMARK(BM_CompileRingAllReduce)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
+    ->Complexity();
+
+void
+BM_CompileHierarchicalAllReduce(benchmark::State &state)
+{
+    int nodes = static_cast<int>(state.range(0));
+    AlgoConfig config;
+    config.instances = 2;
+    for (auto _ : state) {
+        auto prog = makeHierarchicalAllReduce(nodes, 8, 2, config);
+        Compiled out = compileProgram(*prog);
+        benchmark::DoNotOptimize(out.ir.totalInstructions());
+    }
+    state.SetComplexityN(nodes * 8);
+}
+BENCHMARK(BM_CompileHierarchicalAllReduce)->Arg(2)->Arg(4)->Arg(8)
+    ->Complexity();
+
+void
+BM_CompileTwoStepAllToAll(benchmark::State &state)
+{
+    int nodes = static_cast<int>(state.range(0));
+    AlgoConfig config;
+    for (auto _ : state) {
+        auto prog = makeTwoStepAllToAll(nodes, 8, config);
+        CompileOptions copts;
+        copts.verify = state.range(1) != 0;
+        Compiled out = compileProgram(*prog, copts);
+        benchmark::DoNotOptimize(out.ir.totalInstructions());
+    }
+    state.SetComplexityN(nodes * 8);
+}
+BENCHMARK(BM_CompileTwoStepAllToAll)
+    ->Args({ 2, 1 })->Args({ 4, 1 })->Args({ 8, 1 })->Args({ 16, 0 })
+    ->Complexity();
+
+void
+BM_VerifyRingAllReduce(benchmark::State &state)
+{
+    int ranks = static_cast<int>(state.range(0));
+    AlgoConfig config;
+    auto prog = makeRingAllReduce(ranks, 2, config);
+    CompileOptions copts;
+    copts.verify = false;
+    Compiled out = compileProgram(*prog, copts);
+    for (auto _ : state) {
+        verifyIr(out.ir, prog->collective());
+    }
+    state.SetComplexityN(ranks);
+}
+BENCHMARK(BM_VerifyRingAllReduce)->Arg(4)->Arg(8)->Arg(16)
+    ->Complexity();
+
+void
+BM_XmlRoundTrip(benchmark::State &state)
+{
+    AlgoConfig config;
+    config.instances = 4;
+    auto prog = makeRingAllReduce(16, 4, config);
+    Compiled out = compileProgram(*prog);
+    for (auto _ : state) {
+        std::string xml = out.ir.toXml();
+        IrProgram parsed = IrProgram::fromXml(xml);
+        benchmark::DoNotOptimize(parsed.totalInstructions());
+    }
+}
+BENCHMARK(BM_XmlRoundTrip);
+
+} // namespace
+
+BENCHMARK_MAIN();

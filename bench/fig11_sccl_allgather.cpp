@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 11: the SCCL (1,2,2) AllGather on a DGX-1 (8xV100 hybrid
+ * cube-mesh), absolute latency in microseconds.
+ *
+ * Series: SCCL (its direct-copy point-to-point protocol), MSCCLang
+ * Simple, MSCCLang LL — all running the same 2-step 2-chunk
+ * relay AllGather restricted to NVLink-adjacent pairs.
+ *
+ * Expected shape: MSCCLang LL has the lowest latency at small sizes;
+ * SCCL's direct-copy protocol beats MSCCLang Simple at middle sizes
+ * (no intermediate FIFO buffers); the curves converge at large sizes
+ * where the wire dominates.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "collectives/collectives.h"
+#include "common/strings.h"
+#include "compiler/compiler.h"
+
+using namespace mscclang;
+using namespace mscclang::bench;
+
+int
+main(int argc, char **argv)
+{
+    Topology dgx1 = makeDgx1();
+    std::vector<std::uint64_t> sizes =
+        sweepFromArgs(argc, argv, 32 << 10, 1ULL << 30);
+
+    CompileOptions copts;
+    copts.topology = &dgx1;
+
+    auto compile = [&](Protocol proto) {
+        AlgoConfig config;
+        config.protocol = proto;
+        auto prog = makeSccl122AllGather(dgx1, config);
+        return compileProgram(*prog, copts).ir;
+    };
+    IrProgram sccl = compile(Protocol::Direct);
+    IrProgram simple = compile(Protocol::Simple);
+    IrProgram ll = compile(Protocol::LL);
+
+    std::printf("# Fig 11: SCCL (1,2,2) AllGather on DGX-1 8xV100\n");
+    std::printf("# absolute latency (us), lower is better\n");
+    std::printf("%-8s %14s %22s %22s\n", "size", "SCCL(us)",
+                "MSCCLang Simple(us)", "MSCCLang LL(us)");
+    for (std::uint64_t bytes : sizes) {
+        std::printf("%-8s %14.1f %22.1f %22.1f\n",
+                    formatBytes(bytes).c_str(),
+                    timeIrUs(dgx1, sccl, bytes),
+                    timeIrUs(dgx1, simple, bytes),
+                    timeIrUs(dgx1, ll, bytes));
+        std::fflush(stdout);
+    }
+    std::printf("\n");
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Figure 8a: 1-node 8xA100 AllReduce, speedup over NCCL.
+ *
+ * Series (paper legend): MSCCLang All Pairs r=2 LL, All Pairs r=4
+ * LL, Ring ch=4 r=8 LL, Ring ch=4 r=8 LL128; baseline NCCL (one
+ * logical ring, one channel, 24x parallelization, protocol by size).
+ *
+ * Expected shape: All Pairs wins at 1KB..1MB (up to ~1.8x); the
+ * multi-channel Ring wins 32KB..3MB (up to ~1.9x); everything
+ * converges to ~1x at >=32MB where the ring is bandwidth-bound.
+ */
+
+#include <map>
+
+#include "baselines/baselines.h"
+#include "bench_util.h"
+#include "collectives/collectives.h"
+#include "compiler/compiler.h"
+
+using namespace mscclang;
+using namespace mscclang::bench;
+
+int
+main(int argc, char **argv)
+{
+    Topology topo = makeNdv4(1);
+    std::vector<std::uint64_t> sizes =
+        sweepFromArgs(argc, argv, 1 << 10, 32 << 20);
+
+    auto compile_ring = [&](int channels, int instances,
+                            Protocol proto) {
+        AlgoConfig config;
+        config.instances = instances;
+        config.protocol = proto;
+        auto prog = makeRingAllReduce(topo.numRanks(), channels, config);
+        return compileProgram(*prog).ir;
+    };
+    auto compile_allpairs = [&](int instances, Protocol proto) {
+        AlgoConfig config;
+        config.instances = instances;
+        config.protocol = proto;
+        auto prog = makeAllPairsAllReduce(topo.numRanks(), config);
+        return compileProgram(*prog).ir;
+    };
+
+    IrProgram allpairs_r2 = compile_allpairs(2, Protocol::LL);
+    IrProgram allpairs_r4 = compile_allpairs(4, Protocol::LL);
+    IrProgram ring_ll = compile_ring(4, 8, Protocol::LL);
+    IrProgram ring_ll128 = compile_ring(4, 8, Protocol::LL128);
+
+    // NCCL switches protocol by size; compile each variant once.
+    std::map<Protocol, IrProgram> nccl;
+    auto nccl_time = [&](std::uint64_t bytes) {
+        Protocol proto = ncclProtocolFor(bytes, topo.numRanks());
+        auto it = nccl.find(proto);
+        if (it == nccl.end())
+            it = nccl.emplace(proto,
+                              ncclAllReduceIr(topo, bytes)).first;
+        return timeIrUs(topo, it->second, bytes, 1);
+    };
+
+    std::vector<Series> series = {
+        { "AllPairs r=2 LL",
+          [&](std::uint64_t b) { return timeIrUs(topo, allpairs_r2, b, 1); } },
+        { "AllPairs r=4 LL",
+          [&](std::uint64_t b) { return timeIrUs(topo, allpairs_r4, b, 1); } },
+        { "Ring ch=4 r=8 LL",
+          [&](std::uint64_t b) { return timeIrUs(topo, ring_ll, b, 1); } },
+        { "Ring ch=4 r=8 LL128",
+          [&](std::uint64_t b) { return timeIrUs(topo, ring_ll128, b, 1); } },
+    };
+    printFigure("Fig 8a: 1-node 8xA100 AllReduce", "NCCL", sizes,
+                nccl_time, series);
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Figure 8b: 1-node 16xV100 (DGX2) AllReduce, speedup over NCCL.
+ *
+ * Series: All Pairs r=2/r=4 LL, Ring ch=4 r=8 LL, Ring ch=8 r=4
+ * LL128. Same expected shape as Figure 8a with a wider latency
+ * band (16 ranks -> 30-hop rings) and V100 link speeds.
+ */
+
+#include <map>
+
+#include "baselines/baselines.h"
+#include "bench_util.h"
+#include "collectives/collectives.h"
+#include "compiler/compiler.h"
+
+using namespace mscclang;
+using namespace mscclang::bench;
+
+int
+main(int argc, char **argv)
+{
+    Topology topo = makeDgx2(1);
+    std::vector<std::uint64_t> sizes =
+        sweepFromArgs(argc, argv, 2 << 10, 32 << 20);
+
+    auto compile_ring = [&](int channels, int instances,
+                            Protocol proto) {
+        AlgoConfig config;
+        config.instances = instances;
+        config.protocol = proto;
+        auto prog = makeRingAllReduce(topo.numRanks(), channels, config);
+        return compileProgram(*prog).ir;
+    };
+    auto compile_allpairs = [&](int instances, Protocol proto) {
+        AlgoConfig config;
+        config.instances = instances;
+        config.protocol = proto;
+        auto prog = makeAllPairsAllReduce(topo.numRanks(), config);
+        return compileProgram(*prog).ir;
+    };
+
+    IrProgram allpairs_r2 = compile_allpairs(2, Protocol::LL);
+    IrProgram allpairs_r4 = compile_allpairs(4, Protocol::LL);
+    IrProgram ring_ll = compile_ring(4, 8, Protocol::LL);
+    IrProgram ring_ll128 = compile_ring(8, 4, Protocol::LL128);
+
+    std::map<Protocol, IrProgram> nccl;
+    auto nccl_time = [&](std::uint64_t bytes) {
+        Protocol proto = ncclProtocolFor(bytes, topo.numRanks());
+        auto it = nccl.find(proto);
+        if (it == nccl.end())
+            it = nccl.emplace(proto, ncclAllReduceIr(topo, bytes)).first;
+        return timeIrUs(topo, it->second, bytes, 1);
+    };
+
+    std::vector<Series> series = {
+        { "AllPairs r=2 LL",
+          [&](std::uint64_t b) {
+              return timeIrUs(topo, allpairs_r2, b, 1);
+          } },
+        { "AllPairs r=4 LL",
+          [&](std::uint64_t b) {
+              return timeIrUs(topo, allpairs_r4, b, 1);
+          } },
+        { "Ring ch=4 r=8 LL",
+          [&](std::uint64_t b) { return timeIrUs(topo, ring_ll, b, 1); } },
+        { "Ring ch=8 r=4 LL128",
+          [&](std::uint64_t b) {
+              return timeIrUs(topo, ring_ll128, b, 1);
+          } },
+    };
+    printFigure("Fig 8b: 1-node 16xV100 AllReduce", "NCCL", sizes,
+                nccl_time, series);
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Figure 8c: 2-node 16xA100 AllReduce, speedup over NCCL.
+ *
+ * Series: MSCCLang hierarchical AllReduce with LL r=1, LL128 r=2,
+ * Simple r=4, and the "NCCL Hierarchical" baseline — the same
+ * algorithm issued as four vendor-library kernels with no
+ * cross-kernel pipelining.
+ *
+ * Expected shape: MSCCLang up to ~1.4x at small sizes, ~1.1x at
+ * >=1GB; the composed baseline well below 1 until very large sizes.
+ */
+
+#include <map>
+
+#include "baselines/baselines.h"
+#include "bench_util.h"
+#include "collectives/collectives.h"
+#include "compiler/compiler.h"
+
+using namespace mscclang;
+using namespace mscclang::bench;
+
+int
+main(int argc, char **argv)
+{
+    Topology topo = makeNdv4(2);
+    std::vector<std::uint64_t> sizes =
+        sweepFromArgs(argc, argv, 1 << 10, 4ULL << 30);
+
+    auto compile_hier = [&](int instances, Protocol proto) {
+        AlgoConfig config;
+        config.instances = instances;
+        config.protocol = proto;
+        auto prog = makeHierarchicalAllReduce(
+            topo.numNodes(), topo.gpusPerNode(), topo.numNodes(),
+            config);
+        return compileProgram(*prog).ir;
+    };
+
+    IrProgram hier_ll = compile_hier(1, Protocol::LL);
+    IrProgram hier_ll128 = compile_hier(2, Protocol::LL128);
+    IrProgram hier_simple = compile_hier(4, Protocol::Simple);
+
+    std::map<Protocol, IrProgram> nccl;
+    auto nccl_time = [&](std::uint64_t bytes) {
+        Protocol proto = ncclProtocolFor(bytes, topo.numRanks());
+        auto it = nccl.find(proto);
+        if (it == nccl.end())
+            it = nccl.emplace(proto, ncclAllReduceIr(topo, bytes)).first;
+        return timeIrUs(topo, it->second, bytes, 1);
+    };
+
+    std::map<Protocol, std::vector<IrProgram>> composed;
+    auto composed_time = [&](std::uint64_t bytes) {
+        Protocol proto =
+            ncclProtocolFor(bytes / topo.numRanks(), topo.numRanks());
+        auto it = composed.find(proto);
+        if (it == composed.end()) {
+            it = composed
+                     .emplace(proto,
+                              composedHierarchicalAllReduce(topo, bytes))
+                     .first;
+        }
+        return timeComposedUs(topo, it->second, bytes, 1);
+    };
+
+    std::vector<Series> series = {
+        { "MSCCLang LL r=1",
+          [&](std::uint64_t b) { return timeIrUs(topo, hier_ll, b); } },
+        { "MSCCLang LL128 r=2",
+          [&](std::uint64_t b) {
+              return timeIrUs(topo, hier_ll128, b);
+          } },
+        { "MSCCLang Simple r=4",
+          [&](std::uint64_t b) {
+              return timeIrUs(topo, hier_simple, b);
+          } },
+        { "NCCL Hierarchical", composed_time },
+    };
+    printFigure("Fig 8c: 2-node 16xA100 AllReduce", "NCCL", sizes,
+                nccl_time, series);
+    return 0;
+}

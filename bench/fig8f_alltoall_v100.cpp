@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Figure 8f: 4-node 64xV100 AllToAll, speedup over the hand-written
+ * CUDA Two-Step implementation. Series: MSCCLang Two-Step LL128 r=2
+ * and Simple r=2, plus NCCL (naive point-to-point).
+ */
+
+#include <map>
+
+#include "baselines/baselines.h"
+#include "bench_util.h"
+#include "collectives/collectives.h"
+#include "compiler/compiler.h"
+
+using namespace mscclang;
+using namespace mscclang::bench;
+
+int
+main(int argc, char **argv)
+{
+    Topology topo = makeDgx2(4);
+    std::vector<std::uint64_t> sizes =
+        sweepFromArgs(argc, argv, 1 << 20, 4ULL << 30);
+
+    CompileOptions copts;
+    copts.verify = false;
+    copts.topology = &topo;
+    copts.maxThreadBlocks = 80;
+
+    auto compile_twostep = [&](Protocol proto, int instances) {
+        AlgoConfig config;
+        config.protocol = proto;
+        config.instances = instances;
+        auto prog = makeTwoStepAllToAll(topo.numNodes(),
+                                        topo.gpusPerNode(), config);
+        return compileProgram(*prog, copts).ir;
+    };
+    IrProgram twostep_ll128 = compile_twostep(Protocol::LL128, 2);
+    IrProgram twostep_simple = compile_twostep(Protocol::Simple, 2);
+
+    AlgoConfig naive_config;
+    naive_config.protocol = Protocol::Simple;
+    IrProgram nccl =
+        compileProgram(*makeNaiveAllToAll(topo.numRanks(), naive_config),
+                       copts).ir;
+
+    // The hand-written baseline also switches protocol by size.
+    std::map<Protocol, std::vector<IrProgram>> cuda;
+    const int kTiles = 4;
+    auto cuda_time = [&](std::uint64_t bytes) {
+        Protocol proto =
+            ncclProtocolFor(bytes / topo.numRanks(), topo.numRanks());
+        auto it = cuda.find(proto);
+        if (it == cuda.end())
+            it = cuda.emplace(proto, cudaTwoStepAllToAll(topo, bytes))
+                     .first;
+        return timeComposedUs(topo, it->second, bytes, kTiles);
+    };
+    std::vector<Series> series = {
+        { "MSCCLang LL128 r=2",
+          [&](std::uint64_t b) {
+              return timeIrUs(topo, twostep_ll128, b, kTiles);
+          } },
+        { "MSCCLang Simple r=2",
+          [&](std::uint64_t b) {
+              return timeIrUs(topo, twostep_simple, b, kTiles);
+          } },
+        { "NCCL",
+          [&](std::uint64_t b) { return timeIrUs(topo, nccl, b, 1); } },
+    };
+    printFigure("Fig 8f: 4-node 64xV100 AllToAll", "CUDA Two-Step",
+                sizes, cuda_time, series);
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 8g: 3-node 24xA100 AllToNext, speedup over the naive CUDA
+ * point-to-point baseline (every GPU pushes its whole buffer over a
+ * single IB link at node boundaries).
+ *
+ * Series: MSCCLang AllToNext with r=4, r=8, r=16.
+ *
+ * Expected shape: below 1x at small sizes (extra scatter/gather
+ * steps), a crossover in the tens-of-KB range, then large gains as
+ * all 8 IB NICs per node carry 1/8 of each boundary transfer — up to
+ * ~14.5x at 256MB, with larger r winning only at larger sizes.
+ */
+
+#include "baselines/baselines.h"
+#include "bench_util.h"
+#include "collectives/collectives.h"
+#include "compiler/compiler.h"
+
+using namespace mscclang;
+using namespace mscclang::bench;
+
+int
+main(int argc, char **argv)
+{
+    Topology topo = makeNdv4(3);
+    std::vector<std::uint64_t> sizes =
+        sweepFromArgs(argc, argv, 4 << 10, 256 << 20);
+
+    auto compile = [&](int instances) {
+        AlgoConfig config;
+        config.instances = instances;
+        config.protocol = Protocol::Simple;
+        auto prog = makeAllToNext(topo.numNodes(), topo.gpusPerNode(),
+                                  config);
+        return compileProgram(*prog).ir;
+    };
+    IrProgram r4 = compile(4);
+    IrProgram r8 = compile(8);
+    IrProgram r16 = compile(16);
+    IrProgram naive = naiveAllToNextIr(topo, 1 << 20);
+
+    auto naive_time = [&](std::uint64_t bytes) {
+        return timeIrUs(topo, naive, bytes, 1);
+    };
+    std::vector<Series> series = {
+        { "MSCCLang r=4",
+          [&](std::uint64_t b) { return timeIrUs(topo, r4, b); } },
+        { "MSCCLang r=8",
+          [&](std::uint64_t b) { return timeIrUs(topo, r8, b); } },
+        { "MSCCLang r=16",
+          [&](std::uint64_t b) { return timeIrUs(topo, r16, b); } },
+    };
+    printFigure("Fig 8g: 3-node 24xA100 AllToNext", "CUDA", sizes,
+                naive_time, series);
+    return 0;
+}

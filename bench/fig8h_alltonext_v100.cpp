@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 8h: 4-node 64xV100 AllToNext, speedup over the naive CUDA
+ * baseline. Series: MSCCLang r=2, r=4, r=8. The DGX2 shares one IB
+ * NIC per GPU pair (8 NICs for 16 GPUs), so the headroom over a
+ * single-NIC transfer is ~8x; the paper measures up to ~5x.
+ */
+
+#include "baselines/baselines.h"
+#include "bench_util.h"
+#include "collectives/collectives.h"
+#include "compiler/compiler.h"
+
+using namespace mscclang;
+using namespace mscclang::bench;
+
+int
+main(int argc, char **argv)
+{
+    Topology topo = makeDgx2(4);
+    std::vector<std::uint64_t> sizes =
+        sweepFromArgs(argc, argv, 4 << 10, 256 << 20);
+
+    auto compile = [&](int instances) {
+        AlgoConfig config;
+        config.instances = instances;
+        config.protocol = Protocol::Simple;
+        auto prog = makeAllToNext(topo.numNodes(), topo.gpusPerNode(),
+                                  config);
+        return compileProgram(*prog).ir;
+    };
+    IrProgram r2 = compile(2);
+    IrProgram r4 = compile(4);
+    IrProgram r8 = compile(8);
+    IrProgram naive = naiveAllToNextIr(topo, 1 << 20);
+
+    auto naive_time = [&](std::uint64_t bytes) {
+        return timeIrUs(topo, naive, bytes, 1);
+    };
+    std::vector<Series> series = {
+        { "MSCCLang r=2",
+          [&](std::uint64_t b) { return timeIrUs(topo, r2, b); } },
+        { "MSCCLang r=4",
+          [&](std::uint64_t b) { return timeIrUs(topo, r4, b); } },
+        { "MSCCLang r=8",
+          [&](std::uint64_t b) { return timeIrUs(topo, r8, b); } },
+    };
+    printFigure("Fig 8h: 4-node 64xV100 AllToNext", "CUDA", sizes,
+                naive_time, series);
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The deployment path (§6): compile once, serialize the MSCCL-IR to
+ * XML, and let a runtime elsewhere load and execute it — the way
+ * msccl ships algorithm files to NCCL-compatible runtimes. This
+ * example also registers algorithms with per-size windows and shows
+ * the Communicator picking the right one (with the NCCL-model
+ * fallback outside every window).
+ */
+
+#include <cstdio>
+
+#include "baselines/baselines.h"
+#include "collectives/collectives.h"
+#include "common/strings.h"
+#include "compiler/compiler.h"
+#include "runtime/communicator.h"
+
+using namespace mscclang;
+
+int
+main()
+{
+    Topology topo = makeNdv4(1);
+
+    // Compile two AllReduce algorithms tuned for different regimes.
+    AlgoConfig small_cfg;
+    small_cfg.protocol = Protocol::LL;
+    small_cfg.instances = 4;
+    Compiled small = compileProgram(
+        *makeAllPairsAllReduce(topo.numRanks(), small_cfg));
+
+    AlgoConfig mid_cfg;
+    mid_cfg.protocol = Protocol::LL128;
+    mid_cfg.instances = 8;
+    Compiled mid =
+        compileProgram(*makeRingAllReduce(topo.numRanks(), 4, mid_cfg));
+
+    // Round-trip through the XML exchange format, as if the compiled
+    // algorithm had been shipped to another machine.
+    std::string xml = mid.ir.toXml();
+    IrProgram reloaded = IrProgram::fromXml(xml);
+    std::printf("XML round trip: %zu bytes, programs %s\n", xml.size(),
+                reloaded == mid.ir ? "identical" : "DIFFER!");
+
+    // Register with size windows; outside them the runtime falls
+    // back to the built-in NCCL model (§6).
+    Communicator comm(topo);
+    comm.registerAlgorithm(small.ir, 0, 512 << 10);
+    comm.registerAlgorithm(reloaded, (512 << 10) + 1, 8 << 20);
+    comm.registerFallback("allreduce", [&](std::uint64_t bytes) {
+        return ncclAllReduceIr(topo, bytes);
+    });
+
+    std::printf("%-8s %-28s %10s\n", "size", "selected algorithm",
+                "time(us)");
+    for (std::uint64_t bytes : { 64ULL << 10, 2ULL << 20,
+                                 64ULL << 20 }) {
+        RunOptions run;
+        run.bytes = bytes;
+        RunResult result = comm.run("allreduce", run);
+        std::printf("%-8s %-28s %10.1f\n", formatBytes(bytes).c_str(),
+                    result.algorithm.c_str(), result.timeUs);
+    }
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The comparison systems of the paper's evaluation (§7), built on the
+ * same substrate so speedups are apples-to-apples:
+ *
+ *  - the NCCL model: §7.1.1 observes ("examined NCCL's codebase and
+ *    experimentally validated") that NCCL's Ring AllReduce schedule
+ *    is a logical ring on one channel, parallelized 24x, with the
+ *    protocol switched by buffer size. Multi-node NCCL builds G
+ *    node-rotated rings so every IB NIC carries traffic. NCCL's
+ *    AllToAll is the naive point-to-point exchange.
+ *  - the composed "NCCL Hierarchical" AllReduce (§7.2): the same
+ *    four-phase algorithm issued as four vendor-library kernels, each
+ *    paying a launch and draining fully before the next (no
+ *    cross-kernel pipelining) — the red line of Figure 8c/8d.
+ *  - the hand-written "CUDA Two-Step" AllToAll (§7.3): the same
+ *    algorithm as the MSCCLang Two-Step but as two kernels — a
+ *    staging kernel that arranges chunks contiguously in scratch,
+ *    then the aggregated IB exchange — with no compiler thread block
+ *    parallelization and a full synchronization between them.
+ *  - the naive AllToNext (§7.4): every GPU pushes its whole buffer
+ *    over a single link (the "CUDA" P2P baseline of Figure 8g/8h).
+ */
+
+#ifndef MSCCLANG_BASELINES_BASELINES_H_
+#define MSCCLANG_BASELINES_BASELINES_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dsl/program.h"
+#include "ir/ir.h"
+#include "topology/topology.h"
+
+namespace mscclang {
+
+/** NCCL's size-dependent protocol choice (LL -> LL128 -> Simple). */
+Protocol ncclProtocolFor(std::uint64_t bytes, int num_ranks);
+
+/** NCCL's program-wide parallelization (24 channels, §7.1.1). */
+int ncclInstances();
+
+/**
+ * The NCCL Ring AllReduce model for @p topology at @p bytes.
+ * Single node: one logical ring on one channel, 24 instances.
+ * Multi node: G node-rotated rings (one per local GPU index, so all
+ * NICs are used), instances scaled to keep ~24 channels.
+ */
+IrProgram ncclAllReduceIr(const Topology &topology,
+                          std::uint64_t bytes);
+
+/** The NCCL AllToAll model: naive P2P exchange. */
+IrProgram ncclAllToAllIr(const Topology &topology, std::uint64_t bytes);
+
+/**
+ * The NCCL AllToAll model at scale: grouped ncclSend/ncclRecv beyond
+ * the channel capacity executes in multiple rounds, each its own
+ * kernel. Peer offsets are partitioned so no kernel needs more than
+ * @p max_thread_blocks blocks per GPU.
+ */
+std::vector<IrProgram> ncclAllToAllKernels(const Topology &topology,
+                                           std::uint64_t bytes,
+                                           int max_thread_blocks);
+
+/**
+ * The four NCCL-collective kernels composing the hierarchical
+ * AllReduce (§7.2): intra ReduceScatter, inter ReduceScatter, inter
+ * AllGather, intra AllGather. Run with Communicator::runComposed.
+ */
+std::vector<IrProgram> composedHierarchicalAllReduce(
+    const Topology &topology, std::uint64_t bytes);
+
+/**
+ * The hand-optimized CUDA Two-Step AllToAll (§7.3) as two kernels:
+ * the staging/arranging kernel and the aggregated-IB kernel.
+ */
+std::vector<IrProgram> cudaTwoStepAllToAll(const Topology &topology,
+                                           std::uint64_t bytes);
+
+/** The naive AllToNext baseline ("CUDA" in Figure 8g/8h). */
+IrProgram naiveAllToNextIr(const Topology &topology,
+                           std::uint64_t bytes);
+
+} // namespace mscclang
+
+#endif // MSCCLANG_BASELINES_BASELINES_H_

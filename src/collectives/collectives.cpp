@@ -1,0 +1,408 @@
+#include "collectives/collectives.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace mscclang {
+
+namespace {
+
+/**
+ * Ring ReduceScatter helper (paper Figure 3b): chunk block r of the
+ * ring ends fully reduced on ranks[r]. @p channel_of picks the
+ * channel directive for block r's chain.
+ */
+template <typename ChannelOf>
+void
+ringReduceScatter(Program &prog, const std::vector<Rank> &ranks,
+                  int offset, int count, ChannelOf channel_of)
+{
+    int R = static_cast<int>(ranks.size());
+    for (int r = 0; r < R; r++) {
+        int index = offset + r * count;
+        ChunkRef c = prog.chunk(ranks[(r + 1) % R], BufferKind::Input,
+                                index, count);
+        for (int step = 1; step < R; step++) {
+            Rank next = ranks[(step + r + 1) % R];
+            c = prog.chunk(next, BufferKind::Input, index, count)
+                    .reduce(c, OpOptions{ channel_of(r) });
+        }
+    }
+}
+
+/** Ring AllGather helper (paper Figure 3b), in the input buffer. */
+template <typename ChannelOf>
+void
+ringAllGather(Program &prog, const std::vector<Rank> &ranks, int offset,
+              int count, ChannelOf channel_of)
+{
+    int R = static_cast<int>(ranks.size());
+    for (int r = 0; r < R; r++) {
+        int index = offset + r * count;
+        ChunkRef c = prog.chunk(ranks[r], BufferKind::Input, index,
+                                count);
+        for (int step = 1; step < R; step++) {
+            Rank next = ranks[(step + r) % R];
+            c = c.copy(next, BufferKind::Input, index,
+                       OpOptions{ channel_of(r) });
+        }
+    }
+}
+
+ProgramOptions
+baseOptions(std::string name, const AlgoConfig &config)
+{
+    ProgramOptions options;
+    options.name = std::move(name);
+    options.protocol = config.protocol;
+    options.instances = config.instances;
+    options.reduceOp = config.reduceOp;
+    return options;
+}
+
+} // namespace
+
+void
+buildRingReduceScatter(Program &program, const std::vector<Rank> &ranks,
+                       int offset, int count, int channel)
+{
+    ringReduceScatter(program, ranks, offset, count,
+                      [channel](int) { return channel; });
+}
+
+void
+buildRingAllGather(Program &program, const std::vector<Rank> &ranks,
+                   int offset, int count, int channel)
+{
+    ringAllGather(program, ranks, offset, count,
+                  [channel](int) { return channel; });
+}
+
+std::unique_ptr<Program>
+makeRingAllReduce(int num_ranks, int channels, const AlgoConfig &config)
+{
+    if (channels < 1)
+        throw Error("ring allreduce: channels must be >= 1");
+    auto coll = std::make_shared<AllReduceCollective>(num_ranks,
+                                                      num_ranks);
+    auto prog = std::make_unique<Program>(
+        coll, baseOptions(strprintf("ring_allreduce_ch%d", channels),
+                          config));
+    std::vector<Rank> ranks(num_ranks);
+    for (int r = 0; r < num_ranks; r++)
+        ranks[r] = r;
+    auto channel_of = [channels](int block) { return block % channels; };
+    ringReduceScatter(*prog, ranks, 0, 1, channel_of);
+    ringAllGather(*prog, ranks, 0, 1, channel_of);
+    return prog;
+}
+
+std::unique_ptr<Program>
+makeRingAllReduceOutOfPlace(int num_ranks, int channels,
+                            const AlgoConfig &config)
+{
+    if (channels < 1)
+        throw Error("ring allreduce: channels must be >= 1");
+    auto coll = std::make_shared<AllReduceCollective>(
+        num_ranks, num_ranks, /*in_place=*/false);
+    auto prog = std::make_unique<Program>(
+        coll,
+        baseOptions(strprintf("ring_allreduce_oop_ch%d", channels),
+                    config));
+    std::vector<Rank> ranks(num_ranks);
+    for (int r = 0; r < num_ranks; r++)
+        ranks[r] = r;
+    auto channel_of = [channels](int block) { return block % channels; };
+    ringReduceScatter(*prog, ranks, 0, 1, channel_of);
+    // AllGather into the distinct output buffer.
+    for (int r = 0; r < num_ranks; r++) {
+        ChunkRef c = prog->chunk(r, BufferKind::Input, r)
+                         .copy(r, BufferKind::Output, r);
+        for (int step = 1; step < num_ranks; step++) {
+            Rank next = (r + step) % num_ranks;
+            c = c.copy(next, BufferKind::Output, r,
+                       OpOptions{ channel_of(r) });
+        }
+    }
+    return prog;
+}
+
+std::unique_ptr<Program>
+makeAllPairsAllReduce(int num_ranks, const AlgoConfig &config)
+{
+    auto coll = std::make_shared<AllReduceCollective>(num_ranks,
+                                                      num_ranks);
+    auto prog = std::make_unique<Program>(
+        coll, baseOptions("allpairs_allreduce", config));
+    for (Rank r = 0; r < num_ranks; r++) {
+        // Step 1: gather chunk r from every peer into scratch.
+        for (Rank q = 0; q < num_ranks; q++) {
+            if (q == r)
+                continue;
+            prog->chunk(q, BufferKind::Input, r)
+                .copy(r, BufferKind::Scratch, q);
+        }
+        // Local sum.
+        ChunkRef sum = prog->chunk(r, BufferKind::Input, r);
+        for (Rank q = 0; q < num_ranks; q++) {
+            if (q == r)
+                continue;
+            sum = sum.reduce(prog->chunk(r, BufferKind::Scratch, q));
+        }
+        // Step 2: broadcast the result to every peer.
+        for (Rank q = 0; q < num_ranks; q++) {
+            if (q == r)
+                continue;
+            sum.copy(q, BufferKind::Input, r);
+        }
+    }
+    return prog;
+}
+
+std::unique_ptr<Program>
+makeHierarchicalAllReduce(int num_nodes, int gpus_per_node,
+                          int intra_parallel, const AlgoConfig &config)
+{
+    int N = num_nodes, G = gpus_per_node;
+    if (intra_parallel < 1)
+        throw Error("hierarchical allreduce: intra_parallel must be >= 1");
+    auto coll =
+        std::make_shared<AllReduceCollective>(N * G, N * G);
+    auto prog = std::make_unique<Program>(
+        coll, baseOptions("hierarchical_allreduce", config));
+
+    // Intra-node ReduceScatter (channel 0), chunk-parallelized.
+    for (int n = 0; n < N; n++) {
+        std::vector<Rank> local(G);
+        for (int i = 0; i < G; i++)
+            local[i] = i + n * G;
+        ParallelizeScope scope = prog->parallelize(intra_parallel);
+        ringReduceScatter(*prog, local, 0, N, [](int) { return 0; });
+    }
+    // Inter-node ReduceScatter + AllGather (channel 1).
+    for (int g = 0; g < G; g++) {
+        std::vector<Rank> cross(N);
+        for (int i = 0; i < N; i++)
+            cross[i] = i * G + g;
+        ringReduceScatter(*prog, cross, g * N, 1, [](int) { return 1; });
+        ringAllGather(*prog, cross, g * N, 1, [](int) { return 1; });
+    }
+    // Intra-node AllGather (channel 2), chunk-parallelized.
+    for (int n = 0; n < N; n++) {
+        std::vector<Rank> local(G);
+        for (int i = 0; i < G; i++)
+            local[i] = i + n * G;
+        ParallelizeScope scope = prog->parallelize(intra_parallel);
+        ringAllGather(*prog, local, 0, N, [](int) { return 2; });
+    }
+    return prog;
+}
+
+std::unique_ptr<Program>
+makeTwoStepAllToAll(int num_nodes, int gpus_per_node,
+                    const AlgoConfig &config)
+{
+    int N = num_nodes, G = gpus_per_node;
+    int R = N * G;
+    auto coll = std::make_shared<AllToAllCollective>(R, 1);
+    auto prog = std::make_unique<Program>(
+        coll, baseOptions("twostep_alltoall", config));
+
+    // Figure 9, verbatim.
+    for (int n = 0; n < N; n++) {
+        for (int g = 0; g < G; g++) {
+            for (int m = 0; m < N; m++) {
+                for (int i = 0; i < G; i++) {
+                    ChunkRef c = prog->chunk(m * G + i,
+                                             BufferKind::Input,
+                                             n * G + g);
+                    if (n == m) {
+                        c.copy(n * G + g, BufferKind::Output,
+                               m * G + i);
+                    } else {
+                        c.copy(m * G + g, BufferKind::Scratch,
+                               n * G + i);
+                    }
+                }
+                if (n != m) {
+                    // Coalesced IB send of G staged chunks.
+                    ChunkRef c = prog->chunk(m * G + g,
+                                             BufferKind::Scratch,
+                                             n * G, G);
+                    c.copy(n * G + g, BufferKind::Output, m * G);
+                }
+            }
+        }
+    }
+    return prog;
+}
+
+std::unique_ptr<Program>
+makeNaiveAllToAll(int num_ranks, const AlgoConfig &config)
+{
+    auto coll = std::make_shared<AllToAllCollective>(num_ranks, 1);
+    auto prog = std::make_unique<Program>(
+        coll, baseOptions("naive_alltoall", config));
+    for (Rank src = 0; src < num_ranks; src++) {
+        for (Rank dst = 0; dst < num_ranks; dst++) {
+            prog->chunk(src, BufferKind::Input, dst)
+                .copy(dst, BufferKind::Output, src);
+        }
+    }
+    return prog;
+}
+
+std::unique_ptr<Program>
+makeAllToNext(int num_nodes, int gpus_per_node, const AlgoConfig &config)
+{
+    int N = num_nodes, G = gpus_per_node;
+    int R = N * G;
+    auto coll = std::make_shared<AllToNextCollective>(R, G);
+    auto prog = std::make_unique<Program>(
+        coll, baseOptions("alltonext", config));
+
+    for (Rank r = 0; r + 1 < R; r++) {
+        int n = r / G, g_local = r % G;
+        if (g_local != G - 1) {
+            // Same node: one direct NVLink copy of the whole buffer.
+            prog->chunk(r, BufferKind::Input, 0, G)
+                .copy(r + 1, BufferKind::Output, 0);
+            continue;
+        }
+        // Node boundary n -> n+1 (Figure 10): scatter the buffer over
+        // the node's GPUs so every IB NIC carries one chunk, then
+        // gather on the first GPU of the next node. Scratch index 0
+        // stages outgoing chunks, index 1 incoming ones.
+        for (int g = 0; g < G; g++) {
+            ChunkRef c = prog->chunk(r, BufferKind::Input, g);
+            if (g != G - 1)
+                c = c.copy(n * G + g, BufferKind::Scratch, 0);
+            c = c.copy((n + 1) * G + g, BufferKind::Scratch, 1);
+            c.copy((n + 1) * G, BufferKind::Output, g);
+        }
+    }
+    return prog;
+}
+
+std::unique_ptr<Program>
+makeNaiveAllToNext(int num_nodes, int gpus_per_node,
+                   const AlgoConfig &config)
+{
+    int R = num_nodes * gpus_per_node;
+    auto coll = std::make_shared<AllToNextCollective>(R, gpus_per_node);
+    auto prog = std::make_unique<Program>(
+        coll, baseOptions("naive_alltonext", config));
+    for (Rank r = 0; r + 1 < R; r++) {
+        prog->chunk(r, BufferKind::Input, 0, gpus_per_node)
+            .copy(r + 1, BufferKind::Output, 0);
+    }
+    return prog;
+}
+
+std::unique_ptr<Program>
+makeRingAllGather(int num_ranks, int channels, const AlgoConfig &config)
+{
+    if (channels < 1)
+        throw Error("ring allgather: channels must be >= 1");
+    auto coll = std::make_shared<AllGatherCollective>(num_ranks, 1);
+    auto prog = std::make_unique<Program>(
+        coll, baseOptions("ring_allgather", config));
+    for (Rank r = 0; r < num_ranks; r++) {
+        ChunkRef c = prog->chunk(r, BufferKind::Input, 0)
+                         .copy(r, BufferKind::Output, r);
+        for (int step = 1; step < num_ranks; step++) {
+            Rank next = (r + step) % num_ranks;
+            c = c.copy(next, BufferKind::Output, r,
+                       OpOptions{ r % channels });
+        }
+    }
+    return prog;
+}
+
+std::unique_ptr<Program>
+makeSccl122AllGather(const Topology &topology, const AlgoConfig &config)
+{
+    int R = topology.numRanks();
+    auto coll = std::make_shared<AllGatherCollective>(R, 2);
+    auto prog = std::make_unique<Program>(
+        coll, baseOptions("sccl_allgather_122", config));
+
+    auto neighbors = [&](Rank r) {
+        std::vector<Rank> out;
+        for (Rank q = 0; q < R; q++) {
+            if (q != r && topology.connected(r, q))
+                out.push_back(q);
+        }
+        return out;
+    };
+
+    // Step 0/1: place locally, then push both chunks to neighbors.
+    for (Rank r = 0; r < R; r++) {
+        prog->chunk(r, BufferKind::Input, 0, 2)
+            .copy(r, BufferKind::Output, 2 * r);
+        for (Rank q : neighbors(r)) {
+            prog->chunk(r, BufferKind::Input, 0, 2)
+                .copy(q, BufferKind::Output, 2 * r);
+        }
+    }
+    // Step 2: relay to non-neighbors through a common neighbor,
+    // balancing relay load per link and splitting the two chunks
+    // across distinct relays where possible.
+    std::map<std::pair<Rank, Rank>, int> link_load;
+    for (Rank r = 0; r < R; r++) {
+        for (Rank t = 0; t < R; t++) {
+            if (t == r || topology.connected(r, t))
+                continue;
+            std::vector<Rank> common;
+            for (Rank q : neighbors(r)) {
+                if (topology.connected(q, t))
+                    common.push_back(q);
+            }
+            if (common.empty()) {
+                throw Error(strprintf(
+                    "sccl allgather: no relay between %d and %d", r, t));
+            }
+            for (int chunk = 0; chunk < 2; chunk++) {
+                Rank best = common[0];
+                for (Rank q : common) {
+                    if (link_load[{ q, t }] < link_load[{ best, t }])
+                        best = q;
+                }
+                link_load[{ best, t }]++;
+                prog->chunk(best, BufferKind::Output, 2 * r + chunk)
+                    .copy(t, BufferKind::Output, 2 * r + chunk);
+            }
+        }
+    }
+    return prog;
+}
+
+std::vector<ProgramLoc>
+collectiveProgramLoc()
+{
+    // DSL statement counts of the builders above, counting only the
+    // algorithm logic (loops + chunk operations), mirroring how §7
+    // counts "lines of code" for its <30 LoC claim.
+    return {
+        { "ring_allreduce", 12 },
+        { "allpairs_allreduce", 14 },
+        { "hierarchical_allreduce", 18 },
+        { "twostep_alltoall", 15 },
+        { "naive_alltoall", 4 },
+        { "alltonext", 14 },
+        { "ring_allgather", 7 },
+        { "sccl_allgather_122", 22 },
+        { "tree_allreduce", 16 },
+        { "rhalving_reducescatter", 13 },
+        { "rdoubling_allgather", 11 },
+        { "rabenseifner_allreduce", 17 },
+        { "ring_broadcast", 6 },
+        { "binomial_broadcast", 6 },
+        { "hierarchical_allgather", 12 },
+    };
+}
+
+} // namespace mscclang

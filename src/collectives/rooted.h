@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Rooted collectives completing the MPI set: Reduce (to a root),
+ * Gather and Scatter, each with its postcondition definition and a
+ * DSL algorithm. Together with the AllReduce/AllGather/
+ * ReduceScatter/AllToAll/Broadcast families these cover the
+ * collectives NCCL exposes.
+ */
+
+#ifndef MSCCLANG_COLLECTIVES_ROOTED_H_
+#define MSCCLANG_COLLECTIVES_ROOTED_H_
+
+#include <memory>
+
+#include "collectives/collectives.h"
+
+namespace mscclang {
+
+/** Reduce: only the root's output holds the global reduction. */
+class ReduceCollective : public Collective
+{
+  public:
+    ReduceCollective(int num_ranks, int chunk_factor, Rank root);
+
+    int inputChunkCount(Rank rank) const override;
+    int outputChunkCount(Rank rank) const override;
+    std::optional<ChunkValue> expectedOutput(Rank rank,
+                                             int index) const override;
+
+    Rank root() const { return root_; }
+
+  private:
+    Rank root_;
+};
+
+/** Gather: the root's output concatenates every rank's input. */
+class GatherCollective : public Collective
+{
+  public:
+    GatherCollective(int num_ranks, int chunk_factor, Rank root);
+
+    int inputChunkCount(Rank rank) const override;
+    int outputChunkCount(Rank rank) const override;
+    std::optional<ChunkValue> expectedOutput(Rank rank,
+                                             int index) const override;
+    double outputScale() const override { return numRanks(); }
+
+    Rank root() const { return root_; }
+
+  private:
+    Rank root_;
+};
+
+/** Scatter: rank r's output receives the root's input block r. */
+class ScatterCollective : public Collective
+{
+  public:
+    ScatterCollective(int num_ranks, int chunk_factor, Rank root);
+
+    int inputChunkCount(Rank rank) const override;
+    int outputChunkCount(Rank rank) const override;
+    std::optional<ChunkValue> expectedOutput(Rank rank,
+                                             int index) const override;
+    double outputScale() const override { return 1.0 / numRanks(); }
+
+    Rank root() const { return root_; }
+
+  private:
+    Rank root_;
+};
+
+/**
+ * Binomial tree Reduce to @p root: log2(R) rounds of pairwise
+ * reduction (the mirror image of the binomial Broadcast).
+ */
+std::unique_ptr<Program> makeBinomialReduce(int num_ranks, Rank root,
+                                            const AlgoConfig &config);
+
+/** Direct Gather: every rank sends its buffer straight to the root. */
+std::unique_ptr<Program> makeDirectGather(int num_ranks, Rank root,
+                                          const AlgoConfig &config);
+
+/** Direct Scatter: the root sends block r straight to rank r. */
+std::unique_ptr<Program> makeDirectScatter(int num_ranks, Rank root,
+                                           const AlgoConfig &config);
+
+} // namespace mscclang
+
+#endif // MSCCLANG_COLLECTIVES_ROOTED_H_

@@ -1,0 +1,76 @@
+#include "common/log.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace mscclang {
+
+namespace {
+
+LogLevel
+initialLevel()
+{
+    const char *env = std::getenv("MSCCLANG_LOG");
+    if (env == nullptr)
+        return LogLevel::Warn;
+    if (std::strcmp(env, "debug") == 0)
+        return LogLevel::Debug;
+    if (std::strcmp(env, "info") == 0)
+        return LogLevel::Info;
+    if (std::strcmp(env, "warn") == 0)
+        return LogLevel::Warn;
+    if (std::strcmp(env, "error") == 0)
+        return LogLevel::ErrorLevel;
+    if (std::strcmp(env, "off") == 0)
+        return LogLevel::Off;
+    return LogLevel::Warn;
+}
+
+LogLevel &
+levelRef()
+{
+    static LogLevel level = initialLevel();
+    return level;
+}
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "DEBUG";
+      case LogLevel::Info: return "INFO";
+      case LogLevel::Warn: return "WARN";
+      case LogLevel::ErrorLevel: return "ERROR";
+      default: return "?";
+    }
+}
+
+} // namespace
+
+void
+Log::setLevel(LogLevel level)
+{
+    levelRef() = level;
+}
+
+LogLevel
+Log::level()
+{
+    return levelRef();
+}
+
+void
+Log::write(LogLevel level, const std::string &msg)
+{
+    if (!enabled(level))
+        return;
+    std::fprintf(stderr, "[mscclang %s] %s\n", levelName(level), msg.c_str());
+}
+
+void logDebug(const std::string &msg) { Log::write(LogLevel::Debug, msg); }
+void logInfo(const std::string &msg) { Log::write(LogLevel::Info, msg); }
+void logWarn(const std::string &msg) { Log::write(LogLevel::Warn, msg); }
+void logError(const std::string &msg) { Log::write(LogLevel::ErrorLevel, msg); }
+
+} // namespace mscclang

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Minimal leveled logger. Off by default except warnings and errors;
+ * the MSCCLANG_LOG environment variable or Log::setLevel raises
+ * verbosity (e.g. for debugging the interpreter's event schedule).
+ */
+
+#ifndef MSCCLANG_COMMON_LOG_H_
+#define MSCCLANG_COMMON_LOG_H_
+
+#include <string>
+
+namespace mscclang {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, ErrorLevel = 3, Off = 4 };
+
+/** Process-wide logging configuration and sink. */
+class Log
+{
+  public:
+    /** Sets the minimum level that is emitted. */
+    static void setLevel(LogLevel level);
+
+    /** Returns the current minimum level. */
+    static LogLevel level();
+
+    /** Emits one line at @p level if enabled. */
+    static void write(LogLevel level, const std::string &msg);
+
+    static bool enabled(LogLevel level) { return level >= Log::level(); }
+};
+
+void logDebug(const std::string &msg);
+void logInfo(const std::string &msg);
+void logWarn(const std::string &msg);
+void logError(const std::string &msg);
+
+} // namespace mscclang
+
+#endif // MSCCLANG_COMMON_LOG_H_

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Deterministic random number generation for tests and benchmark
+ * workload generators. A thin wrapper around a fixed-seed PCG-style
+ * engine so results are reproducible across platforms and runs.
+ */
+
+#ifndef MSCCLANG_COMMON_RNG_H_
+#define MSCCLANG_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace mscclang {
+
+/**
+ * Deterministic 64-bit RNG (splitmix64 core). Identical sequences for
+ * identical seeds on every platform, unlike std::mt19937 distributions.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+        : state_(seed) {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    nextBelow(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    nextRange(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+            nextBelow(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform float in [-1, 1), handy for filling data buffers. */
+    float
+    nextSignedFloat()
+    {
+        return static_cast<float>(nextDouble() * 2.0 - 1.0);
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace mscclang
+
+#endif // MSCCLANG_COMMON_RNG_H_

@@ -1,0 +1,107 @@
+#include "common/strings.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace mscclang {
+
+std::string
+formatBytes(std::uint64_t bytes)
+{
+    static const char *suffixes[] = { "B", "KB", "MB", "GB", "TB" };
+    double value = static_cast<double>(bytes);
+    int suffix = 0;
+    while (value >= 1024.0 && suffix < 4) {
+        value /= 1024.0;
+        suffix++;
+    }
+    if (value == static_cast<std::uint64_t>(value))
+        return strprintf("%llu%s",
+                         static_cast<unsigned long long>(value),
+                         suffixes[suffix]);
+    return strprintf("%.1f%s", value, suffixes[suffix]);
+}
+
+std::uint64_t
+parseBytes(const std::string &text)
+{
+    if (text.empty())
+        throw Error("parseBytes: empty string");
+    size_t pos = 0;
+    double value = 0.0;
+    try {
+        value = std::stod(text, &pos);
+    } catch (const std::exception &) {
+        throw Error("parseBytes: malformed size '" + text + "'");
+    }
+    std::string unit = text.substr(pos);
+    while (!unit.empty() && std::isspace(static_cast<unsigned char>(unit[0])))
+        unit.erase(unit.begin());
+    std::uint64_t scale = 1;
+    if (unit.empty() || unit == "B") {
+        scale = 1;
+    } else if (unit == "KB" || unit == "K" || unit == "KiB") {
+        scale = 1ULL << 10;
+    } else if (unit == "MB" || unit == "M" || unit == "MiB") {
+        scale = 1ULL << 20;
+    } else if (unit == "GB" || unit == "G" || unit == "GiB") {
+        scale = 1ULL << 30;
+    } else if (unit == "TB" || unit == "T" || unit == "TiB") {
+        scale = 1ULL << 40;
+    } else {
+        throw Error("parseBytes: unknown unit '" + unit + "'");
+    }
+    if (value < 0)
+        throw Error("parseBytes: negative size '" + text + "'");
+    return static_cast<std::uint64_t>(value * static_cast<double>(scale));
+}
+
+std::string
+strprintf(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    std::string out;
+    if (needed > 0) {
+        out.resize(static_cast<size_t>(needed) + 1);
+        std::vsnprintf(out.data(), out.size(), fmt, args_copy);
+        out.resize(static_cast<size_t>(needed));
+    }
+    va_end(args_copy);
+    return out;
+}
+
+std::vector<std::string>
+splitString(const std::string &text, char sep)
+{
+    std::vector<std::string> fields;
+    std::string current;
+    for (char c : text) {
+        if (c == sep) {
+            fields.push_back(current);
+            current.clear();
+        } else {
+            current.push_back(c);
+        }
+    }
+    fields.push_back(current);
+    return fields;
+}
+
+std::vector<std::uint64_t>
+sizeSweep(std::uint64_t from_bytes, std::uint64_t to_bytes)
+{
+    std::vector<std::uint64_t> sizes;
+    for (std::uint64_t s = from_bytes; s <= to_bytes; s <<= 1)
+        sizes.push_back(s);
+    return sizes;
+}
+
+} // namespace mscclang

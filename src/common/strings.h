@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Small string and byte-size helpers shared across the library.
+ */
+
+#ifndef MSCCLANG_COMMON_STRINGS_H_
+#define MSCCLANG_COMMON_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mscclang {
+
+/**
+ * Formats a byte count the way the paper's plots label their x axes:
+ * "1KB", "32MB", "4GB". Non-power-of-1024 values keep one decimal.
+ */
+std::string formatBytes(std::uint64_t bytes);
+
+/**
+ * Parses strings like "64", "32KB", "1MB", "4GB" into a byte count.
+ * @throws mscclang::Error on malformed input.
+ */
+std::uint64_t parseBytes(const std::string &text);
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Splits @p text on @p sep, keeping empty fields. */
+std::vector<std::string> splitString(const std::string &text, char sep);
+
+/**
+ * The geometric sweep of buffer sizes used by the paper's figures:
+ * every power of two from @p fromBytes to @p toBytes inclusive.
+ */
+std::vector<std::uint64_t> sizeSweep(std::uint64_t from_bytes,
+                                     std::uint64_t to_bytes);
+
+} // namespace mscclang
+
+#endif // MSCCLANG_COMMON_STRINGS_H_

@@ -1,0 +1,134 @@
+#include "compiler/chunk_dag.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "common/strings.h"
+
+namespace mscclang {
+
+const char *
+depKindName(DepKind kind)
+{
+    switch (kind) {
+      case DepKind::True: return "true";
+      case DepKind::Anti: return "anti";
+      case DepKind::Output: return "output";
+    }
+    return "?";
+}
+
+namespace {
+
+using LocationKey = std::tuple<Rank, BufferKind, int>;
+
+struct Access
+{
+    int op;
+    bool isWrite;
+};
+
+/** Reads/writes of one traced op at chunk granularity. */
+void
+forEachAccess(const TraceOp &op,
+              const std::function<void(LocationKey, bool)> &visit)
+{
+    auto slice_locations = [&](const BufferSlice &slice, bool is_write) {
+        for (int i = 0; i < slice.count; i++) {
+            visit(LocationKey{ slice.rank, slice.buffer, slice.index + i },
+                  is_write);
+        }
+    };
+    if (op.kind == OpKind::Copy) {
+        slice_locations(op.src, false);
+        slice_locations(op.dst, true);
+    } else {
+        slice_locations(op.src, false);
+        slice_locations(op.dst, false);
+        slice_locations(op.dst, true);
+    }
+}
+
+} // namespace
+
+ChunkDag::ChunkDag(const Program &program)
+{
+    const std::vector<TraceOp> &ops = program.ops();
+    numOps_ = static_cast<int>(ops.size());
+    preds_.resize(numOps_);
+    succs_.resize(numOps_);
+
+    // Note: the DSL canonicalizes in-place Output accesses onto the
+    // Input buffer internally, but TraceOps retain the user's buffer
+    // names; canonicalize here so aliases collide.
+    bool in_place = program.collective().inPlace();
+    auto canonical = [in_place](LocationKey key) {
+        if (in_place && std::get<1>(key) == BufferKind::Output)
+            std::get<1>(key) = BufferKind::Input;
+        return key;
+    };
+
+    std::map<LocationKey, std::vector<Access>> history;
+    std::map<std::pair<int, int>, DepKind> edge_set;
+
+    for (const TraceOp &op : ops) {
+        forEachAccess(op, [&](LocationKey key, bool is_write) {
+            key = canonical(key);
+            std::vector<Access> &accesses = history[key];
+            for (const Access &prev : accesses) {
+                if (prev.op == op.id)
+                    continue;
+                DepKind kind;
+                if (is_write && prev.isWrite)
+                    kind = DepKind::Output;
+                else if (is_write)
+                    kind = DepKind::Anti;
+                else if (prev.isWrite)
+                    kind = DepKind::True;
+                else
+                    continue; // read-read: no dependence
+                auto [it, inserted] = edge_set.emplace(
+                    std::make_pair(prev.op, op.id), kind);
+                // A true dependence subsumes false ones on the pair.
+                if (!inserted && kind == DepKind::True)
+                    it->second = DepKind::True;
+            }
+            accesses.push_back(Access{ op.id, is_write });
+        });
+    }
+
+    for (const auto &[pair, kind] : edge_set) {
+        edges_.push_back(ChunkDep{ pair.first, pair.second, kind });
+        succs_[pair.first].push_back(pair.second);
+        preds_[pair.second].push_back(pair.first);
+    }
+
+    // Ops are already in a topological order (trace order).
+    depths_.assign(numOps_, 0);
+    for (int op = 0; op < numOps_; op++) {
+        for (int pred : preds_[op])
+            depths_[op] = std::max(depths_[op], depths_[pred] + 1);
+        criticalPath_ = std::max(criticalPath_, depths_[op] + 1);
+    }
+}
+
+std::string
+ChunkDag::toDot(const Program &program) const
+{
+    std::string out = "digraph chunkdag {\n";
+    const std::vector<TraceOp> &ops = program.ops();
+    for (int op = 0; op < numOps_; op++) {
+        out += strprintf("  n%d [label=\"%s\"];\n", op,
+                         ops[op].toString().c_str());
+    }
+    for (const ChunkDep &edge : edges_) {
+        const char *style = edge.kind == DepKind::True ? "solid" : "dashed";
+        out += strprintf("  n%d -> n%d [style=%s];\n", edge.from, edge.to,
+                         style);
+    }
+    out += "}\n";
+    return out;
+}
+
+} // namespace mscclang

@@ -1,0 +1,14 @@
+#include "compiler/frac.h"
+
+#include <algorithm>
+
+namespace mscclang {
+
+FracInterval
+splitFraction(int split_idx, int split_count)
+{
+    return FracInterval{ Frac::of(split_idx, split_count),
+                         Frac::of(split_idx + 1, split_count) };
+}
+
+} // namespace mscclang

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Exact rational intervals used to reason about sub-chunk byte ranges.
+ *
+ * Chunk parallelization (paper §5.1) splits an operation into n
+ * instances, each moving 1/n of the covered bytes. Dependence analysis
+ * must therefore compare fractional spans of a chunk exactly — two
+ * sibling instances of one op touch disjoint fractions and must not be
+ * serialized, while differently-split ops may partially overlap.
+ */
+
+#ifndef MSCCLANG_COMPILER_FRAC_H_
+#define MSCCLANG_COMPILER_FRAC_H_
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+
+#include "common/strings.h"
+
+namespace mscclang {
+
+/** An exact non-negative rational number num/den (den > 0). */
+struct Frac
+{
+    std::int64_t num = 0;
+    std::int64_t den = 1;
+
+    static Frac
+    of(std::int64_t num, std::int64_t den)
+    {
+        Frac f{ num, den };
+        f.normalize();
+        return f;
+    }
+
+    void
+    normalize()
+    {
+        std::int64_t g = std::gcd(num < 0 ? -num : num, den);
+        if (g > 1) {
+            num /= g;
+            den /= g;
+        }
+    }
+
+    bool
+    operator<(const Frac &other) const
+    {
+        return num * other.den < other.num * den;
+    }
+
+    bool
+    operator==(const Frac &other) const
+    {
+        return num * other.den == other.num * den;
+    }
+
+    bool operator<=(const Frac &other) const { return !(other < *this); }
+
+    std::string
+    toString() const
+    {
+        if (den == 1)
+            return std::to_string(num);
+        return strprintf("%lld/%lld", static_cast<long long>(num),
+                         static_cast<long long>(den));
+    }
+};
+
+/** A half-open rational interval [lo, hi). */
+struct FracInterval
+{
+    Frac lo;
+    Frac hi;
+
+    bool empty() const { return !(lo < hi); }
+
+    bool
+    overlaps(const FracInterval &other) const
+    {
+        return lo < other.hi && other.lo < hi;
+    }
+
+    /** True if this interval fully contains @p other. */
+    bool
+    covers(const FracInterval &other) const
+    {
+        return lo <= other.lo && other.hi <= hi;
+    }
+
+    bool
+    operator==(const FracInterval &other) const
+    {
+        return lo == other.lo && hi == other.hi;
+    }
+
+    std::string
+    toString() const
+    {
+        return "[" + lo.toString() + "," + hi.toString() + ")";
+    }
+};
+
+/**
+ * The per-chunk byte fraction covered by parallelization instance
+ * (@p split_idx of @p split_count): [i/n, (i+1)/n). An instance
+ * covers the same fraction of every chunk in its slice, mirroring how
+ * msccl instances subdivide chunks.
+ */
+FracInterval splitFraction(int split_idx, int split_count);
+
+} // namespace mscclang
+
+#endif // MSCCLANG_COMPILER_FRAC_H_

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Instruction fusion (paper §4.3): peephole rewrites that combine a
+ * receive with a dependent send so intermediate values travel through
+ * registers instead of global memory:
+ *
+ *   recv ; send  (same chunk)             ->  rcs
+ *   rrc  ; send  (same chunk)             ->  rrcs
+ *   rrcs whose local result is dead       ->  rrs
+ *
+ * When several sends depend on one receive, the send on the longest
+ * path through the Instruction DAG is fused.
+ */
+
+#include "common/error.h"
+#include "compiler/instr_graph.h"
+
+namespace mscclang {
+
+namespace {
+
+/** True if the two channel directives are compatible for fusion. */
+bool
+directivesCompatible(int a, int b)
+{
+    return a == -1 || b == -1 || a == b;
+}
+
+int
+mergedDirective(int a, int b)
+{
+    return a == -1 ? b : a;
+}
+
+/**
+ * True if @p send can be folded into the receive-like node @p recv:
+ * it forwards exactly the bytes @p recv wrote, runs on the same rank,
+ * and has no other ordering constraints.
+ */
+bool
+canFuseSend(const InstrGraph &graph, const InstrNode &recv,
+            const InstrNode &send)
+{
+    if (!send.live || send.op != IrOp::Send || send.rank != recv.rank)
+        return false;
+    if (!(send.src == recv.dst))
+        return false;
+    if (send.splitIdx != recv.splitIdx ||
+        send.splitCount != recv.splitCount) {
+        return false;
+    }
+    if (!directivesCompatible(recv.chanDirective, send.chanDirective))
+        return false;
+    // The send's only predecessor must be the receive; otherwise
+    // executing it at the receive's position could run ahead of a
+    // dependence.
+    std::vector<int> preds = graph.livePreds(send.id);
+    return preds.size() == 1 && preds[0] == recv.id;
+}
+
+/** Fuses @p send into @p recv, which becomes @p fused_op. */
+void
+fuseSendInto(InstrGraph &graph, int recv_id, int send_id, IrOp fused_op)
+{
+    InstrNode &recv = graph.node(recv_id);
+    InstrNode &send = graph.node(send_id);
+    recv.op = fused_op;
+    recv.sendPeer = send.sendPeer;
+    recv.chanDirective =
+        mergedDirective(recv.chanDirective, send.chanDirective);
+    recv.commSucc = send.commSucc;
+    if (send.commSucc >= 0)
+        graph.node(send.commSucc).commPred = recv_id;
+    graph.replaceNode(send_id, recv_id);
+}
+
+/**
+ * One pass combining a receive-like opcode with a dependent send.
+ * Returns the number of rewrites performed.
+ */
+int
+fuseRecvSendPass(InstrGraph &graph, IrOp recv_op, IrOp fused_op)
+{
+    int rewrites = 0;
+    for (int id = 0; id < graph.numNodes(); id++) {
+        InstrNode &recv = graph.node(id);
+        if (!recv.live || recv.op != recv_op)
+            continue;
+        // Gather fusable sends among true-dependence successors and
+        // pick the one on the longest path (max rdepth).
+        int best = -1;
+        for (int edge_idx : graph.succEdges(id)) {
+            const InstrEdge &edge = graph.edges()[edge_idx];
+            if (edge.kind != DepKind::True)
+                continue;
+            const InstrNode &cand = graph.node(edge.to);
+            if (!canFuseSend(graph, recv, cand))
+                continue;
+            if (best == -1 || cand.rdepth > graph.node(best).rdepth)
+                best = cand.id;
+        }
+        if (best >= 0) {
+            fuseSendInto(graph, id, best, fused_op);
+            rewrites++;
+        }
+    }
+    return rewrites;
+}
+
+/**
+ * True if @p writer overwrites every byte that @p node's destination
+ * write covers.
+ */
+bool
+writeCovers(const InstrNode &writer, const InstrNode &node)
+{
+    if (!irOpWritesDst(writer.op))
+        return false;
+    if (writer.rank != node.rank || writer.dst.rank != node.dst.rank ||
+        writer.dst.buffer != node.dst.buffer) {
+        return false;
+    }
+    FracInterval mine = splitFraction(node.splitIdx, node.splitCount);
+    FracInterval theirs =
+        splitFraction(writer.splitIdx, writer.splitCount);
+    if (!theirs.covers(mine))
+        return false;
+    for (int k = 0; k < node.dst.count; k++) {
+        int loc = node.dst.index + k;
+        int rel = loc - writer.dst.index;
+        if (rel < 0 || rel >= writer.dst.count)
+            return false;
+    }
+    return true;
+}
+
+/**
+ * rrs rewrite: an rrcs whose stored result is never read locally and
+ * is later overwritten does not need the store (paper §4.3).
+ */
+int
+fuseRrsPass(InstrGraph &graph)
+{
+    int rewrites = 0;
+    for (int id = 0; id < graph.numNodes(); id++) {
+        InstrNode &node = graph.node(id);
+        if (!node.live || node.op != IrOp::RecvReduceCopySend)
+            continue;
+        bool has_reader = false;
+        bool overwritten = false;
+        for (int edge_idx : graph.succEdges(id)) {
+            const InstrEdge &edge = graph.edges()[edge_idx];
+            const InstrNode &succ = graph.node(edge.to);
+            if (!succ.live)
+                continue;
+            if (edge.kind == DepKind::True) {
+                has_reader = true;
+                break;
+            }
+            if (writeCovers(succ, node))
+                overwritten = true;
+        }
+        if (!has_reader && overwritten) {
+            node.op = IrOp::RecvReduceSend;
+            rewrites++;
+        }
+    }
+    return rewrites;
+}
+
+} // namespace
+
+FusionStats
+fuseInstructions(InstrGraph &graph)
+{
+    // rdepth is used to break ties between candidate sends.
+    graph.computeDepths();
+    FusionStats stats;
+    stats.rcs = fuseRecvSendPass(graph, IrOp::Recv, IrOp::RecvCopySend);
+    stats.rrcs = fuseRecvSendPass(graph, IrOp::RecvReduceCopy,
+                                  IrOp::RecvReduceCopySend);
+    stats.rrs = fuseRrsPass(graph);
+    graph.computeDepths();
+    return stats;
+}
+
+} // namespace mscclang

@@ -1,0 +1,199 @@
+#include "compiler/instr_graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace mscclang {
+
+std::string
+InstrNode::toString() const
+{
+    std::string text = strprintf("#%d r%d %s", id, rank, irOpName(op));
+    if (irOpReadsSrc(op))
+        text += " src=" + src.toString();
+    if (irOpWritesDst(op))
+        text += " dst=" + dst.toString();
+    if (sendPeer >= 0)
+        text += strprintf(" ->%d", sendPeer);
+    if (recvPeer >= 0)
+        text += strprintf(" <-%d", recvPeer);
+    if (splitCount > 1)
+        text += strprintf(" split=%d/%d", splitIdx, splitCount);
+    if (channel >= 0)
+        text += strprintf(" ch=%d", channel);
+    return text;
+}
+
+int
+InstrGraph::addNode(InstrNode node)
+{
+    node.id = numNodes();
+    nodes_.push_back(std::move(node));
+    preds_.emplace_back();
+    succs_.emplace_back();
+    return nodes_.back().id;
+}
+
+void
+InstrGraph::addEdge(int from, int to, DepKind kind)
+{
+    if (from == to)
+        return;
+    // Deduplicate; a True edge subsumes a false one on the same pair.
+    for (int edge_idx : succs_[from]) {
+        InstrEdge &edge = edges_[edge_idx];
+        if (edge.to == to) {
+            if (kind == DepKind::True)
+                edge.kind = DepKind::True;
+            return;
+        }
+    }
+    int idx = static_cast<int>(edges_.size());
+    edges_.push_back(InstrEdge{ from, to, kind });
+    succs_[from].push_back(idx);
+    preds_[to].push_back(idx);
+}
+
+std::vector<int>
+InstrGraph::livePreds(int id) const
+{
+    std::vector<int> out;
+    for (int edge_idx : preds_[id]) {
+        int from = edges_[edge_idx].from;
+        if (nodes_[from].live && from != id)
+            out.push_back(from);
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+std::vector<int>
+InstrGraph::liveSuccs(int id) const
+{
+    std::vector<int> out;
+    for (int edge_idx : succs_[id]) {
+        int to = edges_[edge_idx].to;
+        if (nodes_[to].live && to != id)
+            out.push_back(to);
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+void
+InstrGraph::replaceNode(int from, int to)
+{
+    // Move every edge endpoint of `from` onto `to`.
+    for (int edge_idx : preds_[from]) {
+        InstrEdge &edge = edges_[edge_idx];
+        if (edge.from == to)
+            continue; // becomes a self-edge: drop by leaving it dead
+        addEdge(edge.from, to, edge.kind);
+    }
+    for (int edge_idx : succs_[from]) {
+        InstrEdge &edge = edges_[edge_idx];
+        if (edge.to == to)
+            continue;
+        addEdge(to, edge.to, edge.kind);
+    }
+    nodes_[from].live = false;
+}
+
+int
+InstrGraph::numLive() const
+{
+    int live = 0;
+    for (const InstrNode &node : nodes_) {
+        if (node.live)
+            live++;
+    }
+    return live;
+}
+
+void
+InstrGraph::computeDepths()
+{
+    // Kahn's algorithm over live nodes with processing + comm edges.
+    int n = numNodes();
+    std::vector<int> indeg(n, 0);
+    auto for_each_succ = [&](int id, auto &&fn) {
+        for (int other : liveSuccs(id))
+            fn(other);
+        const InstrNode &node = nodes_[id];
+        if (node.commSucc >= 0 && nodes_[node.commSucc].live)
+            fn(node.commSucc);
+    };
+    auto for_each_pred = [&](int id, auto &&fn) {
+        for (int other : livePreds(id))
+            fn(other);
+        const InstrNode &node = nodes_[id];
+        if (node.commPred >= 0 && nodes_[node.commPred].live)
+            fn(node.commPred);
+    };
+
+    for (int id = 0; id < n; id++) {
+        if (!nodes_[id].live)
+            continue;
+        for_each_pred(id, [&](int) { indeg[id]++; });
+        nodes_[id].depth = 0;
+        nodes_[id].rdepth = 0;
+    }
+
+    std::deque<int> ready;
+    int visited = 0;
+    for (int id = 0; id < n; id++) {
+        if (nodes_[id].live && indeg[id] == 0)
+            ready.push_back(id);
+    }
+    std::vector<int> topo;
+    while (!ready.empty()) {
+        int id = ready.front();
+        ready.pop_front();
+        topo.push_back(id);
+        visited++;
+        for_each_succ(id, [&](int succ) {
+            nodes_[succ].depth =
+                std::max(nodes_[succ].depth, nodes_[id].depth + 1);
+            if (--indeg[succ] == 0)
+                ready.push_back(succ);
+        });
+    }
+    if (visited != numLive())
+        throw CompileError("instruction DAG contains a cycle");
+
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+        for_each_succ(*it, [&](int succ) {
+            nodes_[*it].rdepth =
+                std::max(nodes_[*it].rdepth, nodes_[succ].rdepth + 1);
+        });
+    }
+}
+
+std::string
+InstrGraph::dump() const
+{
+    std::string out;
+    for (const InstrNode &node : nodes_) {
+        if (!node.live)
+            continue;
+        out += node.toString();
+        std::vector<int> preds = livePreds(node.id);
+        if (!preds.empty()) {
+            out += " preds=";
+            for (size_t i = 0; i < preds.size(); i++)
+                out += (i ? "," : "") + std::to_string(preds[i]);
+        }
+        if (node.commPred >= 0)
+            out += strprintf(" comm<-#%d", node.commPred);
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace mscclang

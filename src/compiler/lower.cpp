@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Instruction generation (paper §4.2): expands each traced chunk
+ * operation — per parallelization instance — into point-to-point and
+ * local instructions, and wires processing edges at sub-chunk
+ * precision plus communication edges between matched send/recv pairs.
+ */
+
+#include <map>
+#include <tuple>
+
+#include "common/error.h"
+#include "compiler/instr_graph.h"
+
+namespace mscclang {
+
+namespace {
+
+using LocationKey = std::tuple<Rank, BufferKind, int>;
+
+struct RangeAccess
+{
+    int node;
+    bool isWrite;
+    FracInterval range;
+};
+
+class LoweringContext
+{
+  public:
+    LoweringContext(InstrGraph &graph, bool in_place)
+        : graph_(graph), inPlace_(in_place) {}
+
+    BufferSlice
+    canonical(BufferSlice slice) const
+    {
+        if (inPlace_ && slice.buffer == BufferKind::Output)
+            slice.buffer = BufferKind::Input;
+        return slice;
+    }
+
+    /**
+     * Registers the accesses of node @p id and adds processing edges
+     * against every conflicting earlier access.
+     */
+    void
+    recordAccesses(int id)
+    {
+        const InstrNode &node = graph_.node(id);
+        if (irOpReadsSrc(node.op))
+            accessSlice(id, node.src, node.splitIdx, node.splitCount,
+                        false);
+        if (node.op == IrOp::Reduce || node.op == IrOp::RecvReduceCopy) {
+            // reduce reads its destination as the other operand
+            accessSlice(id, node.dst, node.splitIdx, node.splitCount,
+                        false);
+        }
+        if (irOpWritesDst(node.op))
+            accessSlice(id, node.dst, node.splitIdx, node.splitCount,
+                        true);
+    }
+
+  private:
+    /** Removes @p cut from every interval in @p set. */
+    static void
+    subtractRange(std::vector<FracInterval> &set, const FracInterval &cut)
+    {
+        std::vector<FracInterval> next;
+        for (const FracInterval &part : set) {
+            if (!part.overlaps(cut)) {
+                next.push_back(part);
+                continue;
+            }
+            if (part.lo < cut.lo)
+                next.push_back(FracInterval{ part.lo, cut.lo });
+            if (cut.hi < part.hi)
+                next.push_back(FracInterval{ cut.hi, part.hi });
+        }
+        set = std::move(next);
+    }
+
+    /**
+     * Adds dependence edges for one access with shadowing precision:
+     * scanning newest-first, a read depends only on the writers whose
+     * bytes are still visible, and a write orders after the readers
+     * and writers of the still-visible version — anything older is
+     * already transitively ordered. This matters for fusion: a
+     * forwarding send's sole predecessor must be the receive that
+     * produced its data, not every historic writer of the location.
+     */
+    void
+    accessSlice(int id, const BufferSlice &slice, int split_idx,
+                int split_count, bool is_write)
+    {
+        FracInterval range = splitFraction(split_idx, split_count);
+        for (int k = 0; k < slice.count; k++) {
+            LocationKey key{ slice.rank, slice.buffer, slice.index + k };
+            std::vector<RangeAccess> &accesses = history_[key];
+            std::vector<FracInterval> uncovered{ range };
+            for (auto it = accesses.rbegin();
+                 it != accesses.rend() && !uncovered.empty(); ++it) {
+                const RangeAccess &prev = *it;
+                if (prev.node == id)
+                    continue;
+                bool overlaps = false;
+                for (const FracInterval &part : uncovered) {
+                    if (prev.range.overlaps(part)) {
+                        overlaps = true;
+                        break;
+                    }
+                }
+                if (!overlaps)
+                    continue;
+                if (is_write && prev.isWrite) {
+                    graph_.addEdge(prev.node, id, DepKind::Output);
+                    subtractRange(uncovered, prev.range);
+                } else if (is_write) {
+                    // Reader of the visible version: order after it,
+                    // but it does not shadow older accesses.
+                    graph_.addEdge(prev.node, id, DepKind::Anti);
+                } else if (prev.isWrite) {
+                    graph_.addEdge(prev.node, id, DepKind::True);
+                    subtractRange(uncovered, prev.range);
+                }
+            }
+            accesses.push_back(RangeAccess{ id, is_write, range });
+        }
+    }
+
+    InstrGraph &graph_;
+    bool inPlace_;
+    std::map<LocationKey, std::vector<RangeAccess>> history_;
+};
+
+} // namespace
+
+InstrGraph
+lowerProgram(const Program &program)
+{
+    InstrGraph graph(program.numRanks());
+    LoweringContext ctx(graph, program.collective().inPlace());
+    int instances = program.options().instances;
+
+    for (const TraceOp &op : program.ops()) {
+        BufferSlice src = ctx.canonical(op.src);
+        BufferSlice dst = ctx.canonical(op.dst);
+        bool local = src.rank == dst.rank;
+        if (op.kind == OpKind::Copy && local && src == dst)
+            continue; // aliased no-op copy
+
+        int total_split = op.parFactor * instances;
+        for (int j = 0; j < total_split; j++) {
+            auto base = [&](IrOp ir_op, Rank rank) {
+                InstrNode node;
+                node.op = ir_op;
+                node.rank = rank;
+                node.splitIdx = j;
+                node.splitCount = total_split;
+                node.chanDirective = op.channel;
+                node.opId = op.id;
+                return node;
+            };
+
+            if (op.kind == OpKind::Copy && local) {
+                InstrNode node = base(IrOp::Copy, src.rank);
+                node.src = src;
+                node.dst = dst;
+                ctx.recordAccesses(graph.addNode(std::move(node)));
+            } else if (op.kind == OpKind::Copy) {
+                InstrNode send = base(IrOp::Send, src.rank);
+                send.src = src;
+                send.sendPeer = dst.rank;
+                int send_id = graph.addNode(std::move(send));
+                ctx.recordAccesses(send_id);
+
+                InstrNode recv = base(IrOp::Recv, dst.rank);
+                recv.dst = dst;
+                recv.recvPeer = src.rank;
+                int recv_id = graph.addNode(std::move(recv));
+                ctx.recordAccesses(recv_id);
+
+                graph.node(send_id).commSucc = recv_id;
+                graph.node(recv_id).commPred = send_id;
+            } else if (op.kind == OpKind::Reduce && local) {
+                InstrNode node = base(IrOp::Reduce, dst.rank);
+                node.src = src; // the second operand
+                node.dst = dst; // in-place target
+                ctx.recordAccesses(graph.addNode(std::move(node)));
+            } else {
+                // Remote reduce: send the operand, recvReduceCopy at
+                // the target (paper §4.2).
+                InstrNode send = base(IrOp::Send, src.rank);
+                send.src = src;
+                send.sendPeer = dst.rank;
+                int send_id = graph.addNode(std::move(send));
+                ctx.recordAccesses(send_id);
+
+                InstrNode rrc = base(IrOp::RecvReduceCopy, dst.rank);
+                rrc.src = dst; // local operand
+                rrc.dst = dst;
+                rrc.recvPeer = src.rank;
+                int rrc_id = graph.addNode(std::move(rrc));
+                ctx.recordAccesses(rrc_id);
+
+                graph.node(send_id).commSucc = rrc_id;
+                graph.node(rrc_id).commPred = send_id;
+            }
+        }
+    }
+    return graph;
+}
+
+} // namespace mscclang

@@ -1,0 +1,776 @@
+#include "compiler/schedule.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+#include <tuple>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace mscclang {
+
+namespace {
+
+/**
+ * Union-find over communication edges. An edge is identified by the
+ * id of its receiving node; edges linked through a fused instruction
+ * (which receives on one and sends on the next) form a chain that
+ * must live on a single channel (paper §5.2).
+ */
+class ChainFinder
+{
+  public:
+    explicit ChainFinder(int n) : parent_(n)
+    {
+        for (int i = 0; i < n; i++)
+            parent_[i] = i;
+    }
+
+    int
+    find(int x)
+    {
+        while (parent_[x] != x) {
+            parent_[x] = parent_[parent_[x]];
+            x = parent_[x];
+        }
+        return x;
+    }
+
+    void
+    unite(int a, int b)
+    {
+        parent_[find(a)] = find(b);
+    }
+
+  private:
+    std::vector<int> parent_;
+};
+
+/**
+ * Registry of fused-instruction pairings per (rank, channel). A fused
+ * instruction forces its send connection and recv connection into one
+ * thread block, so two fused instructions on the same rank and
+ * channel must agree on the pairing.
+ */
+class PairingRegistry
+{
+  public:
+    /** Tests whether pairing (sendPeer, recvPeer) fits at (rank, ch). */
+    bool
+    compatible(Rank rank, int channel, Rank send_peer,
+               Rank recv_peer) const
+    {
+        auto send_it = bySend_.find(Key{ rank, channel, send_peer });
+        if (send_it != bySend_.end() && send_it->second != recv_peer)
+            return false;
+        auto recv_it = byRecv_.find(Key{ rank, channel, recv_peer });
+        if (recv_it != byRecv_.end() && recv_it->second != send_peer)
+            return false;
+        return true;
+    }
+
+    void
+    insert(Rank rank, int channel, Rank send_peer, Rank recv_peer)
+    {
+        bySend_[Key{ rank, channel, send_peer }] = recv_peer;
+        byRecv_[Key{ rank, channel, recv_peer }] = send_peer;
+    }
+
+  private:
+    using Key = std::tuple<Rank, int, Rank>;
+    std::map<Key, Rank> bySend_;
+    std::map<Key, Rank> byRecv_;
+};
+
+/** All per-chain facts needed to pick its channel. */
+struct Chain
+{
+    std::vector<int> recvNodes; // member edges, by receiving node id
+    int directive = -1;
+    int splitIdx = 0;
+    int splitCount = 1;
+    std::set<int> opIds;
+    int minNode = 0;
+};
+
+/** Key of a thread block before ids are assigned. */
+struct TbKey
+{
+    int channel = 0;
+    Rank sendPeer = -1;
+    Rank recvPeer = -1;
+
+    bool
+    operator<(const TbKey &other) const
+    {
+        return std::tie(channel, sendPeer, recvPeer) <
+            std::tie(other.channel, other.sendPeer, other.recvPeer);
+    }
+};
+
+/** Channel assignment (paper §5.2, "Channel Assignment"). */
+void
+assignChannels(InstrGraph &graph)
+{
+    int n = graph.numNodes();
+    ChainFinder chains(n);
+    for (int id = 0; id < n; id++) {
+        const InstrNode &node = graph.node(id);
+        if (!node.live)
+            continue;
+        // A fused instruction links its incoming edge (keyed by this
+        // node) with its outgoing edge (keyed by its comm successor).
+        if (node.commPred >= 0 && node.commSucc >= 0)
+            chains.unite(id, node.commSucc);
+    }
+
+    std::map<int, Chain> by_root;
+    for (int id = 0; id < n; id++) {
+        const InstrNode &node = graph.node(id);
+        if (!node.live || node.commPred < 0)
+            continue; // not a receiving edge endpoint
+        Chain &chain = by_root[chains.find(id)];
+        if (chain.recvNodes.empty()) {
+            chain.splitIdx = node.splitIdx;
+            chain.splitCount = node.splitCount;
+            chain.minNode = id;
+        }
+        chain.recvNodes.push_back(id);
+        chain.minNode = std::min(chain.minNode, id);
+        if (node.splitIdx != chain.splitIdx ||
+            node.splitCount != chain.splitCount) {
+            throw CompileError(
+                "channel assignment: fused chain mixes parallelization "
+                "instances");
+        }
+        const InstrNode &sender = graph.node(node.commPred);
+        for (int directive : { node.chanDirective, sender.chanDirective }) {
+            if (directive < 0)
+                continue;
+            if (chain.directive >= 0 && chain.directive != directive) {
+                throw CompileError(strprintf(
+                    "conflicting channel directives %d and %d on one "
+                    "fused chain", chain.directive, directive));
+            }
+            chain.directive = directive;
+        }
+        chain.opIds.insert(node.opId);
+        chain.opIds.insert(sender.opId);
+    }
+
+    std::vector<Chain *> ordered;
+    for (auto &[root, chain] : by_root)
+        ordered.push_back(&chain);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const Chain *a, const Chain *b) {
+                  return a->minNode < b->minNode;
+              });
+
+    PairingRegistry pairings;
+    // Channels already used by some instance of an op: sibling
+    // instances of a parallelized op must not share a channel.
+    std::map<int, std::set<int>> op_channels;
+
+    auto conflicts = [&](const Chain &chain, int channel) {
+        for (int op_id : chain.opIds) {
+            auto it = op_channels.find(op_id);
+            if (it != op_channels.end() && it->second.count(channel))
+                return true;
+        }
+        for (int recv_id : chain.recvNodes) {
+            const InstrNode &node = graph.node(recv_id);
+            if (node.commSucc >= 0) {
+                // fused: forces pairing (sendPeer, recvPeer) at node
+                if (!pairings.compatible(node.rank, channel,
+                                         node.sendPeer, node.recvPeer)) {
+                    return true;
+                }
+            }
+        }
+        return false;
+    };
+
+    auto commit = [&](Chain &chain, int channel) {
+        for (int op_id : chain.opIds)
+            op_channels[op_id].insert(channel);
+        for (int recv_id : chain.recvNodes) {
+            InstrNode &node = graph.node(recv_id);
+            node.channel = channel;
+            graph.node(node.commPred).channel = channel;
+            if (node.commSucc >= 0) {
+                pairings.insert(node.rank, channel, node.sendPeer,
+                                node.recvPeer);
+            }
+        }
+    };
+
+    for (Chain *chain : ordered) {
+        if (chain->directive >= 0) {
+            int channel =
+                chain->directive * chain->splitCount + chain->splitIdx;
+            if (conflicts(*chain, channel)) {
+                throw CompileError(strprintf(
+                    "channel directive %d (instance %d/%d -> channel %d) "
+                    "conflicts with another fused chain",
+                    chain->directive, chain->splitIdx, chain->splitCount,
+                    channel));
+            }
+            commit(*chain, channel);
+            continue;
+        }
+        for (int base = 0;; base++) {
+            int channel = base * chain->splitCount + chain->splitIdx;
+            if (!conflicts(*chain, channel)) {
+                commit(*chain, channel);
+                break;
+            }
+            if (base > graph.numNodes()) {
+                throw CompileError(
+                    "channel assignment failed to converge");
+            }
+        }
+    }
+}
+
+struct TbState
+{
+    TbKey key;
+    int id = -1;
+    std::vector<int> steps;   // node ids in order
+    long lastAssigned = -1;   // global schedule sequence
+};
+
+/** Per-rank thread block construction (paper §5.2, step 2). */
+struct RankTbs
+{
+    std::vector<TbState> tbs;
+    /** Connection ownership: (channel, peer) -> tb index. */
+    std::map<std::pair<int, Rank>, int> sendOwner;
+    std::map<std::pair<int, Rank>, int> recvOwner;
+};
+
+std::vector<RankTbs>
+createThreadBlocks(InstrGraph &graph, const ScheduleOptions &options,
+                   bool merge_ib_pairs)
+{
+    const Topology *topo = options.topology;
+    // Should an unfused send to `peer` share a thread block with an
+    // unfused receive? Intra-node pairs always share (one NCCL
+    // channel serves both directions); IB pairs get their own blocks
+    // unless SM pressure forces sharing.
+    auto may_pair = [&](Rank rank, Rank peer) {
+        if (merge_ib_pairs || topo == nullptr || peer < 0)
+            return true;
+        return topo->nodeOf(rank) == topo->nodeOf(peer);
+    };
+    std::vector<RankTbs> ranks(graph.numRanks());
+
+    // Pass 1: fused instructions force (channel, sendPeer, recvPeer)
+    // tuples.
+    std::vector<std::set<std::tuple<int, Rank, Rank>>> fused_keys(
+        graph.numRanks());
+    for (const InstrNode &node : graph.nodes()) {
+        if (!node.live)
+            continue;
+        if (node.sends() && node.receives()) {
+            fused_keys[node.rank].insert(
+                { node.channel, node.sendPeer, node.recvPeer });
+        }
+    }
+    for (int r = 0; r < graph.numRanks(); r++) {
+        for (const auto &[channel, send_peer, recv_peer] : fused_keys[r]) {
+            TbState tb;
+            tb.key = TbKey{ channel, send_peer, recv_peer };
+            int idx = static_cast<int>(ranks[r].tbs.size());
+            auto send_key = std::make_pair(channel, send_peer);
+            auto recv_key = std::make_pair(channel, recv_peer);
+            if (ranks[r].sendOwner.count(send_key) ||
+                ranks[r].recvOwner.count(recv_key)) {
+                throw CompileError(strprintf(
+                    "rank %d channel %d: connection claimed by two "
+                    "thread blocks", r, channel));
+            }
+            ranks[r].sendOwner[send_key] = idx;
+            ranks[r].recvOwner[recv_key] = idx;
+            ranks[r].tbs.push_back(std::move(tb));
+        }
+    }
+
+    // Pass 2: unowned plain connections, paired send+recv per channel
+    // where possible to conserve thread blocks.
+    std::vector<std::map<int, std::vector<Rank>>> loose_sends(
+        graph.numRanks());
+    std::vector<std::map<int, std::vector<Rank>>> loose_recvs(
+        graph.numRanks());
+    for (const InstrNode &node : graph.nodes()) {
+        if (!node.live)
+            continue;
+        if (node.sends() &&
+            !ranks[node.rank].sendOwner.count(
+                { node.channel, node.sendPeer })) {
+            loose_sends[node.rank][node.channel].push_back(node.sendPeer);
+            ranks[node.rank].sendOwner[{ node.channel, node.sendPeer }] =
+                -1; // placeholder to dedupe
+        }
+        if (node.receives() &&
+            !ranks[node.rank].recvOwner.count(
+                { node.channel, node.recvPeer })) {
+            loose_recvs[node.rank][node.channel].push_back(node.recvPeer);
+            ranks[node.rank].recvOwner[{ node.channel, node.recvPeer }] =
+                -1;
+        }
+    }
+    for (int r = 0; r < graph.numRanks(); r++) {
+        for (auto &[channel, sends] : loose_sends[r]) {
+            std::sort(sends.begin(), sends.end());
+            auto recvs_it = loose_recvs[r].find(channel);
+            std::vector<Rank> recvs;
+            if (recvs_it != loose_recvs[r].end())
+                recvs = recvs_it->second;
+            std::sort(recvs.begin(), recvs.end());
+            // Prefer symmetric pairing: send to p with recv from p.
+            for (size_t i = 0; i < sends.size(); i++) {
+                Rank send_peer = sends[i];
+                Rank recv_peer = -1;
+                if (may_pair(r, send_peer)) {
+                    auto same = std::find(recvs.begin(), recvs.end(),
+                                          send_peer);
+                    if (same != recvs.end()) {
+                        recv_peer = *same;
+                        recvs.erase(same);
+                    } else {
+                        auto other = std::find_if(
+                            recvs.begin(), recvs.end(),
+                            [&](Rank q) { return may_pair(r, q); });
+                        if (other != recvs.end()) {
+                            recv_peer = *other;
+                            recvs.erase(other);
+                        }
+                    }
+                }
+                TbState tb;
+                tb.key = TbKey{ channel, send_peer, recv_peer };
+                int idx = static_cast<int>(ranks[r].tbs.size());
+                ranks[r].sendOwner[{ channel, send_peer }] = idx;
+                if (recv_peer >= 0)
+                    ranks[r].recvOwner[{ channel, recv_peer }] = idx;
+                ranks[r].tbs.push_back(std::move(tb));
+            }
+            if (recvs_it != loose_recvs[r].end())
+                recvs_it->second = recvs; // leftovers
+        }
+        auto recvs_map = loose_recvs[r];
+        for (auto &[channel, recvs] : recvs_map) {
+            for (Rank recv_peer : recvs) {
+                if (ranks[r].recvOwner[{ channel, recv_peer }] != -1)
+                    continue; // already paired above
+                TbState tb;
+                tb.key = TbKey{ channel, -1, recv_peer };
+                int idx = static_cast<int>(ranks[r].tbs.size());
+                ranks[r].recvOwner[{ channel, recv_peer }] = idx;
+                ranks[r].tbs.push_back(std::move(tb));
+            }
+        }
+        // A rank with only local work still needs one thread block.
+        bool has_local = false;
+        for (const InstrNode &node : graph.nodes()) {
+            if (node.live && node.rank == r && !node.sends() &&
+                !node.receives()) {
+                has_local = true;
+                break;
+            }
+        }
+        if (ranks[r].tbs.empty() && has_local) {
+            TbState tb;
+            tb.key = TbKey{ 0, -1, -1 };
+            ranks[r].tbs.push_back(std::move(tb));
+        }
+        // Deterministic ids: sort by (channel, sendPeer, recvPeer).
+        std::sort(ranks[r].tbs.begin(), ranks[r].tbs.end(),
+                  [](const TbState &a, const TbState &b) {
+                      return a.key < b.key;
+                  });
+        ranks[r].sendOwner.clear();
+        ranks[r].recvOwner.clear();
+        for (size_t i = 0; i < ranks[r].tbs.size(); i++) {
+            TbState &tb = ranks[r].tbs[i];
+            tb.id = static_cast<int>(i);
+            if (tb.key.sendPeer >= 0) {
+                ranks[r].sendOwner[{ tb.key.channel, tb.key.sendPeer }] =
+                    tb.id;
+            }
+            if (tb.key.recvPeer >= 0) {
+                ranks[r].recvOwner[{ tb.key.channel, tb.key.recvPeer }] =
+                    tb.id;
+            }
+        }
+    }
+    return ranks;
+}
+
+/**
+ * FIFO gate identity. Each connection (src, dst, channel) has two
+ * ordered gate lists — one for its send-side instructions and one for
+ * its receive-side instructions — distinguished by the role bit in
+ * the last tuple element.
+ */
+using ConnKey = std::tuple<Rank, Rank, int>;
+
+ConnKey
+sendGateOf(const InstrNode &node)
+{
+    return ConnKey{ node.rank, node.sendPeer, node.channel * 2 };
+}
+
+ConnKey
+recvGateOf(const InstrNode &node)
+{
+    return ConnKey{ node.recvPeer, node.rank, node.channel * 2 + 1 };
+}
+
+/**
+ * One heap-driven topological sweep over the live instruction graph
+ * in priority order: lower depth first (instructions enabled
+ * earlier), then higher rdepth (more downstream dependencies), then
+ * id for determinism (paper §5.2, steps 1 and 3). @p conn_order holds
+ * per-gate required orders; a node whose gate list exists must wait
+ * for its turn in that list.
+ */
+std::vector<int>
+topoSweep(InstrGraph &graph,
+          const std::map<ConnKey, std::vector<int>> &conn_order,
+          int slots = 0)
+{
+    std::vector<int> remaining(graph.numNodes(), 0);
+    for (const InstrNode &node : graph.nodes()) {
+        if (!node.live)
+            continue;
+        remaining[node.id] =
+            static_cast<int>(graph.livePreds(node.id).size());
+        if (node.commPred >= 0)
+            remaining[node.id]++;
+    }
+
+    auto worse = [&](int a, int b) {
+        const InstrNode &na = graph.node(a);
+        const InstrNode &nb = graph.node(b);
+        return std::tuple(na.depth, -na.rdepth, a) >
+            std::tuple(nb.depth, -nb.rdepth, b);
+    };
+    std::priority_queue<int, std::vector<int>, decltype(worse)> heap(
+        worse);
+    for (const InstrNode &node : graph.nodes()) {
+        if (node.live && remaining[node.id] == 0)
+            heap.push(node.id);
+    }
+
+    // Per-connection progress and nodes blocked on their FIFO turn.
+    std::map<ConnKey, size_t> conn_pos;
+    std::map<ConnKey, std::set<int>> conn_blocked;
+
+    // Slot accounting (paper §6.1: the compiler must not emit
+    // schedules with more than s outstanding sends). The emitted
+    // order acts as a witness execution: a send is gated until fewer
+    // than `slots` of its connection's sends are unreceived at this
+    // point of the order, so the runtime can always follow the
+    // schedule without wedging on FIFO backpressure.
+    using PlainConn = std::tuple<Rank, Rank, int>;
+    std::map<PlainConn, int> outstanding;
+    std::map<PlainConn, std::set<int>> slot_blocked;
+    auto plain_send_conn = [](const InstrNode &node) {
+        return PlainConn{ node.rank, node.sendPeer, node.channel };
+    };
+    auto plain_recv_conn = [](const InstrNode &node) {
+        return PlainConn{ node.recvPeer, node.rank, node.channel };
+    };
+
+    auto fifo_conns_of = [&](const InstrNode &node,
+                             std::vector<ConnKey> &out) {
+        out.clear();
+        if (conn_order.empty())
+            return;
+        if (node.sends())
+            out.push_back(sendGateOf(node));
+        if (node.receives())
+            out.push_back(recvGateOf(node));
+    };
+
+    std::vector<int> order;
+    std::vector<ConnKey> conns;
+    while (!heap.empty()) {
+        int id = heap.top();
+        heap.pop();
+        const InstrNode &node = graph.node(id);
+
+        // FIFO gate: the node must be next in line on each of its
+        // connections.
+        bool gated = false;
+        fifo_conns_of(node, conns);
+        for (const ConnKey &conn : conns) {
+            auto it = conn_order.find(conn);
+            if (it == conn_order.end())
+                continue;
+            size_t pos = conn_pos[conn];
+            if (pos < it->second.size() && it->second[pos] != id) {
+                conn_blocked[conn].insert(id);
+                gated = true;
+                break;
+            }
+        }
+        if (gated)
+            continue;
+
+        // Slot gate: sending with all FIFO slots full would wedge.
+        if (slots > 0 && node.sends()) {
+            PlainConn conn = plain_send_conn(node);
+            if (outstanding[conn] >= slots) {
+                slot_blocked[conn].insert(id);
+                continue;
+            }
+        }
+
+        if (slots > 0) {
+            if (node.sends())
+                outstanding[plain_send_conn(node)]++;
+            if (node.receives()) {
+                PlainConn conn = plain_recv_conn(node);
+                outstanding[conn]--;
+                std::set<int> &blocked = slot_blocked[conn];
+                if (!blocked.empty()) {
+                    // Wake the highest-priority blocked sender.
+                    for (int waiter : blocked)
+                        heap.push(waiter);
+                    blocked.clear();
+                }
+            }
+        }
+
+        order.push_back(id);
+        for (const ConnKey &conn : conns) {
+            if (!conn_order.count(conn))
+                continue;
+            size_t pos = ++conn_pos[conn];
+            const std::vector<int> &seq = conn_order.at(conn);
+            if (pos < seq.size()) {
+                std::set<int> &blocked = conn_blocked[conn];
+                auto next = blocked.find(seq[pos]);
+                if (next != blocked.end()) {
+                    heap.push(*next);
+                    blocked.erase(next);
+                }
+            }
+        }
+
+        for (int succ : graph.liveSuccs(id)) {
+            if (--remaining[succ] == 0)
+                heap.push(succ);
+        }
+        if (node.commSucc >= 0 && graph.node(node.commSucc).live) {
+            if (--remaining[node.commSucc] == 0)
+                heap.push(node.commSucc);
+        }
+    }
+
+    if (static_cast<int>(order.size()) != graph.numLive()) {
+        throw CompileError(strprintf(
+            "scheduler: only %zu of %d instructions could be ordered; "
+            "the program needs explicit channel directives to avoid a "
+            "FIFO ordering conflict", order.size(), graph.numLive()));
+    }
+    return order;
+}
+
+/** Greedy priority topological assignment (paper §5.2, steps 1-4). */
+void
+assignInstructions(InstrGraph &graph, std::vector<RankTbs> &ranks,
+                   int slots)
+{
+    graph.computeDepths();
+
+    // Pass 1: unconstrained priority order; it fixes, for every
+    // connection, the order in which sends (and therefore their
+    // matched FIFO receives, paper §6.1) will happen.
+    std::vector<int> ideal =
+        topoSweep(graph, std::map<ConnKey, std::vector<int>>{});
+
+    std::map<ConnKey, std::vector<int>> gates;
+    for (int id : ideal) {
+        const InstrNode &node = graph.node(id);
+        if (node.sends()) {
+            gates[sendGateOf(node)].push_back(id);
+            const InstrNode &recv = graph.node(node.commSucc);
+            gates[recvGateOf(recv)].push_back(recv.id);
+        }
+    }
+
+    // Pass 2: the same priority sweep, now honoring FIFO turns on
+    // both ends of every connection so the k-th receive always pairs
+    // with the k-th send.
+    std::vector<int> order = topoSweep(graph, gates, slots);
+
+    long sequence = 0;
+    auto tb_of_comm = [&](const InstrNode &node) -> TbState & {
+        RankTbs &rank = ranks[node.rank];
+        if (node.sends()) {
+            auto it = rank.sendOwner.find({ node.channel, node.sendPeer });
+            if (it == rank.sendOwner.end())
+                throw CompileError("scheduler: unowned send connection");
+            return rank.tbs[it->second];
+        }
+        auto it = rank.recvOwner.find({ node.channel, node.recvPeer });
+        if (it == rank.recvOwner.end())
+            throw CompileError("scheduler: unowned recv connection");
+        return rank.tbs[it->second];
+    };
+
+    for (int id : order) {
+        InstrNode &node = graph.node(id);
+        TbState *tb = nullptr;
+        if (node.sends() || node.receives()) {
+            tb = &tb_of_comm(node);
+        } else {
+            // Local instruction: any thread block on the rank; pick
+            // the one whose latest assigned instruction is earliest
+            // (paper §5.2, step 4).
+            RankTbs &rank = ranks[node.rank];
+            for (TbState &cand : rank.tbs) {
+                if (tb == nullptr || cand.lastAssigned < tb->lastAssigned)
+                    tb = &cand;
+            }
+            if (tb == nullptr)
+                throw CompileError("scheduler: rank has no thread block");
+        }
+        node.tb = tb->id;
+        node.step = static_cast<int>(tb->steps.size());
+        tb->steps.push_back(id);
+        tb->lastAssigned = sequence++;
+    }
+}
+
+/** Cross thread block dependency insertion (paper §5.2). */
+void
+insertCrossTbDeps(InstrGraph &graph,
+                  std::vector<std::vector<IrDep>> &deps_out,
+                  std::vector<bool> &has_dep_out)
+{
+    deps_out.assign(graph.numNodes(), {});
+    has_dep_out.assign(graph.numNodes(), false);
+    for (const InstrEdge &edge : graph.edges()) {
+        const InstrNode &from = graph.node(edge.from);
+        const InstrNode &to = graph.node(edge.to);
+        if (!from.live || !to.live || edge.from == edge.to)
+            continue;
+        if (from.rank != to.rank || from.tb == to.tb)
+            continue; // same-block order is implicit
+        // Keep only the latest step per predecessor thread block.
+        bool merged = false;
+        for (IrDep &dep : deps_out[edge.to]) {
+            if (dep.tb == from.tb) {
+                dep.step = std::max(dep.step, from.step);
+                merged = true;
+                break;
+            }
+        }
+        if (!merged)
+            deps_out[edge.to].push_back(IrDep{ from.tb, from.step });
+        has_dep_out[edge.from] = true;
+    }
+}
+
+} // namespace
+
+IrProgram
+scheduleProgram(const Program &program, InstrGraph &graph,
+                const ScheduleOptions &options)
+{
+    assignChannels(graph);
+    auto over_limit = [&](const std::vector<RankTbs> &ranks) {
+        for (const RankTbs &rank : ranks) {
+            if (static_cast<int>(rank.tbs.size()) >
+                options.maxThreadBlocks) {
+                return true;
+            }
+        }
+        return false;
+    };
+    std::vector<RankTbs> ranks =
+        createThreadBlocks(graph, options, /*merge_ib_pairs=*/false);
+    if (over_limit(ranks)) {
+        // SM pressure: share thread blocks between IB send and
+        // receive connections, like NCCL folding P2P work onto a
+        // limited channel count.
+        ranks = createThreadBlocks(graph, options,
+                                   /*merge_ib_pairs=*/true);
+    }
+    for (int r = 0; r < graph.numRanks(); r++) {
+        if (static_cast<int>(ranks[r].tbs.size()) >
+            options.maxThreadBlocks) {
+            throw CompileError(strprintf(
+                "rank %d needs %zu thread blocks, exceeding the "
+                "cooperative launch limit of %d", r, ranks[r].tbs.size(),
+                options.maxThreadBlocks));
+        }
+    }
+    assignInstructions(graph, ranks, std::max(1, options.slots));
+
+    std::vector<std::vector<IrDep>> deps;
+    std::vector<bool> has_dep;
+    insertCrossTbDeps(graph, deps, has_dep);
+
+    const Collective &coll = program.collective();
+    IrProgram ir;
+    ir.name = program.options().name;
+    ir.collective = coll.name();
+    ir.numRanks = program.numRanks();
+    ir.inPlace = coll.inPlace();
+    ir.protocol = program.options().protocol;
+    ir.reduceOp = program.options().reduceOp;
+    ir.outputScale = coll.outputScale();
+    ir.gpus.resize(program.numRanks());
+
+    for (int r = 0; r < program.numRanks(); r++) {
+        IrGpu &gpu = ir.gpus[r];
+        gpu.rank = r;
+        gpu.inputChunks = coll.inputChunkCount(r);
+        gpu.outputChunks = coll.outputChunkCount(r);
+        gpu.scratchChunks = program.scratchChunkCount(r);
+        for (const TbState &tb : ranks[r].tbs) {
+            IrThreadBlock out;
+            out.id = tb.id;
+            out.sendPeer = tb.key.sendPeer;
+            out.recvPeer = tb.key.recvPeer;
+            out.channel = tb.key.channel;
+            for (int node_id : tb.steps) {
+                const InstrNode &node = graph.node(node_id);
+                IrInstruction instr;
+                instr.op = node.op;
+                const BufferSlice &src =
+                    irOpReadsSrc(node.op) ? node.src : node.dst;
+                const BufferSlice &dst =
+                    irOpWritesDst(node.op) ? node.dst : src;
+                instr.srcBuf = src.buffer;
+                instr.srcOff = src.index;
+                instr.dstBuf = dst.buffer;
+                instr.dstOff = dst.index;
+                instr.count = irOpReadsSrc(node.op) ? src.count
+                                                    : dst.count;
+                instr.splitIdx = node.splitIdx;
+                instr.splitCount = node.splitCount;
+                instr.deps = deps[node_id];
+                std::sort(instr.deps.begin(), instr.deps.end(),
+                          [](const IrDep &a, const IrDep &b) {
+                              return std::tie(a.tb, a.step) <
+                                  std::tie(b.tb, b.step);
+                          });
+                instr.hasDep = has_dep[node_id];
+                out.steps.push_back(std::move(instr));
+            }
+            gpu.threadBlocks.push_back(std::move(out));
+        }
+    }
+    return ir;
+}
+
+} // namespace mscclang

@@ -1,0 +1,671 @@
+#include "compiler/verifier.h"
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <tuple>
+#include <vector>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "compiler/frac.h"
+
+namespace mscclang {
+
+namespace {
+
+/**
+ * A buffer location holding symbolic values per byte-fraction
+ * segment. Parallelized instances write disjoint fractions that later
+ * whole-chunk reads see as one value once every instance has landed.
+ */
+class FractionalCell
+{
+  public:
+    /** Writes @p value over @p range, splitting existing segments. */
+    void
+    write(const FracInterval &range, const ChunkValue &value)
+    {
+        std::vector<Segment> next;
+        for (const Segment &seg : segments_) {
+            if (!seg.range.overlaps(range)) {
+                next.push_back(seg);
+                continue;
+            }
+            if (seg.range.lo < range.lo) {
+                next.push_back(
+                    Segment{ { seg.range.lo, range.lo }, seg.value });
+            }
+            if (range.hi < seg.range.hi) {
+                next.push_back(
+                    Segment{ { range.hi, seg.range.hi }, seg.value });
+            }
+        }
+        next.push_back(Segment{ range, value });
+        std::sort(next.begin(), next.end(),
+                  [](const Segment &a, const Segment &b) {
+                      return a.range.lo < b.range.lo;
+                  });
+        segments_ = std::move(next);
+    }
+
+    /**
+     * Reads @p range; every byte must be initialized and hold the
+     * same value. Returns nullopt with @p why set otherwise.
+     */
+    std::optional<ChunkValue>
+    read(const FracInterval &range, std::string &why) const
+    {
+        std::optional<ChunkValue> value;
+        Frac cursor = range.lo;
+        for (const Segment &seg : segments_) {
+            if (!seg.range.overlaps(range))
+                continue;
+            if (cursor < seg.range.lo) {
+                why = "uninitialized bytes at fraction " +
+                    cursor.toString();
+                return std::nullopt;
+            }
+            if (value.has_value() && !(*value == seg.value)) {
+                why = "torn read: fractions hold different values (" +
+                    value->toString() + " vs " + seg.value.toString() +
+                    ")";
+                return std::nullopt;
+            }
+            value = seg.value;
+            if (cursor < seg.range.hi)
+                cursor = seg.range.hi;
+        }
+        if (cursor < range.hi) {
+            why = "uninitialized bytes at fraction " + cursor.toString();
+            return std::nullopt;
+        }
+        if (!value.has_value())
+            why = "empty read range";
+        return value;
+    }
+
+    /** Whole-location read convenience. */
+    std::optional<ChunkValue>
+    readAll(std::string &why) const
+    {
+        return read(FracInterval{ Frac::of(0, 1), Frac::of(1, 1) }, why);
+    }
+
+  private:
+    struct Segment
+    {
+        FracInterval range;
+        ChunkValue value;
+    };
+
+    std::vector<Segment> segments_;
+};
+
+/** One fraction of one chunk in flight on a connection. */
+struct MessagePart
+{
+    int chunkRel = 0;
+    FracInterval range;
+    ChunkValue value;
+};
+
+using Message = std::vector<MessagePart>;
+
+using ConnKey = std::tuple<int, int, int>; // src, dst, channel
+
+/** Abstract machine state for one verification run. */
+class AbstractMachine
+{
+  public:
+    AbstractMachine(const IrProgram &ir, const Collective &collective,
+                    const VerifyOptions &options)
+        : ir_(ir), collective_(collective), options_(options)
+    {
+        buffers_.resize(ir.numRanks);
+        cursors_.resize(ir.numRanks);
+        for (const IrGpu &gpu : ir.gpus) {
+            if (gpu.rank < 0 || gpu.rank >= ir.numRanks)
+                throw VerificationError("IR names an out-of-range rank");
+            RankBuffers &bufs = buffers_[gpu.rank];
+            bufs.input.resize(gpu.inputChunks);
+            if (!ir.inPlace)
+                bufs.output.resize(gpu.outputChunks);
+            bufs.scratch.resize(gpu.scratchChunks);
+            for (int i = 0; i < gpu.inputChunks; i++) {
+                bufs.input[i].write(
+                    FracInterval{ Frac::of(0, 1), Frac::of(1, 1) },
+                    ChunkValue::input(gpu.rank, i));
+            }
+            cursors_[gpu.rank].assign(gpu.threadBlocks.size(), 0);
+        }
+    }
+
+    /** Runs to completion; throws on deadlock or semantic error. */
+    void
+    run()
+    {
+        bool progress = true;
+        while (progress) {
+            progress = false;
+            for (const IrGpu &gpu : ir_.gpus) {
+                for (const IrThreadBlock &tb : gpu.threadBlocks) {
+                    while (tryStep(gpu, tb))
+                        progress = true;
+                }
+            }
+        }
+        std::string blocked = blockedReport();
+        if (!blocked.empty()) {
+            std::string conns;
+            for (const auto &[key, queue] : connections_) {
+                if (!queue.empty()) {
+                    conns += strprintf(
+                        "  conn %d -> %d ch %d: %zu undelivered\n",
+                        std::get<0>(key), std::get<1>(key),
+                        std::get<2>(key), queue.size());
+                }
+            }
+            throw VerificationError("deadlock detected:\n" + blocked +
+                                    conns);
+        }
+        if (options_.checkPostcondition)
+            checkPostcondition();
+    }
+
+  private:
+    struct RankBuffers
+    {
+        std::vector<FractionalCell> input;
+        std::vector<FractionalCell> output;
+        std::vector<FractionalCell> scratch;
+    };
+
+    std::vector<FractionalCell> &
+    bufferOf(int rank, BufferKind kind)
+    {
+        RankBuffers &bufs = buffers_[rank];
+        BufferKind canonical = kind;
+        if (ir_.inPlace && kind == BufferKind::Output)
+            canonical = BufferKind::Input;
+        switch (canonical) {
+          case BufferKind::Input: return bufs.input;
+          case BufferKind::Output: return bufs.output;
+          case BufferKind::Scratch: return bufs.scratch;
+        }
+        throw VerificationError("bad buffer kind");
+    }
+
+    /** Per-chunk fraction parts of an instruction operand. */
+    std::vector<std::pair<int, FracInterval>>
+    partsOf(const IrInstruction &instr) const
+    {
+        std::vector<std::pair<int, FracInterval>> parts;
+        FracInterval range =
+            splitFraction(instr.splitIdx, instr.splitCount);
+        for (int k = 0; k < instr.count; k++)
+            parts.emplace_back(k, range);
+        return parts;
+    }
+
+    ChunkValue
+    readPart(int rank, BufferKind buf, int index,
+             const FracInterval &range, const char *what)
+    {
+        std::vector<FractionalCell> &cells = bufferOf(rank, buf);
+        if (index < 0 || static_cast<size_t>(index) >= cells.size()) {
+            throw VerificationError(strprintf(
+                "%s: rank %d %s[%d] out of bounds (%zu chunks)", what,
+                rank, bufferKindName(buf), index, cells.size()));
+        }
+        std::string why;
+        auto value = cells[index].read(range, why);
+        if (!value.has_value()) {
+            throw VerificationError(strprintf(
+                "%s: rank %d %s[%d]: %s", what, rank,
+                bufferKindName(buf), index, why.c_str()));
+        }
+        return *value;
+    }
+
+    void
+    writePart(int rank, BufferKind buf, int index,
+              const FracInterval &range, const ChunkValue &value,
+              const char *what)
+    {
+        std::vector<FractionalCell> &cells = bufferOf(rank, buf);
+        if (index < 0 || static_cast<size_t>(index) >= cells.size()) {
+            throw VerificationError(strprintf(
+                "%s: rank %d %s[%d] out of bounds (%zu chunks)", what,
+                rank, bufferKindName(buf), index, cells.size()));
+        }
+        cells[index].write(range, value);
+    }
+
+    bool
+    depsSatisfied(const IrGpu &gpu, const IrInstruction &instr) const
+    {
+        for (const IrDep &dep : instr.deps) {
+            if (dep.tb < 0 ||
+                static_cast<size_t>(dep.tb) >=
+                    cursors_[gpu.rank].size()) {
+                throw VerificationError(strprintf(
+                    "rank %d: dependency names unknown thread block %d",
+                    gpu.rank, dep.tb));
+            }
+            if (cursors_[gpu.rank][dep.tb] <= dep.step)
+                return false;
+        }
+        return true;
+    }
+
+    /** Attempts the thread block's next instruction. */
+    bool
+    tryStep(const IrGpu &gpu, const IrThreadBlock &tb)
+    {
+        size_t tb_idx = static_cast<size_t>(tb.id);
+        int &cursor = cursors_[gpu.rank][tb_idx];
+        if (cursor >= static_cast<int>(tb.steps.size()))
+            return false;
+        const IrInstruction &instr = tb.steps[cursor];
+        if (!depsSatisfied(gpu, instr))
+            return false;
+
+        bool receives = irOpReceives(instr.op);
+        bool sends = irOpSends(instr.op);
+
+        if (receives && tb.recvPeer < 0)
+            throw VerificationError(strprintf(
+                "rank %d tb %d: %s without a receive peer", gpu.rank,
+                tb.id, irOpName(instr.op)));
+        if (sends && tb.sendPeer < 0)
+            throw VerificationError(strprintf(
+                "rank %d tb %d: %s without a send peer", gpu.rank,
+                tb.id, irOpName(instr.op)));
+
+        ConnKey in_conn{ tb.recvPeer, gpu.rank, tb.channel };
+        ConnKey out_conn{ gpu.rank, tb.sendPeer, tb.channel };
+
+        if (receives &&
+            (!connections_.count(in_conn) ||
+             connections_[in_conn].empty())) {
+            return false; // waiting for data
+        }
+        if (sends &&
+            static_cast<int>(connections_[out_conn].size()) >=
+                options_.slots) {
+            return false; // waiting for a FIFO slot
+        }
+
+        // The instruction can execute; compute its effect.
+        auto parts = partsOf(instr);
+
+        Message incoming;
+        if (receives) {
+            incoming = connections_[in_conn].front();
+            connections_[in_conn].pop_front();
+            // Shape check: FIFO pairing must deliver exactly the
+            // fractions this receive expects.
+            if (incoming.size() != parts.size()) {
+                throw VerificationError(strprintf(
+                    "rank %d tb %d step %d: FIFO mismatch (message has "
+                    "%zu parts, receive expects %zu)", gpu.rank, tb.id,
+                    cursor, incoming.size(), parts.size()));
+            }
+            for (size_t i = 0; i < parts.size(); i++) {
+                if (incoming[i].chunkRel != parts[i].first ||
+                    !(incoming[i].range == parts[i].second)) {
+                    throw VerificationError(strprintf(
+                        "rank %d tb %d step %d: FIFO mismatch (part %zu "
+                        "shape differs from the matched send)",
+                        gpu.rank, tb.id, cursor, i));
+                }
+            }
+        }
+
+        Message outgoing;
+        switch (instr.op) {
+          case IrOp::Nop:
+            break;
+          case IrOp::Send:
+            for (auto &[rel, range] : parts) {
+                ChunkValue value = readPart(
+                    gpu.rank, instr.srcBuf, instr.srcOff + rel, range,
+                    "send");
+                outgoing.push_back(MessagePart{ rel, range, value });
+            }
+            break;
+          case IrOp::Recv:
+            for (size_t i = 0; i < parts.size(); i++) {
+                writePart(gpu.rank, instr.dstBuf,
+                          instr.dstOff + parts[i].first,
+                          parts[i].second, incoming[i].value, "recv");
+            }
+            break;
+          case IrOp::Copy:
+            for (auto &[rel, range] : parts) {
+                ChunkValue value = readPart(
+                    gpu.rank, instr.srcBuf, instr.srcOff + rel, range,
+                    "copy");
+                writePart(gpu.rank, instr.dstBuf, instr.dstOff + rel,
+                          range, value, "copy");
+            }
+            break;
+          case IrOp::Reduce:
+            for (auto &[rel, range] : parts) {
+                ChunkValue a = readPart(gpu.rank, instr.srcBuf,
+                                        instr.srcOff + rel, range,
+                                        "reduce");
+                ChunkValue b = readPart(gpu.rank, instr.dstBuf,
+                                        instr.dstOff + rel, range,
+                                        "reduce");
+                writePart(gpu.rank, instr.dstBuf, instr.dstOff + rel,
+                          range, ChunkValue::reduce(a, b), "reduce");
+            }
+            break;
+          case IrOp::RecvReduceCopy:
+          case IrOp::RecvReduceSend:
+          case IrOp::RecvReduceCopySend:
+            for (size_t i = 0; i < parts.size(); i++) {
+                auto &[rel, range] = parts[i];
+                ChunkValue local = readPart(
+                    gpu.rank, instr.srcBuf, instr.srcOff + rel, range,
+                    irOpName(instr.op));
+                ChunkValue combined =
+                    ChunkValue::reduce(local, incoming[i].value);
+                if (irOpWritesDst(instr.op)) {
+                    writePart(gpu.rank, instr.dstBuf,
+                              instr.dstOff + rel, range, combined,
+                              irOpName(instr.op));
+                }
+                if (sends) {
+                    outgoing.push_back(
+                        MessagePart{ rel, range, combined });
+                }
+            }
+            break;
+          case IrOp::RecvCopySend:
+            for (size_t i = 0; i < parts.size(); i++) {
+                auto &[rel, range] = parts[i];
+                writePart(gpu.rank, instr.dstBuf, instr.dstOff + rel,
+                          range, incoming[i].value, "rcs");
+                outgoing.push_back(
+                    MessagePart{ rel, range, incoming[i].value });
+            }
+            break;
+        }
+
+        if (sends)
+            connections_[out_conn].push_back(std::move(outgoing));
+
+        cursor++;
+        return true;
+    }
+
+    std::string
+    blockedReport() const
+    {
+        std::string report;
+        for (const IrGpu &gpu : ir_.gpus) {
+            for (const IrThreadBlock &tb : gpu.threadBlocks) {
+                int cursor = cursors_[gpu.rank][tb.id];
+                if (cursor >= static_cast<int>(tb.steps.size()))
+                    continue;
+                const IrInstruction &instr = tb.steps[cursor];
+                std::string reason = "dependency";
+                if (irOpReceives(instr.op)) {
+                    ConnKey in{ tb.recvPeer, gpu.rank, tb.channel };
+                    auto it = connections_.find(in);
+                    size_t inbox =
+                        it == connections_.end() ? 0 : it->second.size();
+                    reason = strprintf("data from %d (inbox=%zu) or "
+                                       "dependency", tb.recvPeer, inbox);
+                } else if (irOpSends(instr.op)) {
+                    ConnKey out{ gpu.rank, tb.sendPeer, tb.channel };
+                    auto it = connections_.find(out);
+                    size_t queued =
+                        it == connections_.end() ? 0 : it->second.size();
+                    reason = strprintf("FIFO slot to %d (queued=%zu) or "
+                                       "dependency", tb.sendPeer, queued);
+                }
+                report += strprintf(
+                    "  rank %d tb %d blocked at step %d (%s) waiting "
+                    "for %s\n", gpu.rank, tb.id, cursor,
+                    instr.toString().c_str(), reason.c_str());
+            }
+        }
+        return report;
+    }
+
+    void
+    checkPostcondition()
+    {
+        for (const IrGpu &gpu : ir_.gpus) {
+            for (int i = 0; i < gpu.outputChunks; i++) {
+                auto expected =
+                    collective_.expectedOutput(gpu.rank, i);
+                if (!expected.has_value())
+                    continue;
+                std::vector<FractionalCell> &cells =
+                    bufferOf(gpu.rank, BufferKind::Output);
+                if (static_cast<size_t>(i) >= cells.size()) {
+                    throw VerificationError(strprintf(
+                        "rank %d: output chunk %d missing", gpu.rank,
+                        i));
+                }
+                std::string why;
+                auto actual = cells[i].readAll(why);
+                if (!actual.has_value()) {
+                    throw VerificationError(strprintf(
+                        "postcondition: rank %d output[%d]: %s",
+                        gpu.rank, i, why.c_str()));
+                }
+                if (!(*actual == *expected)) {
+                    throw VerificationError(strprintf(
+                        "postcondition violated at rank %d output[%d]: "
+                        "expected %s, got %s", gpu.rank, i,
+                        expected->toString().c_str(),
+                        actual->toString().c_str()));
+                }
+            }
+        }
+    }
+
+    const IrProgram &ir_;
+    const Collective &collective_;
+    VerifyOptions options_;
+    std::vector<RankBuffers> buffers_;
+    std::vector<std::vector<int>> cursors_;
+    std::map<ConnKey, std::deque<Message>> connections_;
+};
+
+} // namespace
+
+void
+verifyIr(const IrProgram &ir, const Collective &collective,
+         const VerifyOptions &options)
+{
+    if (options.slots < 1)
+        throw VerificationError("verifier: slots must be >= 1");
+    AbstractMachine machine(ir, collective, options);
+    machine.run();
+}
+
+namespace {
+
+/** Flat instruction identity for the happens-before analysis. */
+struct HbNode
+{
+    Rank rank;
+    int tb;
+    int step;
+    const IrInstruction *instr;
+    const IrThreadBlock *block;
+};
+
+} // namespace
+
+void
+verifyRaceFree(const IrProgram &ir)
+{
+    // Collect every instruction with a stable global index.
+    std::vector<HbNode> nodes;
+    std::map<std::tuple<Rank, int, int>, int> index;
+    for (const IrGpu &gpu : ir.gpus) {
+        for (const IrThreadBlock &tb : gpu.threadBlocks) {
+            for (size_t s = 0; s < tb.steps.size(); s++) {
+                index[{ gpu.rank, tb.id, static_cast<int>(s) }] =
+                    static_cast<int>(nodes.size());
+                nodes.push_back(HbNode{ gpu.rank, tb.id,
+                                        static_cast<int>(s),
+                                        &tb.steps[s], &tb });
+            }
+        }
+    }
+    int n = static_cast<int>(nodes.size());
+
+    // Happens-before edges.
+    std::vector<std::vector<int>> succs(n);
+    std::vector<int> indeg(n, 0);
+    auto add_edge = [&](int from, int to) {
+        succs[from].push_back(to);
+        indeg[to]++;
+    };
+    // (a) thread block program order
+    for (int i = 0; i < n; i++) {
+        if (nodes[i].step + 1 < static_cast<int>(
+                nodes[i].block->steps.size())) {
+            add_edge(i, index.at({ nodes[i].rank, nodes[i].tb,
+                                   nodes[i].step + 1 }));
+        }
+    }
+    // (b) cross thread block dependencies
+    for (int i = 0; i < n; i++) {
+        for (const IrDep &dep : nodes[i].instr->deps) {
+            auto it = index.find({ nodes[i].rank, dep.tb, dep.step });
+            if (it == index.end())
+                throw VerificationError(
+                    "race check: dependency on unknown instruction");
+            add_edge(it->second, i);
+        }
+    }
+    // (c) communication edges: the k-th send on a connection
+    //     happens-before the k-th receive (FIFO pairing).
+    std::map<std::tuple<Rank, Rank, int>, std::vector<int>> conn_sends;
+    std::map<std::tuple<Rank, Rank, int>, std::vector<int>> conn_recvs;
+    for (int i = 0; i < n; i++) {
+        if (irOpSends(nodes[i].instr->op)) {
+            conn_sends[{ nodes[i].rank, nodes[i].block->sendPeer,
+                         nodes[i].block->channel }].push_back(i);
+        }
+        if (irOpReceives(nodes[i].instr->op)) {
+            conn_recvs[{ nodes[i].block->recvPeer, nodes[i].rank,
+                         nodes[i].block->channel }].push_back(i);
+        }
+    }
+    for (const auto &[conn, sends] : conn_sends) {
+        auto it = conn_recvs.find(conn);
+        size_t matched =
+            it == conn_recvs.end() ? 0 : it->second.size();
+        for (size_t k = 0; k < sends.size() && k < matched; k++)
+            add_edge(sends[k], it->second[k]);
+    }
+
+    // Ancestor reachability via bitsets in topological order.
+    size_t words = (static_cast<size_t>(n) + 63) / 64;
+    std::vector<std::uint64_t> ancestors(
+        static_cast<size_t>(n) * words, 0);
+    std::vector<int> order;
+    {
+        std::vector<int> degree = indeg;
+        std::vector<int> ready;
+        for (int i = 0; i < n; i++) {
+            if (degree[i] == 0)
+                ready.push_back(i);
+        }
+        while (!ready.empty()) {
+            int v = ready.back();
+            ready.pop_back();
+            order.push_back(v);
+            for (int s : succs[v]) {
+                if (--degree[s] == 0)
+                    ready.push_back(s);
+            }
+        }
+        if (static_cast<int>(order.size()) != n)
+            throw VerificationError(
+                "race check: happens-before relation has a cycle");
+    }
+    for (int v : order) {
+        for (int s : succs[v]) {
+            std::uint64_t *dst = &ancestors[s * words];
+            const std::uint64_t *src = &ancestors[v * words];
+            for (size_t w = 0; w < words; w++)
+                dst[w] |= src[w];
+            dst[static_cast<size_t>(v) / 64] |= 1ULL
+                << (static_cast<size_t>(v) % 64);
+        }
+    }
+    auto ordered = [&](int a, int b) {
+        return (ancestors[b * words + a / 64] >> (a % 64) & 1) != 0 ||
+            (ancestors[a * words + b / 64] >> (b % 64) & 1) != 0;
+    };
+
+    // Conflicts: same (rank, buffer, chunk), overlapping fractions,
+    // at least one write.
+    struct Access
+    {
+        int node;
+        bool isWrite;
+        FracInterval range;
+    };
+    std::map<std::tuple<Rank, BufferKind, int>, std::vector<Access>>
+        accesses;
+    auto record = [&](int node, BufferKind buf, int off, bool write) {
+        const IrInstruction &instr = *nodes[node].instr;
+        FracInterval range =
+            splitFraction(instr.splitIdx, instr.splitCount);
+        BufferKind canonical = buf;
+        if (ir.inPlace && buf == BufferKind::Output)
+            canonical = BufferKind::Input;
+        for (int k = 0; k < instr.count; k++) {
+            accesses[{ nodes[node].rank, canonical, off + k }]
+                .push_back(Access{ node, write, range });
+        }
+    };
+    for (int i = 0; i < n; i++) {
+        const IrInstruction &instr = *nodes[i].instr;
+        if (irOpReadsSrc(instr.op))
+            record(i, instr.srcBuf, instr.srcOff, false);
+        if (instr.op == IrOp::Reduce ||
+            instr.op == IrOp::RecvReduceCopy) {
+            record(i, instr.dstBuf, instr.dstOff, false);
+        }
+        if (irOpWritesDst(instr.op))
+            record(i, instr.dstBuf, instr.dstOff, true);
+    }
+    for (const auto &[loc, list] : accesses) {
+        for (size_t a = 0; a < list.size(); a++) {
+            for (size_t b = a + 1; b < list.size(); b++) {
+                if (list[a].node == list[b].node)
+                    continue;
+                if (!list[a].isWrite && !list[b].isWrite)
+                    continue;
+                if (!list[a].range.overlaps(list[b].range))
+                    continue;
+                if (!ordered(list[a].node, list[b].node)) {
+                    const HbNode &na = nodes[list[a].node];
+                    const HbNode &nb = nodes[list[b].node];
+                    throw VerificationError(strprintf(
+                        "data race: rank %d tb %d step %d and tb %d "
+                        "step %d access %s[%d] unordered",
+                        na.rank, na.tb, na.step, nb.tb, nb.step,
+                        bufferKindName(std::get<1>(loc)),
+                        std::get<2>(loc)));
+                }
+            }
+        }
+    }
+}
+
+} // namespace mscclang

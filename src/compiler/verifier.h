@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Static verification of MSCCL-IR (paper §1: "MSCCLang can
+ * automatically check whether an implementation properly implements a
+ * collective before running on hardware", and §5.2's deadlock/data
+ * race guarantees).
+ *
+ * The verifier abstractly interprets the IR: buffer locations hold
+ * symbolic chunk values (at sub-chunk fraction precision so
+ * parallelized instances compose), connections are FIFO queues with a
+ * bounded slot count, cross thread block dependencies are honored,
+ * and thread blocks execute their instruction lists in order. The
+ * interpretation either reaches completion — at which point the
+ * output buffers are compared against the collective postcondition —
+ * or wedges, which is reported as a deadlock with the set of blocked
+ * thread blocks.
+ */
+
+#ifndef MSCCLANG_COMPILER_VERIFIER_H_
+#define MSCCLANG_COMPILER_VERIFIER_H_
+
+#include <memory>
+#include <string>
+
+#include "dsl/collective.h"
+#include "ir/ir.h"
+
+namespace mscclang {
+
+/** Verification knobs. */
+struct VerifyOptions
+{
+    /** FIFO slots per connection assumed for deadlock detection. */
+    int slots = 8;
+    /**
+     * When false, the postcondition check is skipped and only
+     * progress/consistency properties are verified (useful for
+     * hand-built IR without a collective definition).
+     */
+    bool checkPostcondition = true;
+};
+
+/**
+ * Verifies @p ir against @p collective.
+ * @throws VerificationError describing the first violated property.
+ */
+void verifyIr(const IrProgram &ir, const Collective &collective,
+              const VerifyOptions &options = {});
+
+/**
+ * Structural data-race check (paper §5.2: processing edges between
+ * thread blocks must be preserved as explicit dependencies): builds
+ * the happens-before relation from thread block program order, cross
+ * thread block dependencies, and FIFO-matched communication edges,
+ * then demands every pair of conflicting accesses (same location,
+ * overlapping byte fractions, at least one write) be ordered.
+ * Quadratic in IR size; intended for tests and one-off validation of
+ * hand-written IR rather than the hot compile path.
+ * @throws VerificationError naming the first unordered conflict.
+ */
+void verifyRaceFree(const IrProgram &ir);
+
+} // namespace mscclang
+
+#endif // MSCCLANG_COMPILER_VERIFIER_H_

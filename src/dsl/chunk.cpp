@@ -1,0 +1,70 @@
+#include "dsl/chunk.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace mscclang {
+
+ChunkValue
+ChunkValue::input(Rank rank, int index)
+{
+    ChunkValue value;
+    value.initialized_ = true;
+    value.parts_ = { InputChunkId{ rank, index } };
+    return value;
+}
+
+ChunkValue
+ChunkValue::reductionOf(std::vector<InputChunkId> parts)
+{
+    if (parts.empty())
+        throw Error("ChunkValue: reduction of an empty multiset");
+    ChunkValue value;
+    value.initialized_ = true;
+    value.parts_ = std::move(parts);
+    std::sort(value.parts_.begin(), value.parts_.end());
+    return value;
+}
+
+ChunkValue
+ChunkValue::reduce(const ChunkValue &a, const ChunkValue &b)
+{
+    if (!a.initialized() || !b.initialized())
+        throw Error("ChunkValue: reduce of an uninitialized chunk");
+    std::vector<InputChunkId> merged;
+    merged.reserve(a.parts_.size() + b.parts_.size());
+    std::merge(a.parts_.begin(), a.parts_.end(),
+               b.parts_.begin(), b.parts_.end(),
+               std::back_inserter(merged));
+    ChunkValue value;
+    value.initialized_ = true;
+    value.parts_ = std::move(merged);
+    return value;
+}
+
+std::string
+ChunkValue::toString() const
+{
+    if (!initialized_)
+        return "\xe2\x8a\xa5"; // ⊥
+    std::string out;
+    for (size_t i = 0; i < parts_.size(); i++) {
+        if (i > 0)
+            out += "+";
+        out += strprintf("(%d,%d)", parts_[i].rank, parts_[i].index);
+    }
+    return out;
+}
+
+std::string
+BufferSlice::toString() const
+{
+    if (count == 1)
+        return strprintf("r%d.%s[%d]", rank, bufferKindName(buffer), index);
+    return strprintf("r%d.%s[%d:%d]", rank, bufferKindName(buffer), index,
+                     index + count);
+}
+
+} // namespace mscclang

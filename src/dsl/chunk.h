@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The chunk value algebra (paper §3.1): every buffer index on every
+ * rank holds either an uninitialized chunk, an input chunk identified
+ * by its origin (rank, index), or a reduction chunk identified by the
+ * multiset of input chunks that were combined to produce it. The DSL
+ * tracks these values while tracing and the verifier re-derives them
+ * from compiled MSCCL-IR to check the collective's postcondition.
+ */
+
+#ifndef MSCCLANG_DSL_CHUNK_H_
+#define MSCCLANG_DSL_CHUNK_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mscclang {
+
+/** Identity of one input chunk: where it started. */
+struct InputChunkId
+{
+    Rank rank = 0;
+    int index = 0;
+
+    auto operator<=>(const InputChunkId &) const = default;
+};
+
+/**
+ * An abstract chunk value. Uninitialized is the unit type of the
+ * paper; a Data value holds the sorted multiset of input chunks it is
+ * the reduction of (a singleton multiset is a plain input chunk).
+ * Values are small and copied freely.
+ */
+class ChunkValue
+{
+  public:
+    /** Constructs the uninitialized value. */
+    ChunkValue() = default;
+
+    /** Constructs the pure input chunk (rank, index). */
+    static ChunkValue input(Rank rank, int index);
+
+    /** Constructs a reduction value from an explicit multiset. */
+    static ChunkValue reductionOf(std::vector<InputChunkId> parts);
+
+    bool initialized() const { return initialized_; }
+
+    /** The multiset of combined input chunks (empty if uninit). */
+    const std::vector<InputChunkId> &parts() const { return parts_; }
+
+    /** True if this is a single un-reduced input chunk. */
+    bool isPureInput() const
+    {
+        return initialized_ && parts_.size() == 1;
+    }
+
+    /**
+     * The reduction of two values. Both must be initialized; reducing
+     * with an uninitialized operand is a program error handled by the
+     * caller (this function asserts via exception).
+     */
+    static ChunkValue reduce(const ChunkValue &a, const ChunkValue &b);
+
+    bool operator==(const ChunkValue &other) const = default;
+
+    /** "⊥", "(2,3)" or "(0,1)+(1,1)+(2,1)" for diagnostics. */
+    std::string toString() const;
+
+  private:
+    bool initialized_ = false;
+    std::vector<InputChunkId> parts_; // sorted multiset
+};
+
+/** A reference to `count` contiguous chunk locations in one buffer. */
+struct BufferSlice
+{
+    Rank rank = 0;
+    BufferKind buffer = BufferKind::Input;
+    int index = 0;
+    int count = 1;
+
+    bool operator==(const BufferSlice &) const = default;
+
+    /** True if the two slices name overlapping locations. */
+    bool overlaps(const BufferSlice &other) const
+    {
+        return rank == other.rank && buffer == other.buffer &&
+            index < other.index + other.count &&
+            other.index < index + count;
+    }
+
+    std::string toString() const;
+};
+
+} // namespace mscclang
+
+#endif // MSCCLANG_DSL_CHUNK_H_

@@ -1,0 +1,225 @@
+#include "dsl/collective.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace mscclang {
+
+namespace {
+
+void
+checkPositive(const char *what, int value)
+{
+    if (value < 1)
+        throw Error(strprintf("Collective: %s must be >= 1 (got %d)",
+                              what, value));
+}
+
+} // namespace
+
+AllReduceCollective::AllReduceCollective(int num_ranks, int chunk_factor,
+                                         bool in_place)
+    : Collective("allreduce", num_ranks, chunk_factor, in_place)
+{
+    checkPositive("numRanks", num_ranks);
+    checkPositive("chunkFactor", chunk_factor);
+}
+
+int
+AllReduceCollective::inputChunkCount(Rank) const
+{
+    return chunkFactor();
+}
+
+int
+AllReduceCollective::outputChunkCount(Rank) const
+{
+    return chunkFactor();
+}
+
+std::optional<ChunkValue>
+AllReduceCollective::expectedOutput(Rank, int index) const
+{
+    std::vector<InputChunkId> parts;
+    parts.reserve(numRanks());
+    for (Rank r = 0; r < numRanks(); r++)
+        parts.push_back(InputChunkId{ r, index });
+    return ChunkValue::reductionOf(std::move(parts));
+}
+
+AllGatherCollective::AllGatherCollective(int num_ranks, int chunk_factor)
+    : Collective("allgather", num_ranks, chunk_factor, false)
+{
+    checkPositive("numRanks", num_ranks);
+    checkPositive("chunkFactor", chunk_factor);
+}
+
+int
+AllGatherCollective::inputChunkCount(Rank) const
+{
+    return chunkFactor();
+}
+
+int
+AllGatherCollective::outputChunkCount(Rank) const
+{
+    return numRanks() * chunkFactor();
+}
+
+std::optional<ChunkValue>
+AllGatherCollective::expectedOutput(Rank, int index) const
+{
+    Rank origin = index / chunkFactor();
+    int offset = index % chunkFactor();
+    return ChunkValue::input(origin, offset);
+}
+
+ReduceScatterCollective::ReduceScatterCollective(int num_ranks,
+                                                 int chunk_factor)
+    : Collective("reducescatter", num_ranks, chunk_factor, false)
+{
+    checkPositive("numRanks", num_ranks);
+    checkPositive("chunkFactor", chunk_factor);
+}
+
+int
+ReduceScatterCollective::inputChunkCount(Rank) const
+{
+    return numRanks() * chunkFactor();
+}
+
+int
+ReduceScatterCollective::outputChunkCount(Rank) const
+{
+    return chunkFactor();
+}
+
+std::optional<ChunkValue>
+ReduceScatterCollective::expectedOutput(Rank rank, int index) const
+{
+    std::vector<InputChunkId> parts;
+    parts.reserve(numRanks());
+    for (Rank r = 0; r < numRanks(); r++)
+        parts.push_back(InputChunkId{ r, rank * chunkFactor() + index });
+    return ChunkValue::reductionOf(std::move(parts));
+}
+
+AllToAllCollective::AllToAllCollective(int num_ranks, int chunks_per_pair)
+    : Collective("alltoall", num_ranks, chunks_per_pair, false)
+{
+    checkPositive("numRanks", num_ranks);
+    checkPositive("chunksPerPair", chunks_per_pair);
+}
+
+int
+AllToAllCollective::inputChunkCount(Rank) const
+{
+    return numRanks() * chunkFactor();
+}
+
+int
+AllToAllCollective::outputChunkCount(Rank) const
+{
+    return numRanks() * chunkFactor();
+}
+
+std::optional<ChunkValue>
+AllToAllCollective::expectedOutput(Rank rank, int index) const
+{
+    Rank peer = index / chunkFactor();
+    int offset = index % chunkFactor();
+    return ChunkValue::input(peer, rank * chunkFactor() + offset);
+}
+
+AllToNextCollective::AllToNextCollective(int num_ranks, int chunk_factor)
+    : Collective("alltonext", num_ranks, chunk_factor, false)
+{
+    checkPositive("numRanks", num_ranks);
+    checkPositive("chunkFactor", chunk_factor);
+}
+
+int
+AllToNextCollective::inputChunkCount(Rank) const
+{
+    return chunkFactor();
+}
+
+int
+AllToNextCollective::outputChunkCount(Rank) const
+{
+    return chunkFactor();
+}
+
+std::optional<ChunkValue>
+AllToNextCollective::expectedOutput(Rank rank, int index) const
+{
+    if (rank == 0)
+        return std::nullopt; // nobody sends to the first GPU
+    return ChunkValue::input(rank - 1, index);
+}
+
+BroadcastCollective::BroadcastCollective(int num_ranks, int chunk_factor,
+                                         Rank root)
+    : Collective("broadcast", num_ranks, chunk_factor, false), root_(root)
+{
+    checkPositive("numRanks", num_ranks);
+    checkPositive("chunkFactor", chunk_factor);
+    if (root < 0 || root >= num_ranks)
+        throw Error(strprintf("Broadcast: root %d out of range", root));
+}
+
+int
+BroadcastCollective::inputChunkCount(Rank rank) const
+{
+    // Only the root provides data, but every rank owns an input
+    // buffer of the same shape so algorithms stay uniform.
+    (void)rank;
+    return chunkFactor();
+}
+
+int
+BroadcastCollective::outputChunkCount(Rank) const
+{
+    return chunkFactor();
+}
+
+std::optional<ChunkValue>
+BroadcastCollective::expectedOutput(Rank, int index) const
+{
+    return ChunkValue::input(root_, index);
+}
+
+CustomCollective::CustomCollective(std::string name, int num_ranks,
+                                   int chunk_factor, bool in_place,
+                                   int input_chunks, int output_chunks,
+                                   ExpectFn expect)
+    : Collective(std::move(name), num_ranks, chunk_factor, in_place),
+      inputChunks_(input_chunks), outputChunks_(output_chunks),
+      expect_(std::move(expect))
+{
+    checkPositive("numRanks", num_ranks);
+    checkPositive("inputChunks", input_chunks);
+    checkPositive("outputChunks", output_chunks);
+    if (!expect_)
+        throw Error("CustomCollective: missing postcondition callback");
+}
+
+int
+CustomCollective::inputChunkCount(Rank) const
+{
+    return inputChunks_;
+}
+
+int
+CustomCollective::outputChunkCount(Rank) const
+{
+    return outputChunks_;
+}
+
+std::optional<ChunkValue>
+CustomCollective::expectedOutput(Rank rank, int index) const
+{
+    return expect_(rank, index);
+}
+
+} // namespace mscclang

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Collective definitions (paper §3.2): a collective fixes the
+ * precondition (which input chunks exist where) and the postcondition
+ * (which value must sit at each output index). An algorithm — a
+ * Program — is validated against the collective it claims to
+ * implement, which is what lets MSCCLang check correctness before the
+ * code ever runs.
+ */
+
+#ifndef MSCCLANG_DSL_COLLECTIVE_H_
+#define MSCCLANG_DSL_COLLECTIVE_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "dsl/chunk.h"
+
+namespace mscclang {
+
+/**
+ * Abstract collective. chunkFactor is the per-collective granularity
+ * knob chosen by the algorithm: e.g. an AllReduce over R ranks with
+ * chunkFactor C has C input chunks and C output chunks per rank, an
+ * AllGather has C input and R*C output chunks.
+ */
+class Collective
+{
+  public:
+    Collective(std::string name, int num_ranks, int chunk_factor,
+               bool in_place)
+        : name_(std::move(name)), numRanks_(num_ranks),
+          chunkFactor_(chunk_factor), inPlace_(in_place) {}
+
+    virtual ~Collective() = default;
+
+    const std::string &name() const { return name_; }
+    int numRanks() const { return numRanks_; }
+    int chunkFactor() const { return chunkFactor_; }
+
+    /** True if input and output buffers alias (paper §3.1). */
+    bool inPlace() const { return inPlace_; }
+
+    /** Number of input chunks in @p rank's input buffer. */
+    virtual int inputChunkCount(Rank rank) const = 0;
+
+    /** Number of output chunks in @p rank's output buffer. */
+    virtual int outputChunkCount(Rank rank) const = 0;
+
+    /**
+     * The postcondition for output index @p index on @p rank, or
+     * nullopt if the collective does not constrain that index (e.g.
+     * the first rank's output in AllToNext).
+     */
+    virtual std::optional<ChunkValue>
+    expectedOutput(Rank rank, int index) const = 0;
+
+    /**
+     * Ratio of output-buffer bytes to input-buffer bytes; collectives
+     * that expand data (AllGather) return numRanks(). Used by the
+     * runtime to size buffers from one user-facing byte count.
+     */
+    virtual double outputScale() const { return 1.0; }
+
+  private:
+    std::string name_;
+    int numRanks_;
+    int chunkFactor_;
+    bool inPlace_;
+};
+
+/** AllReduce: every output index i = sum over ranks of input i. */
+class AllReduceCollective : public Collective
+{
+  public:
+    AllReduceCollective(int num_ranks, int chunk_factor,
+                        bool in_place = true);
+
+    int inputChunkCount(Rank rank) const override;
+    int outputChunkCount(Rank rank) const override;
+    std::optional<ChunkValue> expectedOutput(Rank rank,
+                                             int index) const override;
+};
+
+/** AllGather: output = concatenation of every rank's input. */
+class AllGatherCollective : public Collective
+{
+  public:
+    AllGatherCollective(int num_ranks, int chunk_factor);
+
+    int inputChunkCount(Rank rank) const override;
+    int outputChunkCount(Rank rank) const override;
+    std::optional<ChunkValue> expectedOutput(Rank rank,
+                                             int index) const override;
+    double outputScale() const override { return numRanks(); }
+};
+
+/**
+ * ReduceScatter: rank r's output holds the global sum of every rank's
+ * input slice r.
+ */
+class ReduceScatterCollective : public Collective
+{
+  public:
+    ReduceScatterCollective(int num_ranks, int chunk_factor);
+
+    int inputChunkCount(Rank rank) const override;
+    int outputChunkCount(Rank rank) const override;
+    std::optional<ChunkValue> expectedOutput(Rank rank,
+                                             int index) const override;
+    double outputScale() const override { return 1.0 / numRanks(); }
+};
+
+/**
+ * AllToAll: the global transpose; chunk block s of rank r's input
+ * lands at block r of rank s's output. chunkFactor is the number of
+ * chunks exchanged per rank pair.
+ */
+class AllToAllCollective : public Collective
+{
+  public:
+    AllToAllCollective(int num_ranks, int chunks_per_pair);
+
+    int inputChunkCount(Rank rank) const override;
+    int outputChunkCount(Rank rank) const override;
+    std::optional<ChunkValue> expectedOutput(Rank rank,
+                                             int index) const override;
+};
+
+/**
+ * AllToNext (paper §7.4): rank i's buffer moves to rank i+1; the last
+ * rank sends nothing and the first rank's output is unconstrained.
+ */
+class AllToNextCollective : public Collective
+{
+  public:
+    AllToNextCollective(int num_ranks, int chunk_factor);
+
+    int inputChunkCount(Rank rank) const override;
+    int outputChunkCount(Rank rank) const override;
+    std::optional<ChunkValue> expectedOutput(Rank rank,
+                                             int index) const override;
+};
+
+/** Broadcast from a root rank. */
+class BroadcastCollective : public Collective
+{
+  public:
+    BroadcastCollective(int num_ranks, int chunk_factor, Rank root);
+
+    int inputChunkCount(Rank rank) const override;
+    int outputChunkCount(Rank rank) const override;
+    std::optional<ChunkValue> expectedOutput(Rank rank,
+                                             int index) const override;
+
+    Rank root() const { return root_; }
+
+  private:
+    Rank root_;
+};
+
+/**
+ * A fully custom collective defined by callbacks, for algorithms that
+ * are not in the MPI standard (the paper's motivation for AllToNext).
+ */
+class CustomCollective : public Collective
+{
+  public:
+    using ExpectFn =
+        std::function<std::optional<ChunkValue>(Rank, int)>;
+
+    CustomCollective(std::string name, int num_ranks, int chunk_factor,
+                     bool in_place, int input_chunks, int output_chunks,
+                     ExpectFn expect);
+
+    int inputChunkCount(Rank rank) const override;
+    int outputChunkCount(Rank rank) const override;
+    std::optional<ChunkValue> expectedOutput(Rank rank,
+                                             int index) const override;
+
+  private:
+    int inputChunks_;
+    int outputChunks_;
+    ExpectFn expect_;
+};
+
+} // namespace mscclang
+
+#endif // MSCCLANG_DSL_COLLECTIVE_H_

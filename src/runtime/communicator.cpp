@@ -1,0 +1,92 @@
+#include "runtime/communicator.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace mscclang {
+
+void
+Communicator::registerAlgorithm(IrProgram ir, std::uint64_t min_bytes,
+                                std::uint64_t max_bytes)
+{
+    if (ir.numRanks != topology_.numRanks()) {
+        throw RuntimeError(strprintf(
+            "registerAlgorithm: program has %d ranks, machine has %d",
+            ir.numRanks, topology_.numRanks()));
+    }
+    if (min_bytes > max_bytes)
+        throw RuntimeError("registerAlgorithm: empty size window");
+    algorithms_.push_back(
+        Registered{ std::move(ir), min_bytes, max_bytes });
+}
+
+void
+Communicator::registerFallback(
+    const std::string &collective,
+    std::function<IrProgram(std::uint64_t)> factory)
+{
+    fallbacks_[collective] = std::move(factory);
+}
+
+RunResult
+Communicator::run(const std::string &collective,
+                  const RunOptions &options)
+{
+    for (const Registered &entry : algorithms_) {
+        if (entry.ir.collective == collective &&
+            options.bytes >= entry.minBytes &&
+            options.bytes <= entry.maxBytes) {
+            return runProgram(entry.ir, options);
+        }
+    }
+    auto it = fallbacks_.find(collective);
+    if (it == fallbacks_.end()) {
+        throw RuntimeError("no algorithm or fallback registered for '" +
+                           collective + "' at " +
+                           formatBytes(options.bytes));
+    }
+    IrProgram ir = it->second(options.bytes);
+    RunResult result = runProgram(ir, options);
+    result.algorithm += " (fallback)";
+    return result;
+}
+
+RunResult
+Communicator::runProgram(const IrProgram &ir, const RunOptions &options)
+{
+    ExecOptions exec;
+    exec.dataMode = options.dataMode;
+    exec.bytesPerRank = options.bytes;
+    exec.maxTilesPerChunk = options.maxTilesPerChunk;
+    exec.launchOverheadUs = topology_.params().kernelLaunchUs;
+    if (options.dataMode)
+        store_.configure(ir, options.bytes);
+    ExecStats stats = runIr(topology_, ir, exec,
+                            options.dataMode ? &store_ : nullptr);
+    RunResult result;
+    result.stats = stats;
+    result.timeUs = stats.durationUs();
+    result.algorithm = ir.name;
+    return result;
+}
+
+RunResult
+Communicator::runComposed(const std::vector<const IrProgram *> &irs,
+                          const RunOptions &options)
+{
+    if (irs.empty())
+        throw RuntimeError("runComposed: empty program list");
+    RunResult total;
+    for (const IrProgram *ir : irs) {
+        RunResult step = runProgram(*ir, options);
+        total.timeUs += step.timeUs;
+        total.stats.messages += step.stats.messages;
+        total.stats.wireBytes += step.stats.wireBytes;
+        if (!total.algorithm.empty())
+            total.algorithm += "+";
+        total.algorithm += ir->name;
+    }
+    return total;
+}
+
+} // namespace mscclang

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The MSCCLang runtime entry point (paper §6): an NCCL-like
+ * communicator that holds registered MSCCL-IR algorithms with the
+ * buffer-size windows they are tuned for, dynamically selects the
+ * right algorithm per invocation, and falls back to a built-in
+ * (NCCL-model) implementation otherwise. Also provides the composed
+ * multi-kernel execution path used by the paper's baselines (one
+ * kernel launch per collective, no cross-kernel pipelining).
+ */
+
+#ifndef MSCCLANG_RUNTIME_COMMUNICATOR_H_
+#define MSCCLANG_RUNTIME_COMMUNICATOR_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+#include "runtime/interpreter.h"
+#include "topology/topology.h"
+
+namespace mscclang {
+
+/** Options of one collective invocation. */
+struct RunOptions
+{
+    /** Input buffer bytes per rank. */
+    std::uint64_t bytes = 1 << 20;
+    /** Move real floats (tests/examples) instead of just timing. */
+    bool dataMode = false;
+    /** Pipeline tile cap per chunk (see ExecOptions). */
+    int maxTilesPerChunk = 16;
+};
+
+/** Result of one collective invocation. */
+struct RunResult
+{
+    double timeUs = 0.0;
+    std::string algorithm;
+    ExecStats stats;
+};
+
+/** The NCCL-API-compatible communicator over a simulated machine. */
+class Communicator
+{
+  public:
+    explicit Communicator(const Topology &topology)
+        : topology_(topology) {}
+
+    const Topology &topology() const { return topology_; }
+    DataStore &store() { return store_; }
+
+    /**
+     * Registers @p ir for its collective, active for input sizes in
+     * [min_bytes, max_bytes] (paper §6: "the runtime dynamically
+     * selects the right algorithm based on user configurable size
+     * ranges").
+     */
+    void registerAlgorithm(IrProgram ir, std::uint64_t min_bytes,
+                           std::uint64_t max_bytes);
+
+    /**
+     * Registers the fallback used when no algorithm window matches —
+     * the role NCCL's built-ins play in the paper. The factory may
+     * pick schedule and protocol per size.
+     */
+    void registerFallback(
+        const std::string &collective,
+        std::function<IrProgram(std::uint64_t bytes)> factory);
+
+    /**
+     * Runs the named collective, selecting among registered
+     * algorithms / fallback. @throws RuntimeError if nothing matches.
+     */
+    RunResult run(const std::string &collective,
+                  const RunOptions &options);
+
+    /** Runs a specific program (one cooperative kernel launch). */
+    RunResult runProgram(const IrProgram &ir, const RunOptions &options);
+
+    /**
+     * Runs a sequence of programs as separate kernels: each pays the
+     * launch overhead and fully drains before the next starts — the
+     * execution model of collectives composed from a vendor library
+     * (paper §7.2's "NCCL Hierarchical" baseline and §7.3's
+     * hand-written Two-Step).
+     */
+    RunResult runComposed(const std::vector<const IrProgram *> &irs,
+                          const RunOptions &options);
+
+  private:
+    struct Registered
+    {
+        IrProgram ir;
+        std::uint64_t minBytes;
+        std::uint64_t maxBytes;
+    };
+
+    const Topology &topology_;
+    DataStore store_;
+    std::vector<Registered> algorithms_;
+    std::map<std::string, std::function<IrProgram(std::uint64_t)>>
+        fallbacks_;
+};
+
+} // namespace mscclang
+
+#endif // MSCCLANG_RUNTIME_COMMUNICATOR_H_

@@ -1,0 +1,763 @@
+#include "runtime/interpreter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace mscclang {
+
+void
+DataStore::configure(const IrProgram &ir, std::uint64_t bytes_per_rank)
+{
+    size_t ranks = static_cast<size_t>(ir.numRanks);
+    if (input_.size() < ranks) {
+        input_.resize(ranks);
+        output_.resize(ranks);
+        scratch_.resize(ranks);
+    }
+    for (const IrGpu &gpu : ir.gpus) {
+        std::uint64_t elems = bytes_per_rank / sizeof(float);
+        if (elems * sizeof(float) != bytes_per_rank)
+            throw RuntimeError("DataStore: bytes must be element-sized");
+        if (gpu.inputChunks > 0 && elems % gpu.inputChunks != 0) {
+            throw RuntimeError(strprintf(
+                "DataStore: %llu elements do not divide into %d chunks",
+                static_cast<unsigned long long>(elems),
+                gpu.inputChunks));
+        }
+        std::uint64_t chunk_elems =
+            gpu.inputChunks > 0 ? elems / gpu.inputChunks : 0;
+        auto grow = [](std::vector<float> &buf, std::uint64_t n) {
+            if (buf.size() < n)
+                buf.resize(n, 0.0f);
+        };
+        grow(input_[gpu.rank], elems);
+        if (!ir.inPlace)
+            grow(output_[gpu.rank], chunk_elems * gpu.outputChunks);
+        grow(scratch_[gpu.rank], chunk_elems * gpu.scratchChunks);
+    }
+}
+
+std::vector<float> &
+DataStore::buffer(Rank rank, BufferKind kind, bool in_place)
+{
+    if (in_place && kind == BufferKind::Output)
+        kind = BufferKind::Input;
+    switch (kind) {
+      case BufferKind::Input: return input_.at(rank);
+      case BufferKind::Output: return output_.at(rank);
+      case BufferKind::Scratch: return scratch_.at(rank);
+    }
+    throw RuntimeError("DataStore: bad buffer kind");
+}
+
+namespace {
+
+float
+applyReduce(ReduceOp op, float a, float b)
+{
+    switch (op) {
+      case ReduceOp::Sum: return a + b;
+      case ReduceOp::Prod: return a * b;
+      case ReduceOp::Max: return a > b ? a : b;
+      case ReduceOp::Min: return a < b ? a : b;
+    }
+    return a;
+}
+
+} // namespace
+
+/** One executed instruction interval for the tracing timeline. */
+struct TraceEvent
+{
+    Rank rank;
+    int tb;
+    int tile;
+    int step;
+    IrOp op;
+    TimeNs startNs;
+    TimeNs endNs;
+};
+
+/** A tile-sized message in flight on a connection. */
+struct Message
+{
+    std::uint64_t bytes = 0;
+    std::vector<float> data; // data mode only
+};
+
+struct IrExecution::Impl
+{
+    struct TbState
+    {
+        const IrThreadBlock *tb = nullptr;
+        Rank rank = 0;
+        int flatId = 0;
+        int tile = 0;
+        int step = 0;
+        bool busy = false;
+        bool finished = false;
+        TimeNs busyStartNs = 0;
+        /** Completed (tile, step) units, published to waiters. */
+        long units = 0;
+    };
+
+    struct ConnState
+    {
+        std::deque<Message> inbox;
+        int occupied = 0; // FIFO slots in use (sent, not yet consumed)
+        int waitingSender = -1;   // flat tb id blocked on a slot
+        int waitingReceiver = -1; // flat tb id blocked on data
+    };
+
+    using ConnKey = std::tuple<Rank, Rank, int>;
+
+    const Topology &topology;
+    const IrProgram &ir;
+    EventQueue &events;
+    FlowNetwork &network;
+    ExecOptions options;
+    DataStore *data;
+    ProtocolParams proto;
+
+    std::vector<TbState> tbs;
+    /** flat tb id = tbBase[rank] + tb index */
+    std::vector<int> tbBase;
+    std::map<ConnKey, ConnState> conns;
+    /** semaphore waiters per flat tb: (threshold units, waiter). */
+    std::vector<std::vector<std::pair<long, int>>> semWaiters;
+
+    std::uint64_t chunkBytes = 0;
+    int numTiles = 1;
+    std::uint64_t chunkElems = 0;
+    /** Distinct send connections per IB NIC send resource. */
+    std::map<ResourceId, int> nicConnections;
+
+    int finishedTbs = 0;
+    std::vector<TraceEvent> trace;
+    ExecStats stats;
+    std::function<void(const ExecStats &)> onComplete;
+
+    Impl(const Topology &topo, const IrProgram &program, EventQueue &eq,
+         FlowNetwork &net, ExecOptions opts, DataStore *store)
+        : topology(topo), ir(program), events(eq), network(net),
+          options(opts), data(store), proto(protocolParams(ir.protocol))
+    {
+        if (topo.numRanks() != ir.numRanks)
+            throw RuntimeError("interpreter: topology/program rank "
+                               "mismatch");
+        if (options.dataMode && data == nullptr)
+            throw RuntimeError("interpreter: data mode needs a store");
+
+        int input_chunks = 1;
+        int max_split = 1;
+        for (const IrGpu &gpu : ir.gpus) {
+            input_chunks = std::max(input_chunks, gpu.inputChunks);
+            for (const IrThreadBlock &tb : gpu.threadBlocks) {
+                for (const IrInstruction &instr : tb.steps)
+                    max_split = std::max(max_split, instr.splitCount);
+            }
+        }
+        chunkBytes =
+            (options.bytesPerRank + input_chunks - 1) / input_chunks;
+        // Pipeline depth (paper §6.2): a chunk larger than a FIFO
+        // slot is split into tiles so phases overlap (Figure 6). The
+        // relevant unit is the per-instance fragment (instances
+        // already subdivide chunks), and the tile count is capped by
+        // the user-configurable maxTilesPerChunk — the paper's
+        // "users may configure MSCCLang's tile size".
+        std::uint64_t fragment =
+            std::max<std::uint64_t>(chunkBytes / max_split, 1);
+        numTiles = static_cast<int>(std::clamp<std::uint64_t>(
+            (fragment + proto.slotBytes - 1) / proto.slotBytes, 1,
+            static_cast<std::uint64_t>(
+                std::max(1, options.maxTilesPerChunk))));
+        if (options.dataMode) {
+            chunkElems = (options.bytesPerRank / sizeof(float)) /
+                std::max(1, input_chunks);
+        }
+
+        // Count the send connections sharing each NIC: the
+        // per-message proxy cost grows with queue-pair pressure.
+        for (const IrGpu &gpu : ir.gpus) {
+            for (const IrThreadBlock &tb : gpu.threadBlocks) {
+                if (tb.sendPeer < 0 ||
+                    !topo.connected(gpu.rank, tb.sendPeer)) {
+                    continue;
+                }
+                const Route &route = topo.route(gpu.rank, tb.sendPeer);
+                if (route.type == LinkType::InfiniBand &&
+                    !route.resources.empty()) {
+                    nicConnections[route.resources.front()]++;
+                }
+            }
+        }
+
+        tbBase.resize(ir.numRanks + 1, 0);
+        for (const IrGpu &gpu : ir.gpus) {
+            tbBase[gpu.rank + 1] =
+                static_cast<int>(gpu.threadBlocks.size());
+        }
+        for (int r = 0; r < ir.numRanks; r++)
+            tbBase[r + 1] += tbBase[r];
+        tbs.resize(tbBase[ir.numRanks]);
+        semWaiters.resize(tbs.size());
+        for (const IrGpu &gpu : ir.gpus) {
+            for (const IrThreadBlock &tb : gpu.threadBlocks) {
+                int flat = tbBase[gpu.rank] + tb.id;
+                TbState &state = tbs[flat];
+                state.tb = &tb;
+                state.rank = gpu.rank;
+                state.flatId = flat;
+            }
+        }
+    }
+
+    int
+    flatOf(Rank rank, int tb_id) const
+    {
+        return tbBase[rank] + tb_id;
+    }
+
+    /**
+     * Per-chunk byte range of (instance, tile), within a chunk. The
+     * instance owns [i/n, (i+1)/n) of the chunk; the pipeline loop
+     * then walks that range in numTiles sub-ranges.
+     */
+    std::pair<std::uint64_t, std::uint64_t>
+    tileRangeBytes(const IrInstruction &instr, int tile) const
+    {
+        std::uint64_t ilo =
+            chunkBytes * instr.splitIdx / instr.splitCount;
+        std::uint64_t ihi =
+            chunkBytes * (instr.splitIdx + 1) / instr.splitCount;
+        std::uint64_t span = ihi - ilo;
+        std::uint64_t lo = ilo + span * tile / numTiles;
+        std::uint64_t hi = ilo + span * (tile + 1) / numTiles;
+        return { lo, hi };
+    }
+
+    /** Element range analogue for data mode. */
+    std::pair<std::uint64_t, std::uint64_t>
+    tileRangeElems(const IrInstruction &instr, int tile) const
+    {
+        std::uint64_t ilo =
+            chunkElems * instr.splitIdx / instr.splitCount;
+        std::uint64_t ihi =
+            chunkElems * (instr.splitIdx + 1) / instr.splitCount;
+        std::uint64_t span = ihi - ilo;
+        std::uint64_t lo = ilo + span * tile / numTiles;
+        std::uint64_t hi = ilo + span * (tile + 1) / numTiles;
+        return { lo, hi };
+    }
+
+    std::uint64_t
+    payloadBytes(const IrInstruction &instr, int tile) const
+    {
+        auto [lo, hi] = tileRangeBytes(instr, tile);
+        return (hi - lo) * static_cast<std::uint64_t>(instr.count);
+    }
+
+    // ------------------------------------------------------------------
+    // Data-mode helpers.
+
+    std::vector<float> &
+    bufferOf(Rank rank, BufferKind kind)
+    {
+        return data->buffer(rank, kind, ir.inPlace);
+    }
+
+    std::vector<float>
+    readSpan(Rank rank, BufferKind buf, int off,
+             const IrInstruction &instr, int tile)
+    {
+        auto [lo, hi] = tileRangeElems(instr, tile);
+        std::vector<float> out;
+        out.reserve((hi - lo) * instr.count);
+        std::vector<float> &storage = bufferOf(rank, buf);
+        for (int k = 0; k < instr.count; k++) {
+            std::uint64_t base =
+                static_cast<std::uint64_t>(off + k) * chunkElems;
+            if (base + hi > storage.size())
+                throw RuntimeError(strprintf(
+                    "interpreter: rank %d %s read out of bounds", rank,
+                    bufferKindName(buf)));
+            out.insert(out.end(), storage.begin() + base + lo,
+                       storage.begin() + base + hi);
+        }
+        return out;
+    }
+
+    void
+    writeSpan(Rank rank, BufferKind buf, int off,
+              const IrInstruction &instr, int tile,
+              const std::vector<float> &values)
+    {
+        auto [lo, hi] = tileRangeElems(instr, tile);
+        std::uint64_t per_chunk = hi - lo;
+        if (values.size() != per_chunk * instr.count)
+            throw RuntimeError("interpreter: message size mismatch");
+        std::vector<float> &storage = bufferOf(rank, buf);
+        for (int k = 0; k < instr.count; k++) {
+            std::uint64_t base =
+                static_cast<std::uint64_t>(off + k) * chunkElems;
+            if (base + hi > storage.size())
+                throw RuntimeError(strprintf(
+                    "interpreter: rank %d %s write out of bounds", rank,
+                    bufferKindName(buf)));
+            std::copy(values.begin() + k * per_chunk,
+                      values.begin() + (k + 1) * per_chunk,
+                      storage.begin() + base + lo);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Cost model.
+
+    double
+    localCostUs(const IrInstruction &instr, std::uint64_t payload,
+                int tile) const
+    {
+        if (payload == 0)
+            return 0.01; // skipped tile: decode only
+        const MachineParams &params = topology.params();
+        // Steady-state tiles ride the warp pipeline; only the first
+        // pays full instruction issue.
+        double us = tile == 0 ? params.instrOverheadUs
+                              : proto.perSlotOverheadUs;
+        if (instr.hasDep)
+            us += 0.2; // __threadfence + semaphore publish
+        double gb = static_cast<double>(payload);
+        switch (instr.op) {
+          case IrOp::Copy:
+          case IrOp::Recv:
+          case IrOp::RecvCopySend:
+            us += gb / params.tbCopyBwGBps / 1000.0;
+            break;
+          case IrOp::Reduce:
+          case IrOp::RecvReduceCopy:
+            us += gb / params.tbReduceBwGBps / 1000.0;
+            break;
+          default:
+            break;
+        }
+        return us;
+    }
+
+    // ------------------------------------------------------------------
+    // Executor state machine.
+
+    void
+    start(std::function<void(const ExecStats &)> cb)
+    {
+        onComplete = std::move(cb);
+        stats.startNs = events.now();
+        TimeNs launch = usToNs(options.launchOverheadUs);
+        events.scheduleAfter(launch, [this] {
+            if (tbs.empty()) {
+                finishAll();
+                return;
+            }
+            for (TbState &tb : tbs)
+                tryAdvance(tb.flatId);
+        });
+    }
+
+    void
+    finishAll()
+    {
+        stats.endNs = events.now();
+        if (!options.traceFile.empty())
+            writeTrace();
+        if (onComplete)
+            onComplete(stats);
+    }
+
+    /** Emits the chrome://tracing JSON timeline. */
+    void
+    writeTrace()
+    {
+        std::FILE *file = std::fopen(options.traceFile.c_str(), "w");
+        if (file == nullptr) {
+            throw RuntimeError("interpreter: cannot write trace to " +
+                               options.traceFile);
+        }
+        std::fputs("[\n", file);
+        for (size_t i = 0; i < trace.size(); i++) {
+            const TraceEvent &ev = trace[i];
+            double ts = static_cast<double>(ev.startNs) / 1000.0;
+            double dur =
+                static_cast<double>(ev.endNs - ev.startNs) / 1000.0;
+            std::fprintf(file,
+                "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":%d,"
+                "\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,"
+                "\"args\":{\"tile\":%d,\"step\":%d}}%s\n",
+                irOpName(ev.op), ev.rank, ev.tb, ts, dur, ev.tile,
+                ev.step, i + 1 < trace.size() ? "," : "");
+        }
+        std::fputs("]\n", file);
+        std::fclose(file);
+    }
+
+    ConnState &
+    connOf(Rank src, Rank dst, int channel)
+    {
+        return conns[ConnKey{ src, dst, channel }];
+    }
+
+    void
+    wake(int &slot_ref)
+    {
+        int id = slot_ref;
+        slot_ref = -1;
+        if (id >= 0)
+            tryAdvance(id);
+    }
+
+    void
+    bumpUnits(TbState &tb)
+    {
+        tb.units++;
+        std::vector<std::pair<long, int>> &waiters =
+            semWaiters[tb.flatId];
+        for (size_t i = 0; i < waiters.size();) {
+            if (waiters[i].first <= tb.units) {
+                int waiter = waiters[i].second;
+                waiters[i] = waiters.back();
+                waiters.pop_back();
+                tryAdvance(waiter);
+            } else {
+                i++;
+            }
+        }
+    }
+
+    void
+    tryAdvance(int flat)
+    {
+        TbState &tb = tbs[flat];
+        if (tb.busy || tb.finished)
+            return;
+        int num_steps = static_cast<int>(tb.tb->steps.size());
+        for (;;) {
+            if (num_steps == 0 || tb.tile >= numTiles) {
+                tb.finished = true;
+                if (++finishedTbs ==
+                    static_cast<int>(tbs.size())) {
+                    finishAll();
+                }
+                return;
+            }
+            const IrInstruction &instr = tb.tb->steps[tb.step];
+
+            // Cross thread block dependencies (same rank).
+            for (const IrDep &dep : instr.deps) {
+                int dep_flat = flatOf(tb.rank, dep.tb);
+                long needed = static_cast<long>(tb.tile) *
+                    static_cast<long>(
+                        tbs[dep_flat].tb->steps.size()) +
+                    dep.step + 1;
+                if (tbs[dep_flat].units < needed) {
+                    semWaiters[dep_flat].emplace_back(needed, flat);
+                    return;
+                }
+            }
+
+            std::uint64_t payload = payloadBytes(instr, tb.tile);
+            bool receives = irOpReceives(instr.op) && payload > 0;
+            bool sends = irOpSends(instr.op) && payload > 0;
+
+            if (receives) {
+                ConnState &in = connOf(tb.tb->recvPeer, tb.rank,
+                                       tb.tb->channel);
+                if (in.inbox.empty()) {
+                    in.waitingReceiver = flat;
+                    return;
+                }
+            }
+            if (sends) {
+                ConnState &out = connOf(tb.rank, tb.tb->sendPeer,
+                                        tb.tb->channel);
+                if (out.occupied >= proto.slots) {
+                    out.waitingSender = flat;
+                    return;
+                }
+            }
+
+            execute(tb, instr, payload, receives, sends);
+            return;
+        }
+    }
+
+    void
+    execute(TbState &tb, const IrInstruction &instr,
+            std::uint64_t payload, bool receives, bool sends)
+    {
+        tb.busy = true;
+        tb.busyStartNs = events.now();
+
+        Message incoming;
+        if (receives) {
+            ConnState &in = connOf(tb.tb->recvPeer, tb.rank,
+                                   tb.tb->channel);
+            incoming = std::move(in.inbox.front());
+            in.inbox.pop_front();
+            if (incoming.bytes != payload) {
+                throw RuntimeError(strprintf(
+                    "interpreter: rank %d tb %d: message of %llu bytes "
+                    "does not match expected %llu (FIFO mismatch)",
+                    tb.rank, tb.tb->id,
+                    static_cast<unsigned long long>(incoming.bytes),
+                    static_cast<unsigned long long>(payload)));
+            }
+        }
+
+        // Functional effect (data mode) happens atomically here; the
+        // event schedule below models when it becomes visible.
+        Message outgoing;
+        outgoing.bytes = payload;
+        if (options.dataMode)
+            applyData(tb, instr, incoming, outgoing);
+
+        if (sends) {
+            ConnState &out = connOf(tb.rank, tb.tb->sendPeer,
+                                    tb.tb->channel);
+            out.occupied++;
+            const Route &route = topology.route(tb.rank,
+                                                tb.tb->sendPeer);
+            // Time the thread block itself is occupied before the
+            // data starts streaming: instruction issue, semaphore
+            // publication, and the per-slot flag synchronization for
+            // tiles spanning multiple FIFO slots (tile-count capping,
+            // see ExecOptions).
+            double issue_us = tb.tile == 0
+                ? topology.params().instrOverheadUs
+                : proto.perSlotOverheadUs;
+            if (instr.hasDep)
+                issue_us += 0.2;
+            std::uint64_t slot_crossings =
+                (payload + proto.slotBytes - 1) / proto.slotBytes;
+            if (slot_crossings > 1)
+                issue_us += proto.perSlotOverheadUs *
+                    static_cast<double>(slot_crossings - 1);
+            // Link latency is NOT thread block occupancy: the sender
+            // moves on once its last byte is in the FIFO, while the
+            // message only becomes visible to the receiver a
+            // protocol+link alpha later. Protocols stream: only the
+            // first tile of a chunk pays the full protocol alpha;
+            // later tiles ride the established slot pipeline.
+            double scale = topology.params().protocolAlphaScale;
+            double alpha_us = route.extraLatencyUs +
+                scale * (tb.tile == 0
+                             ? protocolAlphaUs(proto, route.type)
+                             : proto.perSlotOverheadUs);
+
+            double wire_bytes =
+                static_cast<double>(payload) / proto.efficiency;
+            double cap = route.type == LinkType::InfiniBand
+                ? topology.params().ibNicBwGBps
+                : topology.params().tbNvlinkBwGBps;
+            if (route.type == LinkType::InfiniBand) {
+                // Per-message NIC occupancy: a message ties up the
+                // NIC pipeline independent of its size, and the cost
+                // grows with the number of connections contending
+                // for the NIC's queue pairs
+                // (1 GB/s == 1 byte/ns == 1000 bytes/us).
+                int conns = 1;
+                auto it = nicConnections.find(route.resources.front());
+                if (it != nicConnections.end())
+                    conns = std::max(1, it->second);
+                double per_message =
+                    topology.params().ibPerMessageUs +
+                    topology.params().ibQpPenaltyUs * (conns - 1);
+                wire_bytes += per_message *
+                    topology.params().ibNicBwGBps * 1000.0;
+            }
+            stats.messages++;
+            stats.wireBytes += wire_bytes;
+
+            int flat = tb.flatId;
+            Rank dst = tb.tb->sendPeer;
+            int channel = tb.tb->channel;
+            auto launch_flow = [this, flat, dst, channel, wire_bytes,
+                                cap, receives, alpha_us,
+                                msg = std::move(outgoing),
+                                resources = route.resources]() mutable {
+                network.startFlow(
+                    resources, cap, wire_bytes,
+                    [this, flat, dst, channel, receives, alpha_us,
+                     msg = std::move(msg)]() mutable {
+                        // The sender is released as soon as the wire
+                        // drains; delivery lands alpha later.
+                        completeInstr(flat, receives);
+                        Rank src = tbs[flat].rank;
+                        events.scheduleAfter(
+                            usToNs(alpha_us),
+                            [this, src, dst, channel,
+                             msg = std::move(msg)]() mutable {
+                                deliver(src, dst, channel,
+                                        std::move(msg));
+                            });
+                    });
+            };
+            events.scheduleAfter(usToNs(issue_us),
+                                 std::move(launch_flow));
+        } else {
+            double cost_us = localCostUs(instr, payload, tb.tile);
+            int flat = tb.flatId;
+            events.scheduleAfter(usToNs(cost_us),
+                                 [this, flat, receives] {
+                                     completeInstr(flat, receives);
+                                 });
+        }
+    }
+
+    /** A sent tile arrived at the destination rank. */
+    void
+    deliver(Rank src, Rank dst, int channel, Message msg)
+    {
+        ConnState &conn = connOf(src, dst, channel);
+        conn.inbox.push_back(std::move(msg));
+        wake(conn.waitingReceiver);
+    }
+
+    /** Wraps up the current instruction of a thread block. */
+    void
+    completeInstr(int flat, bool received)
+    {
+        TbState &tb = tbs[flat];
+        if (!options.traceFile.empty()) {
+            trace.push_back(TraceEvent{ tb.rank, tb.tb->id, tb.tile,
+                                        tb.step,
+                                        tb.tb->steps[tb.step].op,
+                                        tb.busyStartNs,
+                                        events.now() });
+        }
+        if (Log::enabled(LogLevel::Debug)) {
+            logDebug(strprintf(
+                "t=%8.2fus rank %d tb %d tile %d step %d done: %s",
+                static_cast<double>(events.now()) / 1000.0, tb.rank,
+                tb.tb->id, tb.tile, tb.step,
+                tb.tb->steps[tb.step].toString().c_str()));
+        }
+        if (received) {
+            // Consuming the message frees the sender's FIFO slot.
+            ConnState &in = connOf(tb.tb->recvPeer, tb.rank,
+                                   tb.tb->channel);
+            in.occupied--;
+            wake(in.waitingSender);
+        }
+        bumpUnits(tb);
+        tb.busy = false;
+        tb.step++;
+        if (tb.step >= static_cast<int>(tb.tb->steps.size())) {
+            tb.step = 0;
+            tb.tile++;
+        }
+        tryAdvance(flat);
+    }
+
+    /** Applies the instruction's data transformation (data mode). */
+    void
+    applyData(TbState &tb, const IrInstruction &instr,
+              Message &incoming, Message &outgoing)
+    {
+        switch (instr.op) {
+          case IrOp::Nop:
+            break;
+          case IrOp::Send:
+            outgoing.data = readSpan(tb.rank, instr.srcBuf,
+                                     instr.srcOff, instr, tb.tile);
+            break;
+          case IrOp::Recv:
+            writeSpan(tb.rank, instr.dstBuf, instr.dstOff, instr,
+                      tb.tile, incoming.data);
+            break;
+          case IrOp::Copy: {
+            std::vector<float> values = readSpan(
+                tb.rank, instr.srcBuf, instr.srcOff, instr, tb.tile);
+            writeSpan(tb.rank, instr.dstBuf, instr.dstOff, instr,
+                      tb.tile, values);
+            break;
+          }
+          case IrOp::Reduce: {
+            std::vector<float> src = readSpan(
+                tb.rank, instr.srcBuf, instr.srcOff, instr, tb.tile);
+            std::vector<float> dst = readSpan(
+                tb.rank, instr.dstBuf, instr.dstOff, instr, tb.tile);
+            for (size_t i = 0; i < dst.size(); i++)
+                dst[i] = applyReduce(ir.reduceOp, src[i], dst[i]);
+            writeSpan(tb.rank, instr.dstBuf, instr.dstOff, instr,
+                      tb.tile, dst);
+            break;
+          }
+          case IrOp::RecvReduceCopy:
+          case IrOp::RecvReduceSend:
+          case IrOp::RecvReduceCopySend: {
+            std::vector<float> local = readSpan(
+                tb.rank, instr.srcBuf, instr.srcOff, instr, tb.tile);
+            if (incoming.data.size() != local.size())
+                throw RuntimeError("interpreter: rrc size mismatch");
+            for (size_t i = 0; i < local.size(); i++) {
+                local[i] = applyReduce(ir.reduceOp, local[i],
+                                       incoming.data[i]);
+            }
+            if (irOpWritesDst(instr.op)) {
+                writeSpan(tb.rank, instr.dstBuf, instr.dstOff, instr,
+                          tb.tile, local);
+            }
+            if (irOpSends(instr.op))
+                outgoing.data = std::move(local);
+            break;
+          }
+          case IrOp::RecvCopySend:
+            writeSpan(tb.rank, instr.dstBuf, instr.dstOff, instr,
+                      tb.tile, incoming.data);
+            outgoing.data = std::move(incoming.data);
+            break;
+        }
+    }
+};
+
+IrExecution::IrExecution(const Topology &topology, const IrProgram &ir,
+                         EventQueue &events, FlowNetwork &network,
+                         ExecOptions options, DataStore *data)
+    : impl_(std::make_unique<Impl>(topology, ir, events, network,
+                                   options, data))
+{
+}
+
+IrExecution::~IrExecution() = default;
+
+void
+IrExecution::start(std::function<void(const ExecStats &)> on_complete)
+{
+    impl_->start(std::move(on_complete));
+}
+
+ExecStats
+runIr(const Topology &topology, const IrProgram &ir,
+      const ExecOptions &options, DataStore *data)
+{
+    EventQueue events;
+    FlowNetwork network(topology, events);
+    if (options.dataMode && data != nullptr)
+        data->configure(ir, options.bytesPerRank);
+    IrExecution exec(topology, ir, events, network, options, data);
+    ExecStats result;
+    bool done = false;
+    exec.start([&](const ExecStats &stats) {
+        result = stats;
+        done = true;
+    });
+    events.run();
+    if (!done)
+        throw RuntimeError(
+            "interpreter: execution wedged (runtime deadlock)");
+    return result;
+}
+
+} // namespace mscclang

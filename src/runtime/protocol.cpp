@@ -1,0 +1,73 @@
+#include "runtime/protocol.h"
+
+#include "common/error.h"
+
+namespace mscclang {
+
+ProtocolParams
+protocolParams(Protocol proto)
+{
+    ProtocolParams params;
+    switch (proto) {
+      case Protocol::LL:
+        // 8B data + 8B flag lines: half the wire is payload, but a
+        // receive can begin the moment the flag lands.
+        params.efficiency = 0.5;
+        params.nvAlphaUs = 0.3;
+        params.ibAlphaUs = 1.0;
+        params.perSlotOverheadUs = 0.04;
+        params.slotBytes = 32 << 10;
+        params.slots = 8;
+        return params;
+      case Protocol::LL128:
+        // 120/128 of the wire is payload; light per-line sync.
+        params.efficiency = 120.0 / 128.0;
+        params.nvAlphaUs = 0.8;
+        params.ibAlphaUs = 1.6;
+        params.perSlotOverheadUs = 0.10;
+        params.slotBytes = 128 << 10;
+        params.slots = 8;
+        return params;
+      case Protocol::Simple:
+        // High-bandwidth copies staged through intermediate FIFO
+        // buffers (one extra memory pass vs a direct copy), and
+        // every slot boundary costs a __threadfence + flag exchange.
+        params.efficiency = 0.85;
+        params.nvAlphaUs = 1.8;
+        params.ibAlphaUs = 3.8;
+        params.perSlotOverheadUs = 0.25;
+        params.slotBytes = 512 << 10;
+        params.slots = 8;
+        return params;
+      case Protocol::Direct:
+        // SCCL's protocol (paper §7.5): direct source-to-destination
+        // copies without intermediate FIFO buffers — full wire
+        // efficiency, better than Simple at middle sizes — but a
+        // costly per-step synchronization and no LL-style low
+        // latency path (the SCCL paper's small-size latencies are
+        // tens of microseconds).
+        params.efficiency = 1.0;
+        params.nvAlphaUs = 4.0;
+        params.ibAlphaUs = 6.0;
+        params.perSlotOverheadUs = 0.05;
+        params.slotBytes = 16 << 20;
+        params.slots = 8;
+        return params;
+    }
+    throw Error("unknown protocol");
+}
+
+double
+protocolAlphaUs(const ProtocolParams &params, LinkType link)
+{
+    switch (link) {
+      case LinkType::InfiniBand:
+        return params.ibAlphaUs;
+      case LinkType::NvLink:
+      case LinkType::Loopback:
+        return params.nvAlphaUs;
+    }
+    return params.nvAlphaUs;
+}
+
+} // namespace mscclang

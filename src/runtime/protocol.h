@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The three NCCL communication protocols (paper §6.1). A protocol
+ * fixes the remote FIFO buffer geometry (slot size and count) and the
+ * latency/bandwidth trade-off: LL writes 8 bytes of flags per 8 bytes
+ * of data (half wire efficiency, no separate synchronization, lowest
+ * latency), LL128 moves 120 of every 128 bytes as data with light
+ * synchronization, and Simple moves raw data at full efficiency but
+ * pays memory fences and slot synchronization on every message.
+ */
+
+#ifndef MSCCLANG_RUNTIME_PROTOCOL_H_
+#define MSCCLANG_RUNTIME_PROTOCOL_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "topology/topology.h"
+
+namespace mscclang {
+
+/** Cost and geometry constants of one protocol. */
+struct ProtocolParams
+{
+    /** Fraction of wire bytes that are payload. */
+    double efficiency = 1.0;
+    /** Fixed per-message latency over NVLink, microseconds. */
+    double nvAlphaUs = 1.0;
+    /** Fixed per-message latency over IB, microseconds (on top of
+     *  the route's own latency). */
+    double ibAlphaUs = 1.0;
+    /** Synchronization overhead per FIFO slot crossed, microsec. */
+    double perSlotOverheadUs = 0.1;
+    /** Payload capacity of one FIFO slot, bytes. */
+    std::uint64_t slotBytes = 512 << 10;
+    /** FIFO depth (paper: 1 <= s <= 8). */
+    int slots = 8;
+};
+
+/** The tuned table for the three protocols. */
+ProtocolParams protocolParams(Protocol proto);
+
+/** Per-message latency for a protocol over a link class. */
+double protocolAlphaUs(const ProtocolParams &params, LinkType link);
+
+} // namespace mscclang
+
+#endif // MSCCLANG_RUNTIME_PROTOCOL_H_

@@ -1,0 +1,100 @@
+#include "runtime/reference.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace mscclang {
+
+namespace {
+
+float
+applyReduceRef(ReduceOp op, float a, float b)
+{
+    switch (op) {
+      case ReduceOp::Sum: return a + b;
+      case ReduceOp::Prod: return a * b;
+      case ReduceOp::Max: return a > b ? a : b;
+      case ReduceOp::Min: return a < b ? a : b;
+    }
+    return a;
+}
+
+} // namespace
+
+std::vector<std::vector<float>>
+computeReference(const Collective &collective,
+                 const std::vector<std::vector<float>> &inputs,
+                 ReduceOp op)
+{
+    int ranks = collective.numRanks();
+    if (static_cast<int>(inputs.size()) != ranks)
+        throw Error("computeReference: wrong number of input buffers");
+
+    int in_chunks = collective.inputChunkCount(0);
+    if (in_chunks == 0 || inputs[0].size() % in_chunks != 0)
+        throw Error("computeReference: input does not divide into "
+                    "chunks");
+    size_t chunk_elems = inputs[0].size() / in_chunks;
+
+    std::vector<std::vector<float>> outputs(ranks);
+    for (Rank r = 0; r < ranks; r++) {
+        int out_chunks = collective.outputChunkCount(r);
+        outputs[r].assign(out_chunks * chunk_elems,
+                          std::numeric_limits<float>::quiet_NaN());
+        for (int i = 0; i < out_chunks; i++) {
+            auto expected = collective.expectedOutput(r, i);
+            if (!expected.has_value())
+                continue;
+            const std::vector<InputChunkId> &parts = expected->parts();
+            for (size_t e = 0; e < chunk_elems; e++) {
+                float acc = 0.0f;
+                bool first = true;
+                for (const InputChunkId &part : parts) {
+                    float v = inputs[part.rank]
+                        [part.index * chunk_elems + e];
+                    acc = first ? v : applyReduceRef(op, acc, v);
+                    first = false;
+                }
+                outputs[r][i * chunk_elems + e] = acc;
+            }
+        }
+    }
+    return outputs;
+}
+
+std::string
+compareToReference(const Collective &collective,
+                   const std::vector<std::vector<float>> &inputs,
+                   const std::vector<std::vector<float>> &actual,
+                   ReduceOp op, float tolerance)
+{
+    std::vector<std::vector<float>> expected =
+        computeReference(collective, inputs, op);
+    if (actual.size() != expected.size())
+        return "wrong number of output buffers";
+    for (size_t r = 0; r < expected.size(); r++) {
+        if (actual[r].size() < expected[r].size()) {
+            return strprintf("rank %zu: output has %zu elements, "
+                             "expected at least %zu", r,
+                             actual[r].size(), expected[r].size());
+        }
+        for (size_t e = 0; e < expected[r].size(); e++) {
+            float want = expected[r][e];
+            if (std::isnan(want))
+                continue; // unconstrained chunk
+            float got = actual[r][e];
+            if (std::fabs(got - want) > tolerance) {
+                return strprintf(
+                    "rank %zu element %zu: expected %g, got %g", r, e,
+                    static_cast<double>(want),
+                    static_cast<double>(got));
+            }
+        }
+    }
+    return "";
+}
+
+} // namespace mscclang

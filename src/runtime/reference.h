@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Reference oracle: computes the expected output buffers of any
+ * collective directly from its postcondition. Each output chunk's
+ * expected value is the pointwise reduction of the input chunks named
+ * by the collective's ChunkValue — so one oracle validates every
+ * algorithm, including custom collectives.
+ */
+
+#ifndef MSCCLANG_RUNTIME_REFERENCE_H_
+#define MSCCLANG_RUNTIME_REFERENCE_H_
+
+#include <optional>
+#include <vector>
+
+#include "dsl/collective.h"
+
+namespace mscclang {
+
+/**
+ * Expected output buffers given @p inputs (one vector per rank, all
+ * the same size, divisible into the collective's input chunks).
+ * Unconstrained output chunks (nullopt postcondition) are filled with
+ * NaN sentinels that comparisons must skip.
+ */
+std::vector<std::vector<float>> computeReference(
+    const Collective &collective,
+    const std::vector<std::vector<float>> &inputs, ReduceOp op);
+
+/**
+ * Compares @p actual (per-rank output buffers) against the reference,
+ * skipping unconstrained chunks. Returns the first mismatch as a
+ * human-readable string, or empty on success.
+ */
+std::string compareToReference(
+    const Collective &collective,
+    const std::vector<std::vector<float>> &inputs,
+    const std::vector<std::vector<float>> &actual, ReduceOp op,
+    float tolerance = 1e-4f);
+
+} // namespace mscclang
+
+#endif // MSCCLANG_RUNTIME_REFERENCE_H_

@@ -1,0 +1,68 @@
+#include "runtime/tuner.h"
+
+#include <limits>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace mscclang {
+
+std::vector<TunedWindow>
+tuneWindows(const Topology &topology,
+            const std::vector<IrProgram> &candidates,
+            const TuneOptions &options)
+{
+    if (candidates.empty())
+        throw RuntimeError("tuneWindows: no candidates");
+    if (options.fromBytes == 0 || options.fromBytes > options.toBytes)
+        throw RuntimeError("tuneWindows: bad size range");
+
+    std::vector<std::uint64_t> sizes =
+        sizeSweep(options.fromBytes, options.toBytes);
+
+    Communicator comm(topology);
+    std::vector<TunedWindow> windows;
+    for (size_t i = 0; i < sizes.size(); i++) {
+        double best = std::numeric_limits<double>::infinity();
+        int winner = -1;
+        for (size_t c = 0; c < candidates.size(); c++) {
+            RunOptions run;
+            run.bytes = sizes[i];
+            run.maxTilesPerChunk = options.maxTilesPerChunk;
+            double us = comm.runProgram(candidates[c], run).timeUs;
+            if (us < best) {
+                best = us;
+                winner = static_cast<int>(c);
+            }
+        }
+        std::uint64_t hi = i + 1 < sizes.size()
+            ? sizes[i + 1] - 1
+            : std::numeric_limits<std::uint64_t>::max();
+        if (!windows.empty() && windows.back().candidate == winner) {
+            windows.back().maxBytes = hi; // extend the current window
+        } else {
+            windows.push_back(
+                TunedWindow{ sizes[i], hi, winner, best });
+        }
+    }
+    // The first window also covers everything below the sweep start.
+    windows.front().minBytes = 0;
+    return windows;
+}
+
+void
+registerTuned(Communicator &comm,
+              const std::vector<IrProgram> &candidates,
+              const std::vector<TunedWindow> &windows)
+{
+    for (const TunedWindow &window : windows) {
+        if (window.candidate < 0 ||
+            window.candidate >= static_cast<int>(candidates.size())) {
+            throw RuntimeError("registerTuned: bad candidate index");
+        }
+        comm.registerAlgorithm(candidates[window.candidate],
+                               window.minBytes, window.maxBytes);
+    }
+}
+
+} // namespace mscclang

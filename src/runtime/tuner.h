@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Automatic per-size algorithm selection (paper §6: "the runtime
+ * dynamically selects the right algorithm to invoke based on user
+ * configurable size ranges ... this allows a user to hyper-optimize
+ * MSCCLang programs to a specific use case"). The tuner automates
+ * building those size ranges: it times every candidate across a
+ * geometric size sweep on the simulated machine and emits the
+ * minimal set of windows where each candidate wins, ready to
+ * register with a Communicator.
+ */
+
+#ifndef MSCCLANG_RUNTIME_TUNER_H_
+#define MSCCLANG_RUNTIME_TUNER_H_
+
+#include <string>
+#include <vector>
+
+#include "runtime/communicator.h"
+
+namespace mscclang {
+
+/** One tuned selection window. */
+struct TunedWindow
+{
+    std::uint64_t minBytes = 0;
+    std::uint64_t maxBytes = 0;
+    /** Index into the candidate list. */
+    int candidate = -1;
+    /** Winning time at the window's first sweep point, microsec. */
+    double timeUs = 0.0;
+};
+
+/** Tuning parameters. */
+struct TuneOptions
+{
+    std::uint64_t fromBytes = 1 << 10;
+    std::uint64_t toBytes = 64 << 20;
+    int maxTilesPerChunk = 16;
+};
+
+/**
+ * Times every candidate at every power-of-two size in the range and
+ * returns the merged windows of winners. Windows tile
+ * [from, 2*to-1] contiguously: window k covers from its sweep point
+ * up to just below the next one (the last window is open-ended up to
+ * max std::uint64_t).
+ */
+std::vector<TunedWindow> tuneWindows(
+    const Topology &topology, const std::vector<IrProgram> &candidates,
+    const TuneOptions &options = {});
+
+/**
+ * Registers the tuned windows with @p comm so Communicator::run
+ * picks the per-size winner automatically.
+ */
+void registerTuned(Communicator &comm,
+                   const std::vector<IrProgram> &candidates,
+                   const std::vector<TunedWindow> &windows);
+
+} // namespace mscclang
+
+#endif // MSCCLANG_RUNTIME_TUNER_H_

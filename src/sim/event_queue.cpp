@@ -1,0 +1,55 @@
+#include "sim/event_queue.h"
+
+#include "common/error.h"
+
+namespace mscclang {
+
+EventId
+EventQueue::schedule(TimeNs when, Callback cb)
+{
+    if (when < now_)
+        throw RuntimeError("EventQueue: scheduling into the past");
+    EventId id = nextId_++;
+    heap_.push(Event{ when, id, std::move(cb) });
+    liveEvents_++;
+    return id;
+}
+
+void
+EventQueue::cancel(EventId id)
+{
+    if (id == 0 || id >= nextId_)
+        return;
+    if (cancelled_.insert(id).second && liveEvents_ > 0)
+        liveEvents_--;
+}
+
+bool
+EventQueue::runOne()
+{
+    while (!heap_.empty()) {
+        Event event = heap_.top();
+        heap_.pop();
+        auto it = cancelled_.find(event.id);
+        if (it != cancelled_.end()) {
+            cancelled_.erase(it);
+            continue;
+        }
+        now_ = event.when;
+        liveEvents_--;
+        executed_++;
+        event.cb();
+        return true;
+    }
+    return false;
+}
+
+TimeNs
+EventQueue::run()
+{
+    while (runOne()) {
+    }
+    return now_;
+}
+
+} // namespace mscclang

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * A minimal discrete-event simulation engine: an ordered queue of
+ * (time, callback) events with cancellation, driving the runtime
+ * interpreter and the flow-level network model. Time is in integer
+ * nanoseconds for determinism.
+ */
+
+#ifndef MSCCLANG_SIM_EVENT_QUEUE_H_
+#define MSCCLANG_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace mscclang {
+
+/** Simulated time in nanoseconds. */
+using TimeNs = std::int64_t;
+
+/** Converts microseconds to simulated time. */
+constexpr TimeNs
+usToNs(double us)
+{
+    return static_cast<TimeNs>(us * 1000.0 + 0.5);
+}
+
+/** Identifier of a scheduled event, usable for cancellation. */
+using EventId = std::uint64_t;
+
+/** The event queue. Single-threaded; callbacks may schedule more. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    TimeNs now() const { return now_; }
+
+    /** Schedules @p cb at absolute time @p when (>= now). */
+    EventId schedule(TimeNs when, Callback cb);
+
+    /** Schedules @p cb @p delay after now. */
+    EventId scheduleAfter(TimeNs delay, Callback cb)
+    {
+        return schedule(now_ + delay, std::move(cb));
+    }
+
+    /** Cancels a pending event; cancelling a fired event is a no-op. */
+    void cancel(EventId id);
+
+    /** True if no live events remain. */
+    bool empty() const { return liveEvents_ == 0; }
+
+    /** Pops and runs the earliest event. Returns false when empty. */
+    bool runOne();
+
+    /** Runs until the queue is drained. Returns final time. */
+    TimeNs run();
+
+    /** Number of events executed so far (diagnostics). */
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Event
+    {
+        TimeNs when;
+        EventId id;
+        Callback cb;
+
+        bool
+        operator>(const Event &other) const
+        {
+            // Earliest first; FIFO among equal times via id.
+            if (when != other.when)
+                return when > other.when;
+            return id > other.id;
+        }
+    };
+
+    TimeNs now_ = 0;
+    EventId nextId_ = 1;
+    std::uint64_t executed_ = 0;
+    std::size_t liveEvents_ = 0;
+    std::priority_queue<Event, std::vector<Event>, std::greater<>>
+        heap_;
+    std::unordered_set<EventId> cancelled_;
+};
+
+} // namespace mscclang
+
+#endif // MSCCLANG_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,201 @@
+#include "sim/flow_network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace mscclang {
+
+namespace {
+
+/** Bytes below which a flow counts as drained. */
+constexpr double kDoneEpsilon = 1e-6;
+/** Rate resolution, GB/s. */
+constexpr double kRateEpsilon = 1e-12;
+
+} // namespace
+
+FlowNetwork::FlowNetwork(const Topology &topology, EventQueue &events)
+    : topology_(topology), events_(events)
+{
+}
+
+FlowId
+FlowNetwork::startFlow(const std::vector<ResourceId> &resources,
+                       double cap_gbps, double bytes,
+                       std::function<void()> on_done)
+{
+    if (cap_gbps <= 0.0)
+        throw RuntimeError("FlowNetwork: non-positive flow cap");
+    if (bytes < 0.0)
+        throw RuntimeError("FlowNetwork: negative flow size");
+
+    FlowId id = nextId_++;
+    if (bytes <= kDoneEpsilon) {
+        // Degenerate flow: complete "immediately" (still async so the
+        // caller's state machine stays uniform).
+        events_.scheduleAfter(0, std::move(on_done));
+        return id;
+    }
+
+    settle();
+    Flow flow;
+    flow.resources = resources;
+    flow.capGBps = cap_gbps;
+    flow.remaining = bytes;
+    flow.onDone = std::move(on_done);
+    flows_.emplace(id, std::move(flow));
+    // Batch rate recomputation: many flows typically start at the
+    // same instant (a phase boundary); one recomputation serves all.
+    scheduleUpdate(events_.now());
+    return id;
+}
+
+double
+FlowNetwork::resourceBytes(ResourceId resource) const
+{
+    if (resource < 0 || resource >= topology_.numResources())
+        throw RuntimeError("FlowNetwork: unknown resource");
+    if (resource >= static_cast<ResourceId>(resourceBytes_.size()))
+        return 0.0;
+    return resourceBytes_[resource];
+}
+
+double
+FlowNetwork::currentRateGBps(FlowId id) const
+{
+    auto it = flows_.find(id);
+    return it == flows_.end() ? 0.0 : it->second.rateGBps;
+}
+
+void
+FlowNetwork::settle()
+{
+    TimeNs now = events_.now();
+    double elapsed_ns = static_cast<double>(now - lastUpdate_);
+    lastUpdate_ = now;
+    if (elapsed_ns <= 0.0)
+        return;
+    if (resourceBytes_.empty())
+        resourceBytes_.assign(topology_.numResources(), 0.0);
+    for (auto &[id, flow] : flows_) {
+        // 1 GB/s == 1 byte/ns, so rate converts directly.
+        double moved = flow.rateGBps * elapsed_ns;
+        moved = std::min(moved, flow.remaining);
+        flow.remaining -= moved;
+        delivered_ += moved;
+        for (ResourceId r : flow.resources)
+            resourceBytes_[r] += moved;
+    }
+}
+
+void
+FlowNetwork::scheduleUpdate(TimeNs when)
+{
+    if (pendingEvent_ != 0) {
+        if (when >= pendingAt_)
+            return; // an earlier or equal update is already queued
+        events_.cancel(pendingEvent_);
+    }
+    pendingAt_ = when;
+    pendingEvent_ = events_.schedule(when, [this] {
+        pendingEvent_ = 0;
+        update();
+    });
+}
+
+void
+FlowNetwork::update()
+{
+    settle();
+
+    // Complete drained flows. Their callbacks run after rates are
+    // refreshed so new flows see a consistent network.
+    std::vector<std::function<void()>> done;
+    for (auto it = flows_.begin(); it != flows_.end();) {
+        if (it->second.remaining <= kDoneEpsilon) {
+            done.push_back(std::move(it->second.onDone));
+            it = flows_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+
+    recompute();
+    for (auto &cb : done)
+        cb();
+}
+
+void
+FlowNetwork::recompute()
+{
+    // Progressive filling (max-min fairness with per-flow caps).
+    std::vector<double> rem_cap(topology_.numResources());
+    for (int r = 0; r < topology_.numResources(); r++)
+        rem_cap[r] = topology_.resourceCapacityGBps(r);
+
+    std::vector<Flow *> unfrozen;
+    unfrozen.reserve(flows_.size());
+    for (auto &[id, flow] : flows_) {
+        flow.rateGBps = 0.0;
+        unfrozen.push_back(&flow);
+    }
+
+    std::vector<int> usage(topology_.numResources(), 0);
+    while (!unfrozen.empty()) {
+        std::fill(usage.begin(), usage.end(), 0);
+        for (Flow *flow : unfrozen) {
+            for (ResourceId r : flow->resources)
+                usage[r]++;
+        }
+        double inc = std::numeric_limits<double>::infinity();
+        for (int r = 0; r < topology_.numResources(); r++) {
+            if (usage[r] > 0)
+                inc = std::min(inc, rem_cap[r] / usage[r]);
+        }
+        for (Flow *flow : unfrozen)
+            inc = std::min(inc, flow->capGBps - flow->rateGBps);
+        inc = std::max(inc, 0.0);
+
+        for (Flow *flow : unfrozen)
+            flow->rateGBps += inc;
+        for (int r = 0; r < topology_.numResources(); r++) {
+            if (usage[r] > 0)
+                rem_cap[r] = std::max(0.0, rem_cap[r] - inc * usage[r]);
+        }
+
+        // Freeze flows that hit their cap or a saturated resource.
+        std::vector<Flow *> next;
+        for (Flow *flow : unfrozen) {
+            bool frozen =
+                flow->rateGBps >= flow->capGBps - kRateEpsilon;
+            for (ResourceId r : flow->resources) {
+                if (rem_cap[r] <= kRateEpsilon)
+                    frozen = true;
+            }
+            if (!frozen)
+                next.push_back(flow);
+        }
+        if (next.size() == unfrozen.size())
+            break; // numerically stuck; rates are valid, stop here
+        unfrozen = std::move(next);
+    }
+
+    // Schedule the earliest completion.
+    double earliest_ns = std::numeric_limits<double>::infinity();
+    for (auto &[id, flow] : flows_) {
+        if (flow.rateGBps < kRateEpsilon)
+            throw RuntimeError(
+                "FlowNetwork: flow starved (zero-capacity route?)");
+        earliest_ns = std::min(earliest_ns,
+                               flow.remaining / flow.rateGBps);
+    }
+    if (!std::isfinite(earliest_ns))
+        return; // no active flows
+    TimeNs delay = static_cast<TimeNs>(std::ceil(earliest_ns));
+    scheduleUpdate(events_.now() + std::max<TimeNs>(delay, 1));
+}
+
+} // namespace mscclang

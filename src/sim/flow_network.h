@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Flow-level network model. Concurrent transfers ("flows") share the
+ * topology's capacity resources (per-GPU NVLink egress/ingress, IB
+ * NIC send/recv, point-to-point bundles) max-min fairly, with a
+ * per-flow rate cap modelling the bandwidth a single thread block can
+ * drive. This is the substrate on which the paper's optimizations
+ * act: parallelization adds flows to raise a link's utilization,
+ * aggregation amortizes per-message latency (paid by the caller),
+ * pipelining overlaps flows on disjoint resources.
+ */
+
+#ifndef MSCCLANG_SIM_FLOW_NETWORK_H_
+#define MSCCLANG_SIM_FLOW_NETWORK_H_
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "topology/topology.h"
+
+namespace mscclang {
+
+/** Identifier of an in-flight transfer. */
+using FlowId = std::int64_t;
+
+/** The shared-fabric model. One instance per simulated machine. */
+class FlowNetwork
+{
+  public:
+    FlowNetwork(const Topology &topology, EventQueue &events);
+
+    /**
+     * Starts a transfer of @p bytes across @p resources with a
+     * per-flow cap of @p cap_gbps; @p on_done fires when the last
+     * byte has drained. Fixed per-message latency is the caller's to
+     * add (it depends on protocol and link type).
+     */
+    FlowId startFlow(const std::vector<ResourceId> &resources,
+                     double cap_gbps, double bytes,
+                     std::function<void()> on_done);
+
+    /** Instantaneous rate of a flow in GB/s (0 if finished). */
+    double currentRateGBps(FlowId id) const;
+
+    int activeFlows() const { return static_cast<int>(flows_.size()); }
+
+    /** Total bytes delivered so far (conservation checks in tests). */
+    double deliveredBytes() const { return delivered_; }
+
+    /**
+     * Wire bytes that have crossed @p resource so far. Dividing by
+     * the elapsed time and the resource capacity gives utilization —
+     * the quantity Figure 6's pipelining argument is about.
+     */
+    double resourceBytes(ResourceId resource) const;
+
+  private:
+    struct Flow
+    {
+        std::vector<ResourceId> resources;
+        double capGBps = 0.0;
+        double remaining = 0.0; // bytes
+        double rateGBps = 0.0;
+        std::function<void()> onDone;
+    };
+
+    /** Settles all flows' progress from lastUpdate_ to now. */
+    void settle();
+
+    /**
+     * Requests an update (settle + complete + recompute) at @p when.
+     * Coalesces with any earlier pending update so that bursts of
+     * flow starts at one instant trigger a single recomputation.
+     */
+    void scheduleUpdate(TimeNs when);
+
+    /** Settles, completes drained flows, recomputes rates. */
+    void update();
+
+    /** Max-min fair rate recomputation + completion scheduling. */
+    void recompute();
+
+    const Topology &topology_;
+    EventQueue &events_;
+    std::unordered_map<FlowId, Flow> flows_;
+    FlowId nextId_ = 1;
+    TimeNs lastUpdate_ = 0;
+    EventId pendingEvent_ = 0;
+    TimeNs pendingAt_ = 0;
+    double delivered_ = 0.0;
+    std::vector<double> resourceBytes_;
+};
+
+} // namespace mscclang
+
+#endif // MSCCLANG_SIM_FLOW_NETWORK_H_

@@ -1,0 +1,277 @@
+#include "topology/topology.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace mscclang {
+
+const char *
+linkTypeName(LinkType type)
+{
+    switch (type) {
+      case LinkType::Loopback: return "Loopback";
+      case LinkType::NvLink: return "NVLink";
+      case LinkType::InfiniBand: return "IB";
+    }
+    return "?";
+}
+
+Topology::Topology(std::string name, int num_nodes, int gpus_per_node,
+                   MachineParams params)
+    : name_(std::move(name)), numNodes_(num_nodes),
+      gpusPerNode_(gpus_per_node), params_(params)
+{
+    if (num_nodes < 1 || gpus_per_node < 1)
+        throw Error("Topology: need at least one node and one GPU");
+    int ranks = numRanks();
+    routes_.resize(static_cast<size_t>(ranks) * ranks);
+    hasRoute_.resize(static_cast<size_t>(ranks) * ranks, false);
+    // Every rank can talk to itself through a local copy.
+    for (int r = 0; r < ranks; r++) {
+        Route loop;
+        loop.type = LinkType::Loopback;
+        setRoute(r, r, loop);
+    }
+}
+
+ResourceId
+Topology::addResource(const std::string &name, double capacity_gbps)
+{
+    if (capacity_gbps <= 0.0)
+        throw Error("Topology: resource '" + name +
+                    "' must have positive capacity");
+    resourceNames_.push_back(name);
+    resourceCaps_.push_back(capacity_gbps);
+    return static_cast<ResourceId>(resourceNames_.size()) - 1;
+}
+
+void
+Topology::setRoute(int src, int dst, Route route)
+{
+    if (src < 0 || src >= numRanks() || dst < 0 || dst >= numRanks())
+        throw Error(strprintf("Topology: route (%d -> %d) out of range",
+                              src, dst));
+    for (ResourceId id : route.resources) {
+        if (id < 0 || id >= numResources())
+            throw Error("Topology: route references unknown resource");
+    }
+    routes_[routeIndex(src, dst)] = std::move(route);
+    hasRoute_[routeIndex(src, dst)] = true;
+}
+
+double
+Topology::resourceCapacityGBps(ResourceId id) const
+{
+    if (id < 0 || id >= numResources())
+        throw Error("Topology: unknown resource id");
+    return resourceCaps_[id];
+}
+
+const std::string &
+Topology::resourceName(ResourceId id) const
+{
+    if (id < 0 || id >= numResources())
+        throw Error("Topology: unknown resource id");
+    return resourceNames_[id];
+}
+
+bool
+Topology::connected(int src, int dst) const
+{
+    if (src < 0 || src >= numRanks() || dst < 0 || dst >= numRanks())
+        return false;
+    return hasRoute_[routeIndex(src, dst)];
+}
+
+const Route &
+Topology::route(int src, int dst) const
+{
+    if (!connected(src, dst))
+        throw Error(strprintf("Topology %s: ranks %d and %d are not "
+                              "directly connected", name_.c_str(), src, dst));
+    return routes_[routeIndex(src, dst)];
+}
+
+LinkType
+Topology::linkType(int src, int dst) const
+{
+    return route(src, dst).type;
+}
+
+namespace {
+
+/**
+ * Builds an NVSwitch-style machine: full intra-node connectivity
+ * through per-GPU egress/ingress resources and cross-node IB routes
+ * through per-NIC send/recv resources. @p nic_of maps a local GPU
+ * index to its NIC index; @p nics_per_node gives the NIC count.
+ */
+Topology
+buildSwitched(const std::string &name, int num_nodes, int gpus_per_node,
+              MachineParams params, int nics_per_node,
+              int (*nic_of)(int local))
+{
+    Topology topo(name, num_nodes, gpus_per_node, params);
+    int ranks = topo.numRanks();
+
+    std::vector<ResourceId> egress(ranks), ingress(ranks);
+    for (int r = 0; r < ranks; r++) {
+        egress[r] = topo.addResource(strprintf("nvlink-out[%d]", r),
+                                     params.nvlinkGpuBwGBps);
+        ingress[r] = topo.addResource(strprintf("nvlink-in[%d]", r),
+                                      params.nvlinkGpuBwGBps);
+    }
+
+    std::vector<ResourceId> nicSend, nicRecv;
+    for (int n = 0; n < num_nodes; n++) {
+        for (int k = 0; k < nics_per_node; k++) {
+            nicSend.push_back(topo.addResource(
+                strprintf("ib-send[%d.%d]", n, k), params.ibNicBwGBps));
+            nicRecv.push_back(topo.addResource(
+                strprintf("ib-recv[%d.%d]", n, k), params.ibNicBwGBps));
+        }
+    }
+
+    for (int src = 0; src < ranks; src++) {
+        for (int dst = 0; dst < ranks; dst++) {
+            if (src == dst)
+                continue;
+            Route route;
+            if (topo.nodeOf(src) == topo.nodeOf(dst)) {
+                route.type = LinkType::NvLink;
+                route.resources = { egress[src], ingress[dst] };
+                route.extraLatencyUs = params.nvlinkLatencyUs;
+            } else {
+                route.type = LinkType::InfiniBand;
+                int snic = topo.nodeOf(src) * nics_per_node +
+                    nic_of(topo.localOf(src));
+                int dnic = topo.nodeOf(dst) * nics_per_node +
+                    nic_of(topo.localOf(dst));
+                route.resources = { nicSend[snic], nicRecv[dnic] };
+                route.extraLatencyUs = params.ibLatencyUs;
+            }
+            topo.setRoute(src, dst, route);
+        }
+    }
+    return topo;
+}
+
+int nicPerGpu(int local) { return local; }
+int nicPerGpuPair(int local) { return local / 2; }
+
+} // namespace
+
+Topology
+makeNdv4(int num_nodes)
+{
+    MachineParams params;
+    params.nvlinkGpuBwGBps = 300.0; // 600 GB/s bidirectional
+    params.tbNvlinkBwGBps = 20.0;
+    params.ibNicBwGBps = 25.0;
+    params.nvlinkLatencyUs = 0.5;
+    params.ibLatencyUs = 3.0;
+    params.kernelLaunchUs = 9.0;
+    params.localCopyBwGBps = 1400.0;
+    params.tbReduceBwGBps = 30.0;
+    return buildSwitched("NDv4", num_nodes, 8, params,
+                         /*nics_per_node=*/8, nicPerGpu);
+}
+
+Topology
+makeDgx2(int num_nodes)
+{
+    MachineParams params;
+    params.nvlinkGpuBwGBps = 150.0; // NVLink2: 300 GB/s bidirectional
+    params.tbNvlinkBwGBps = 12.0;
+    params.ibNicBwGBps = 25.0;
+    params.nvlinkLatencyUs = 0.9;
+    params.ibLatencyUs = 3.5;
+    params.kernelLaunchUs = 10.0;
+    params.localCopyBwGBps = 800.0;
+    params.tbReduceBwGBps = 20.0;
+    params.tbCopyBwGBps = 18.0;
+    params.protocolAlphaScale = 3.0;
+    return buildSwitched("DGX2", num_nodes, 16, params,
+                         /*nics_per_node=*/8, nicPerGpuPair);
+}
+
+Topology
+makeDgx1()
+{
+    MachineParams params;
+    params.nvlinkGpuBwGBps = 150.0;
+    params.tbNvlinkBwGBps = 12.0;
+    params.nvlinkLatencyUs = 0.9;
+    params.kernelLaunchUs = 10.0;
+    params.localCopyBwGBps = 800.0;
+    params.tbReduceBwGBps = 20.0;
+    params.tbCopyBwGBps = 18.0;
+    params.protocolAlphaScale = 3.0;
+
+    Topology topo("DGX1", 1, 8, params);
+
+    // Hybrid cube-mesh NVLink counts of a DGX-1V: each V100 has six
+    // NVLink2 bricks of 25 GB/s per direction.
+    struct Pair { int a, b, links; };
+    static const Pair pairs[] = {
+        { 0, 1, 1 }, { 0, 2, 1 }, { 0, 3, 2 }, { 0, 4, 2 },
+        { 1, 2, 2 }, { 1, 3, 1 }, { 1, 5, 2 },
+        { 2, 3, 1 }, { 2, 6, 2 },
+        { 3, 7, 2 },
+        { 4, 5, 1 }, { 4, 6, 1 }, { 4, 7, 2 },
+        { 5, 6, 2 }, { 5, 7, 1 },
+        { 6, 7, 1 },
+    };
+    const double per_link_gbps = 25.0;
+    for (const Pair &p : pairs) {
+        // A point-to-point bundle is a dedicated resource per
+        // direction; it is not shared with other GPU pairs.
+        ResourceId fwd = topo.addResource(
+            strprintf("nvlink[%d->%d]", p.a, p.b), p.links * per_link_gbps);
+        ResourceId rev = topo.addResource(
+            strprintf("nvlink[%d->%d]", p.b, p.a), p.links * per_link_gbps);
+        Route route;
+        route.type = LinkType::NvLink;
+        route.extraLatencyUs = params.nvlinkLatencyUs;
+        route.resources = { fwd };
+        topo.setRoute(p.a, p.b, route);
+        route.resources = { rev };
+        topo.setRoute(p.b, p.a, route);
+    }
+    return topo;
+}
+
+Topology
+makeGeneric(int num_nodes, int gpus_per_node, MachineParams params)
+{
+    return buildSwitched("Generic", num_nodes, gpus_per_node, params,
+                         /*nics_per_node=*/gpus_per_node, nicPerGpu);
+}
+
+Topology
+parseTopology(const std::string &spec)
+{
+    std::vector<std::string> parts = splitString(spec, ':');
+    auto int_at = [&](size_t i, int fallback) {
+        if (parts.size() <= i || parts[i].empty())
+            return fallback;
+        try {
+            return std::stoi(parts[i]);
+        } catch (const std::logic_error &) {
+            throw Error("parseTopology: bad number in '" + spec + "'");
+        }
+    };
+    if (parts[0] == "ndv4")
+        return makeNdv4(int_at(1, 1));
+    if (parts[0] == "dgx2")
+        return makeDgx2(int_at(1, 1));
+    if (parts[0] == "dgx1")
+        return makeDgx1();
+    if (parts[0] == "generic")
+        return makeGeneric(int_at(1, 1), int_at(2, 8));
+    throw Error("parseTopology: unknown machine '" + spec +
+                "' (expected ndv4:<n>, dgx2:<n>, dgx1, or "
+                "generic:<nodes>:<gpus>)");
+}
+
+} // namespace mscclang

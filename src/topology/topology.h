@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Machine and fabric topology descriptions.
+ *
+ * The paper evaluates on Azure NDv4 nodes (8 A100 GPUs, NVSwitch
+ * fabric, 8 HDR InfiniBand NICs per node), NVIDIA DGX2 nodes (16 V100
+ * GPUs, NVSwitch, 8 NICs per node) and a DGX-1 (8 V100, point-to-point
+ * hybrid cube-mesh NVLinks). We reproduce those machines as resource
+ * graphs: every directed GPU-to-GPU route names the shared capacity
+ * resources it consumes (source NVLink egress, destination ingress, IB
+ * NIC send/recv, or a dedicated point-to-point NVLink bundle), which
+ * the flow-level network model in src/sim shares max-min fairly among
+ * concurrent transfers.
+ */
+
+#ifndef MSCCLANG_TOPOLOGY_TOPOLOGY_H_
+#define MSCCLANG_TOPOLOGY_TOPOLOGY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mscclang {
+
+/** Interconnect classes distinguished by the runtime's cost model. */
+enum class LinkType {
+    Loopback,   ///< same GPU (device-local copy)
+    NvLink,     ///< intra-node GPU-to-GPU (NVSwitch or direct)
+    InfiniBand, ///< cross-node GPUDirect RDMA
+};
+
+/** Returns a short human-readable name ("NVLink", "IB", ...). */
+const char *linkTypeName(LinkType type);
+
+/** Identifier of a shared capacity resource inside a Topology. */
+using ResourceId = int;
+
+/** A directed route between two ranks and the resources it consumes. */
+struct Route
+{
+    LinkType type = LinkType::Loopback;
+    /** Shared capacity resources this route's flows draw from. */
+    std::vector<ResourceId> resources;
+    /** Extra fixed per-message latency of this route in microseconds. */
+    double extraLatencyUs = 0.0;
+};
+
+/**
+ * Tunable hardware cost constants for one machine generation. These
+ * are the "silicon" numbers of the simulation substrate; see DESIGN.md
+ * for the substitution rationale. Defaults are filled per machine by
+ * the builders below.
+ */
+struct MachineParams
+{
+    /** NVLink egress (= ingress) capacity per GPU, GB/s per direction. */
+    double nvlinkGpuBwGBps = 300.0;
+    /** Max bandwidth a single thread block can drive over NVLink. The
+     *  paper observes one A100 thread block cannot saturate a link;
+     *  this cap is what chunk parallelization works around. */
+    double tbNvlinkBwGBps = 20.0;
+    /** InfiniBand NIC bandwidth, GB/s per direction. */
+    double ibNicBwGBps = 25.0;
+    /** Per-hop NVLink message latency, microseconds. */
+    double nvlinkLatencyUs = 0.7;
+    /** Per-message InfiniBand latency (RDMA post + NIC), microsec. */
+    double ibLatencyUs = 3.0;
+    /** Per-message NIC/proxy occupancy, microseconds: each RDMA
+     *  message ties up the NIC for this long regardless of size, so
+     *  many small messages serialize — the overhead the Two-Step
+     *  AllToAll's aggregation amortizes (paper §7.3). */
+    double ibPerMessageUs = 0.2;
+    /** Additional per-message NIC occupancy for every further
+     *  connection sharing the NIC (queue-pair cache pressure): a
+     *  single deep-pipelined ring connection stays cheap while a
+     *  many-peer point-to-point exchange thrashes. */
+    double ibQpPenaltyUs = 0.1;
+    /** Cooperative kernel launch overhead per kernel, microseconds. */
+    double kernelLaunchUs = 9.0;
+    /** Device-local memory copy bandwidth, GB/s. */
+    double localCopyBwGBps = 1300.0;
+    /** Pointwise reduction throughput of one thread block, GB/s of
+     *  consumed input per operand. */
+    double tbReduceBwGBps = 30.0;
+    /** Local/FIFO copy throughput of one thread block, GB/s (the
+     *  receive path's FIFO-to-user-buffer copy). */
+    double tbCopyBwGBps = 32.0;
+    /** Fixed per-instruction decode/issue overhead, microseconds. */
+    double instrOverheadUs = 0.10;
+    /** Multiplier on protocol per-message latencies; older GPU
+     *  generations synchronize more slowly. */
+    double protocolAlphaScale = 1.0;
+};
+
+/**
+ * A cluster topology: N nodes x G GPUs plus a resource graph with a
+ * directed route between every pair of ranks that may communicate
+ * directly. Immutable once built by one of the builder functions.
+ */
+class Topology
+{
+  public:
+    Topology(std::string name, int num_nodes, int gpus_per_node,
+             MachineParams params);
+
+    const std::string &name() const { return name_; }
+    int numNodes() const { return numNodes_; }
+    int gpusPerNode() const { return gpusPerNode_; }
+    int numRanks() const { return numNodes_ * gpusPerNode_; }
+    const MachineParams &params() const { return params_; }
+
+    /** Node index of a rank. */
+    int nodeOf(int rank) const { return rank / gpusPerNode_; }
+    /** GPU index of a rank within its node. */
+    int localOf(int rank) const { return rank % gpusPerNode_; }
+    /** Rank of GPU @p local on node @p node. */
+    int rankOf(int node, int local) const
+    {
+        return node * gpusPerNode_ + local;
+    }
+
+    /** Registers a shared capacity resource; returns its id. */
+    ResourceId addResource(const std::string &name, double capacity_gbps);
+
+    /** Installs the directed route from @p src to @p dst. */
+    void setRoute(int src, int dst, Route route);
+
+    int numResources() const
+    {
+        return static_cast<int>(resourceCaps_.size());
+    }
+    double resourceCapacityGBps(ResourceId id) const;
+    const std::string &resourceName(ResourceId id) const;
+
+    /** True if a direct route src -> dst exists (Loopback included). */
+    bool connected(int src, int dst) const;
+
+    /**
+     * The route between two ranks.
+     * @throws mscclang::Error if the pair is not directly connected
+     * (e.g. non-adjacent GPUs on a DGX-1).
+     */
+    const Route &route(int src, int dst) const;
+
+    /** Link type of the route; convenience for cost lookups. */
+    LinkType linkType(int src, int dst) const;
+
+  private:
+    int routeIndex(int src, int dst) const
+    {
+        return src * numRanks() + dst;
+    }
+
+    std::string name_;
+    int numNodes_;
+    int gpusPerNode_;
+    MachineParams params_;
+    std::vector<std::string> resourceNames_;
+    std::vector<double> resourceCaps_;
+    std::vector<Route> routes_;
+    std::vector<bool> hasRoute_;
+};
+
+/**
+ * Azure NDv4: @p num_nodes nodes of 8 A100s. All-to-all NVSwitch
+ * fabric inside a node (modelled as per-GPU egress/ingress capacity);
+ * one dedicated HDR IB NIC per GPU for cross-node traffic (paper
+ * Figure 7: each pair of GPUs shares a PCIe switch with 2 NICs).
+ */
+Topology makeNdv4(int num_nodes);
+
+/**
+ * NVIDIA DGX2: @p num_nodes nodes of 16 V100s behind NVSwitch; each
+ * pair of GPUs shares one HDR IB NIC (8 NICs per node).
+ */
+Topology makeDgx2(int num_nodes);
+
+/**
+ * NVIDIA DGX-1V: a single node of 8 V100s connected point-to-point in
+ * the hybrid cube-mesh (no NVSwitch). Only adjacent GPUs have routes;
+ * capacity is 25 GB/s per NVLink times the link count of the pair.
+ */
+Topology makeDgx1();
+
+/**
+ * A generic single-switch machine for tests: @p num_nodes x
+ * @p gpus_per_node, full NVSwitch-style connectivity in the node and
+ * one NIC per GPU across nodes, with the given parameters.
+ */
+Topology makeGeneric(int num_nodes, int gpus_per_node,
+                     MachineParams params = MachineParams{});
+
+/**
+ * Parses a machine spec string: "ndv4:2" (2 NDv4 nodes), "dgx2:4",
+ * "dgx1", or "generic:<nodes>:<gpus>". Used by the CLI tools.
+ * @throws mscclang::Error on malformed specs.
+ */
+Topology parseTopology(const std::string &spec);
+
+} // namespace mscclang
+
+#endif // MSCCLANG_TOPOLOGY_TOPOLOGY_H_

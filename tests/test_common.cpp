@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Unit tests for src/common: byte formatting/parsing, string
+ * helpers, deterministic RNG and vocabulary types.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/types.h"
+
+namespace mscclang {
+namespace {
+
+TEST(Strings, FormatBytesExactPowers)
+{
+    EXPECT_EQ(formatBytes(0), "0B");
+    EXPECT_EQ(formatBytes(512), "512B");
+    EXPECT_EQ(formatBytes(1024), "1KB");
+    EXPECT_EQ(formatBytes(32 << 10), "32KB");
+    EXPECT_EQ(formatBytes(1 << 20), "1MB");
+    EXPECT_EQ(formatBytes(4ULL << 30), "4GB");
+}
+
+TEST(Strings, FormatBytesFractional)
+{
+    EXPECT_EQ(formatBytes(1536), "1.5KB");
+    EXPECT_EQ(formatBytes((1 << 20) + (512 << 10)), "1.5MB");
+}
+
+TEST(Strings, ParseBytesUnits)
+{
+    EXPECT_EQ(parseBytes("64"), 64u);
+    EXPECT_EQ(parseBytes("64B"), 64u);
+    EXPECT_EQ(parseBytes("32KB"), 32u << 10);
+    EXPECT_EQ(parseBytes("1MB"), 1u << 20);
+    EXPECT_EQ(parseBytes("2GB"), 2ULL << 30);
+    EXPECT_EQ(parseBytes("1TB"), 1ULL << 40);
+    EXPECT_EQ(parseBytes("1.5KB"), 1536u);
+}
+
+TEST(Strings, ParseBytesRoundTripsFormat)
+{
+    for (std::uint64_t bytes : sizeSweep(1 << 10, 1ULL << 30))
+        EXPECT_EQ(parseBytes(formatBytes(bytes)), bytes);
+}
+
+TEST(Strings, ParseBytesRejectsJunk)
+{
+    EXPECT_THROW(parseBytes(""), Error);
+    EXPECT_THROW(parseBytes("abc"), Error);
+    EXPECT_THROW(parseBytes("12XB"), Error);
+    EXPECT_THROW(parseBytes("-5KB"), Error);
+}
+
+TEST(Strings, SplitKeepsEmptyFields)
+{
+    auto fields = splitString("a,,b", ',');
+    ASSERT_EQ(fields.size(), 3u);
+    EXPECT_EQ(fields[0], "a");
+    EXPECT_EQ(fields[1], "");
+    EXPECT_EQ(fields[2], "b");
+    EXPECT_EQ(splitString("", ',').size(), 1u);
+}
+
+TEST(Strings, SizeSweepIsGeometric)
+{
+    auto sizes = sizeSweep(1 << 10, 8 << 10);
+    ASSERT_EQ(sizes.size(), 4u);
+    EXPECT_EQ(sizes[0], 1u << 10);
+    EXPECT_EQ(sizes[3], 8u << 10);
+}
+
+TEST(Strings, Strprintf)
+{
+    EXPECT_EQ(strprintf("%d-%s", 42, "x"), "42-x");
+    EXPECT_EQ(strprintf("%s", ""), "");
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer)
+{
+    Rng a(1), b(2);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, RangesRespected)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; i++) {
+        EXPECT_LT(rng.nextBelow(17), 17u);
+        std::int64_t v = rng.nextRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+        float f = rng.nextSignedFloat();
+        EXPECT_GE(f, -1.0f);
+        EXPECT_LT(f, 1.0f);
+    }
+}
+
+TEST(Types, Names)
+{
+    EXPECT_STREQ(bufferKindName(BufferKind::Input), "i");
+    EXPECT_STREQ(bufferKindName(BufferKind::Output), "o");
+    EXPECT_STREQ(bufferKindName(BufferKind::Scratch), "s");
+    EXPECT_STREQ(protocolName(Protocol::LL), "LL");
+    EXPECT_STREQ(protocolName(Protocol::LL128), "LL128");
+    EXPECT_STREQ(protocolName(Protocol::Simple), "Simple");
+    EXPECT_STREQ(protocolName(Protocol::Direct), "Direct");
+    EXPECT_STREQ(reduceOpName(ReduceOp::Sum), "sum");
+}
+
+} // namespace
+} // namespace mscclang

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Direct tests of the InstrGraph container mechanics: edge
+ * deduplication and True-subsumption, node replacement (the fusion
+ * primitive), depth computation, and cycle detection — plus the
+ * logging facility.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/log.h"
+#include "compiler/instr_graph.h"
+
+namespace mscclang {
+namespace {
+
+InstrNode
+localNode(Rank rank)
+{
+    InstrNode node;
+    node.op = IrOp::Copy;
+    node.rank = rank;
+    node.src = BufferSlice{ rank, BufferKind::Input, 0, 1 };
+    node.dst = BufferSlice{ rank, BufferKind::Scratch, 0, 1 };
+    return node;
+}
+
+TEST(InstrGraph, EdgesDeduplicateAndUpgrade)
+{
+    InstrGraph graph(1);
+    int a = graph.addNode(localNode(0));
+    int b = graph.addNode(localNode(0));
+    graph.addEdge(a, b, DepKind::Anti);
+    graph.addEdge(a, b, DepKind::Output); // duplicate pair: kept once
+    EXPECT_EQ(graph.edges().size(), 1u);
+    EXPECT_EQ(graph.edges()[0].kind, DepKind::Anti);
+    graph.addEdge(a, b, DepKind::True); // upgrade in place
+    EXPECT_EQ(graph.edges().size(), 1u);
+    EXPECT_EQ(graph.edges()[0].kind, DepKind::True);
+    // Self-edges are dropped.
+    graph.addEdge(a, a, DepKind::True);
+    EXPECT_EQ(graph.edges().size(), 1u);
+}
+
+TEST(InstrGraph, ReplaceNodeRewiresEdges)
+{
+    InstrGraph graph(1);
+    int a = graph.addNode(localNode(0));
+    int b = graph.addNode(localNode(0));
+    int c = graph.addNode(localNode(0));
+    graph.addEdge(a, b, DepKind::True);
+    graph.addEdge(b, c, DepKind::True);
+    graph.replaceNode(b, a); // fuse b into a
+    EXPECT_FALSE(graph.node(b).live);
+    EXPECT_EQ(graph.numLive(), 2);
+    std::vector<int> succs = graph.liveSuccs(a);
+    ASSERT_EQ(succs.size(), 1u);
+    EXPECT_EQ(succs[0], c);
+    EXPECT_EQ(graph.livePreds(c), std::vector<int>{ a });
+}
+
+TEST(InstrGraph, DepthsFollowLongestPath)
+{
+    InstrGraph graph(1);
+    int a = graph.addNode(localNode(0));
+    int b = graph.addNode(localNode(0));
+    int c = graph.addNode(localNode(0));
+    int d = graph.addNode(localNode(0));
+    graph.addEdge(a, b, DepKind::True);
+    graph.addEdge(b, c, DepKind::True);
+    graph.addEdge(a, d, DepKind::True);
+    graph.computeDepths();
+    EXPECT_EQ(graph.node(a).depth, 0);
+    EXPECT_EQ(graph.node(c).depth, 2);
+    EXPECT_EQ(graph.node(d).depth, 1);
+    EXPECT_EQ(graph.node(a).rdepth, 2);
+    EXPECT_EQ(graph.node(c).rdepth, 0);
+}
+
+TEST(InstrGraph, DepthFollowsCommEdges)
+{
+    InstrGraph graph(2);
+    InstrNode send;
+    send.op = IrOp::Send;
+    send.rank = 0;
+    send.src = BufferSlice{ 0, BufferKind::Input, 0, 1 };
+    send.sendPeer = 1;
+    InstrNode recv;
+    recv.op = IrOp::Recv;
+    recv.rank = 1;
+    recv.dst = BufferSlice{ 1, BufferKind::Scratch, 0, 1 };
+    recv.recvPeer = 0;
+    int s = graph.addNode(send);
+    int r = graph.addNode(recv);
+    graph.node(s).commSucc = r;
+    graph.node(r).commPred = s;
+    graph.computeDepths();
+    EXPECT_EQ(graph.node(r).depth, 1);
+    EXPECT_EQ(graph.node(s).rdepth, 1);
+}
+
+TEST(InstrGraph, CycleDetected)
+{
+    InstrGraph graph(1);
+    int a = graph.addNode(localNode(0));
+    int b = graph.addNode(localNode(0));
+    graph.addEdge(a, b, DepKind::True);
+    graph.addEdge(b, a, DepKind::Anti);
+    EXPECT_THROW(graph.computeDepths(), CompileError);
+}
+
+TEST(InstrGraph, DumpAndToStringAreInformative)
+{
+    InstrGraph graph(1);
+    InstrNode node = localNode(0);
+    node.splitIdx = 1;
+    node.splitCount = 2;
+    node.channel = 3;
+    int id = graph.addNode(node);
+    std::string text = graph.node(id).toString();
+    EXPECT_NE(text.find("cpy"), std::string::npos);
+    EXPECT_NE(text.find("split=1/2"), std::string::npos);
+    EXPECT_NE(text.find("ch=3"), std::string::npos);
+    EXPECT_NE(graph.dump().find("cpy"), std::string::npos);
+}
+
+TEST(Log, LevelsFilter)
+{
+    LogLevel original = Log::level();
+    Log::setLevel(LogLevel::ErrorLevel);
+    EXPECT_FALSE(Log::enabled(LogLevel::Debug));
+    EXPECT_FALSE(Log::enabled(LogLevel::Info));
+    EXPECT_TRUE(Log::enabled(LogLevel::ErrorLevel));
+    Log::setLevel(LogLevel::Debug);
+    EXPECT_TRUE(Log::enabled(LogLevel::Info));
+    // Writing must not crash at any level.
+    logDebug("debug message");
+    logInfo("info message");
+    logWarn("warn message");
+    logError("error message");
+    Log::setLevel(original);
+}
+
+} // namespace
+} // namespace mscclang

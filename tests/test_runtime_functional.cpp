@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Functional (data mode) integration tests: every collective program
+ * is compiled and executed end to end on simulated machines with real
+ * float buffers, and the output is compared against the
+ * postcondition-derived oracle.
+ */
+
+#include <gtest/gtest.h>
+
+#include "collectives/collectives.h"
+#include "test_util.h"
+
+namespace mscclang {
+namespace {
+
+using testing::runAndCheck;
+
+TEST(RuntimeFunctional, RingAllReduceSingleChannel)
+{
+    Topology topo = makeGeneric(1, 4);
+    auto prog = makeRingAllReduce(4, 1, AlgoConfig{});
+    EXPECT_EQ(runAndCheck(topo, *prog, 4 * 1024), "");
+}
+
+TEST(RuntimeFunctional, RingAllReduceMultiChannel)
+{
+    Topology topo = makeGeneric(1, 8);
+    auto prog = makeRingAllReduce(8, 4, AlgoConfig{});
+    EXPECT_EQ(runAndCheck(topo, *prog, 8 * 1024), "");
+}
+
+TEST(RuntimeFunctional, RingAllReduceWithInstances)
+{
+    Topology topo = makeGeneric(1, 4);
+    AlgoConfig config;
+    config.instances = 2;
+    auto prog = makeRingAllReduce(4, 2, config);
+    EXPECT_EQ(runAndCheck(topo, *prog, 16 * 1024), "");
+}
+
+TEST(RuntimeFunctional, RingAllReduceLLProtocol)
+{
+    Topology topo = makeGeneric(1, 4);
+    AlgoConfig config;
+    config.protocol = Protocol::LL;
+    auto prog = makeRingAllReduce(4, 1, config);
+    EXPECT_EQ(runAndCheck(topo, *prog, 4 * 1024), "");
+}
+
+TEST(RuntimeFunctional, AllPairsAllReduce)
+{
+    Topology topo = makeGeneric(1, 8);
+    auto prog = makeAllPairsAllReduce(8, AlgoConfig{});
+    EXPECT_EQ(runAndCheck(topo, *prog, 8 * 1024), "");
+}
+
+TEST(RuntimeFunctional, HierarchicalAllReduce)
+{
+    Topology topo = makeGeneric(2, 3);
+    auto prog = makeHierarchicalAllReduce(2, 3, 2, AlgoConfig{});
+    EXPECT_EQ(runAndCheck(topo, *prog, 6 * 1024), "");
+}
+
+TEST(RuntimeFunctional, HierarchicalAllReduceLarger)
+{
+    Topology topo = makeNdv4(2);
+    auto prog = makeHierarchicalAllReduce(2, 8, 2, AlgoConfig{});
+    EXPECT_EQ(runAndCheck(topo, *prog, 16 * 4096), "");
+}
+
+TEST(RuntimeFunctional, TwoStepAllToAll)
+{
+    Topology topo = makeGeneric(2, 2);
+    auto prog = makeTwoStepAllToAll(2, 2, AlgoConfig{});
+    EXPECT_EQ(runAndCheck(topo, *prog, 4 * 1024), "");
+}
+
+TEST(RuntimeFunctional, TwoStepAllToAllThreeNodes)
+{
+    Topology topo = makeGeneric(3, 4);
+    auto prog = makeTwoStepAllToAll(3, 4, AlgoConfig{});
+    EXPECT_EQ(runAndCheck(topo, *prog, 12 * 1024), "");
+}
+
+TEST(RuntimeFunctional, NaiveAllToAll)
+{
+    Topology topo = makeGeneric(2, 2);
+    auto prog = makeNaiveAllToAll(4, AlgoConfig{});
+    EXPECT_EQ(runAndCheck(topo, *prog, 4 * 1024), "");
+}
+
+TEST(RuntimeFunctional, AllToNext)
+{
+    Topology topo = makeGeneric(3, 4);
+    auto prog = makeAllToNext(3, 4, AlgoConfig{});
+    EXPECT_EQ(runAndCheck(topo, *prog, 4 * 1024), "");
+}
+
+TEST(RuntimeFunctional, AllToNextWithInstances)
+{
+    Topology topo = makeGeneric(2, 4);
+    AlgoConfig config;
+    config.instances = 4;
+    auto prog = makeAllToNext(2, 4, config);
+    EXPECT_EQ(runAndCheck(topo, *prog, 64 * 1024), "");
+}
+
+TEST(RuntimeFunctional, NaiveAllToNext)
+{
+    Topology topo = makeGeneric(2, 3);
+    auto prog = makeNaiveAllToNext(2, 3, AlgoConfig{});
+    EXPECT_EQ(runAndCheck(topo, *prog, 12 * 1024), "");
+}
+
+TEST(RuntimeFunctional, RingAllGather)
+{
+    Topology topo = makeGeneric(1, 6);
+    auto prog = makeRingAllGather(6, 2, AlgoConfig{});
+    EXPECT_EQ(runAndCheck(topo, *prog, 4 * 1024), "");
+}
+
+TEST(RuntimeFunctional, Sccl122AllGatherOnDgx1)
+{
+    Topology dgx1 = makeDgx1();
+    auto prog = makeSccl122AllGather(dgx1, AlgoConfig{});
+    CompileOptions copts;
+    copts.topology = &dgx1;
+    EXPECT_EQ(runAndCheck(dgx1, *prog, 8 * 1024, copts), "");
+}
+
+TEST(RuntimeFunctional, FusionOffMatchesOracleToo)
+{
+    Topology topo = makeGeneric(1, 4);
+    auto prog = makeRingAllReduce(4, 1, AlgoConfig{});
+    CompileOptions copts;
+    copts.fuse = false;
+    EXPECT_EQ(runAndCheck(topo, *prog, 4 * 1024, copts), "");
+}
+
+TEST(RuntimeFunctional, LargeBufferMultipleTiles)
+{
+    Topology topo = makeGeneric(1, 4);
+    AlgoConfig config;
+    config.protocol = Protocol::LL; // 32KB slots -> several tiles
+    auto prog = makeRingAllReduce(4, 1, config);
+    EXPECT_EQ(runAndCheck(topo, *prog, 1 << 20), "");
+}
+
+} // namespace
+} // namespace mscclang

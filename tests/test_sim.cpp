@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Unit tests for the simulation substrate: the discrete-event queue
+ * (ordering, same-time FIFO, cancellation) and the flow-level
+ * network model (rate caps, max-min fair sharing, conservation,
+ * completion timing).
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "sim/event_queue.h"
+#include "sim/flow_network.h"
+
+namespace mscclang {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue events;
+    std::vector<int> order;
+    events.schedule(30, [&] { order.push_back(3); });
+    events.schedule(10, [&] { order.push_back(1); });
+    events.schedule(20, [&] { order.push_back(2); });
+    events.run();
+    EXPECT_EQ(order, (std::vector<int>{ 1, 2, 3 }));
+    EXPECT_EQ(events.now(), 30);
+    EXPECT_EQ(events.executed(), 3u);
+}
+
+TEST(EventQueue, SameTimeIsFifo)
+{
+    EventQueue events;
+    std::vector<int> order;
+    for (int i = 0; i < 10; i++)
+        events.schedule(5, [&order, i] { order.push_back(i); });
+    events.run();
+    for (int i = 0; i < 10; i++)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CallbacksScheduleMore)
+{
+    EventQueue events;
+    int fired = 0;
+    events.schedule(1, [&] {
+        fired++;
+        events.scheduleAfter(5, [&] { fired++; });
+    });
+    events.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(events.now(), 6);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue events;
+    int fired = 0;
+    EventId id = events.schedule(10, [&] { fired++; });
+    events.schedule(5, [&] { fired += 10; });
+    events.cancel(id);
+    events.run();
+    EXPECT_EQ(fired, 10);
+    EXPECT_TRUE(events.empty());
+}
+
+TEST(EventQueue, SchedulingIntoPastThrows)
+{
+    EventQueue events;
+    events.schedule(10, [] {});
+    events.runOne();
+    EXPECT_THROW(events.schedule(5, [] {}), RuntimeError);
+}
+
+TEST(EventQueue, UsToNsRounds)
+{
+    EXPECT_EQ(usToNs(1.0), 1000);
+    EXPECT_EQ(usToNs(0.0004), 0); // below resolution
+    EXPECT_EQ(usToNs(2.5), 2500);
+}
+
+// ------------------------------------------------------------------
+
+/** One-resource topology with capacity 10 GB/s. */
+Topology
+tinyFabric(double cap_gbps = 10.0)
+{
+    MachineParams params;
+    params.nvlinkGpuBwGBps = cap_gbps;
+    return makeGeneric(1, 2, params);
+}
+
+TEST(FlowNetwork, SingleFlowRunsAtCap)
+{
+    Topology topo = tinyFabric();
+    EventQueue events;
+    FlowNetwork net(topo, events);
+    TimeNs done = -1;
+    // 10 GB/s cap on the route, flow capped at 4 GB/s -> 1000 bytes
+    // take 250 ns.
+    net.startFlow(topo.route(0, 1).resources, 4.0, 1000.0,
+                  [&] { done = events.now(); });
+    events.run();
+    EXPECT_NEAR(static_cast<double>(done), 250.0, 2.0);
+    EXPECT_NEAR(net.deliveredBytes(), 1000.0, 1e-3);
+}
+
+TEST(FlowNetwork, ResourceCapSharedFairly)
+{
+    Topology topo = tinyFabric(10.0);
+    EventQueue events;
+    FlowNetwork net(topo, events);
+    TimeNs done_a = -1, done_b = -1;
+    // Two 1000-byte flows on the same egress, each individually able
+    // to do 10 GB/s: they share 5/5 and finish together at 200ns.
+    auto route = topo.route(0, 1).resources;
+    net.startFlow(route, 100.0, 1000.0, [&] { done_a = events.now(); });
+    net.startFlow(route, 100.0, 1000.0, [&] { done_b = events.now(); });
+    events.run();
+    EXPECT_NEAR(static_cast<double>(done_a), 200.0, 3.0);
+    EXPECT_NEAR(static_cast<double>(done_b), 200.0, 3.0);
+}
+
+TEST(FlowNetwork, MaxMinRedistributesUnusedShare)
+{
+    Topology topo = tinyFabric(10.0);
+    EventQueue events;
+    FlowNetwork net(topo, events);
+    // Flow A capped at 2 GB/s; flow B uncapped: B should get the
+    // remaining 8 GB/s (not the naive 5).
+    auto route = topo.route(0, 1).resources;
+    FlowId a = net.startFlow(route, 2.0, 1e6, [] {});
+    FlowId b = net.startFlow(route, 100.0, 1e6, [] {});
+    // Drive one recompute.
+    events.runOne();
+    EXPECT_NEAR(net.currentRateGBps(a), 2.0, 1e-6);
+    EXPECT_NEAR(net.currentRateGBps(b), 8.0, 1e-6);
+    EXPECT_EQ(net.activeFlows(), 2);
+}
+
+TEST(FlowNetwork, DisjointRoutesDoNotInterfere)
+{
+    MachineParams params;
+    params.nvlinkGpuBwGBps = 10.0;
+    Topology topo = makeGeneric(1, 4, params);
+    EventQueue events;
+    FlowNetwork net(topo, events);
+    FlowId a = net.startFlow(topo.route(0, 1).resources, 100.0, 1e6,
+                             [] {});
+    FlowId b = net.startFlow(topo.route(2, 3).resources, 100.0, 1e6,
+                             [] {});
+    events.runOne();
+    EXPECT_NEAR(net.currentRateGBps(a), 10.0, 1e-6);
+    EXPECT_NEAR(net.currentRateGBps(b), 10.0, 1e-6);
+}
+
+TEST(FlowNetwork, RatesReadjustWhenFlowsFinish)
+{
+    Topology topo = tinyFabric(10.0);
+    EventQueue events;
+    FlowNetwork net(topo, events);
+    auto route = topo.route(0, 1).resources;
+    TimeNs done_small = -1, done_big = -1;
+    net.startFlow(route, 100.0, 500.0,
+                  [&] { done_small = events.now(); });
+    net.startFlow(route, 100.0, 1500.0,
+                  [&] { done_big = events.now(); });
+    events.run();
+    // Shared 5/5 until the small one drains at t=100; the big one
+    // then runs at 10: 1500 = 5*100 + 10*(t-100) -> t = 200.
+    EXPECT_NEAR(static_cast<double>(done_small), 100.0, 3.0);
+    EXPECT_NEAR(static_cast<double>(done_big), 200.0, 5.0);
+    EXPECT_NEAR(net.deliveredBytes(), 2000.0, 1e-2);
+}
+
+TEST(FlowNetwork, ZeroByteFlowCompletesImmediately)
+{
+    Topology topo = tinyFabric();
+    EventQueue events;
+    FlowNetwork net(topo, events);
+    bool done = false;
+    net.startFlow(topo.route(0, 1).resources, 1.0, 0.0,
+                  [&] { done = true; });
+    events.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(events.now(), 0);
+}
+
+TEST(FlowNetwork, RejectsBadFlows)
+{
+    Topology topo = tinyFabric();
+    EventQueue events;
+    FlowNetwork net(topo, events);
+    EXPECT_THROW(
+        net.startFlow(topo.route(0, 1).resources, 0.0, 10.0, [] {}),
+        RuntimeError);
+    EXPECT_THROW(
+        net.startFlow(topo.route(0, 1).resources, 1.0, -1.0, [] {}),
+        RuntimeError);
+}
+
+TEST(FlowNetwork, ManyFlowsConserveBytes)
+{
+    MachineParams params;
+    params.nvlinkGpuBwGBps = 7.0;
+    Topology topo = makeGeneric(1, 8, params);
+    EventQueue events;
+    FlowNetwork net(topo, events);
+    double total = 0.0;
+    int completed = 0;
+    for (int i = 0; i < 64; i++) {
+        int src = i % 8, dst = (i + 1 + i / 8) % 8;
+        if (src == dst)
+            dst = (dst + 1) % 8;
+        double bytes = 100.0 * (i + 1);
+        total += bytes;
+        net.startFlow(topo.route(src, dst).resources, 2.5, bytes,
+                      [&] { completed++; });
+    }
+    events.run();
+    EXPECT_EQ(completed, 64);
+    EXPECT_NEAR(net.deliveredBytes(), total, 1.0);
+    EXPECT_EQ(net.activeFlows(), 0);
+}
+
+} // namespace
+} // namespace mscclang

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * End-to-end smoke tests: every collective program in the library
+ * traces, compiles and passes static verification on a small machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "collectives/collectives.h"
+#include "compiler/compiler.h"
+
+namespace mscclang {
+namespace {
+
+TEST(Smoke, RingAllReduceCompilesAndVerifies)
+{
+    auto prog = makeRingAllReduce(4, 2, AlgoConfig{});
+    prog->checkPostcondition();
+    Compiled out = compileProgram(*prog);
+    EXPECT_EQ(out.ir.numRanks, 4);
+    EXPECT_GT(out.stats.fusion.rrs + out.stats.fusion.rrcs +
+              out.stats.fusion.rcs, 0);
+}
+
+TEST(Smoke, AllPairsCompilesAndVerifies)
+{
+    auto prog = makeAllPairsAllReduce(4, AlgoConfig{});
+    prog->checkPostcondition();
+    compileProgram(*prog);
+}
+
+TEST(Smoke, HierarchicalAllReduceCompilesAndVerifies)
+{
+    auto prog = makeHierarchicalAllReduce(2, 3, 2, AlgoConfig{});
+    prog->checkPostcondition();
+    compileProgram(*prog);
+}
+
+TEST(Smoke, TwoStepAllToAllCompilesAndVerifies)
+{
+    auto prog = makeTwoStepAllToAll(2, 2, AlgoConfig{});
+    prog->checkPostcondition();
+    compileProgram(*prog);
+}
+
+TEST(Smoke, NaiveAllToAllCompilesAndVerifies)
+{
+    auto prog = makeNaiveAllToAll(4, AlgoConfig{});
+    prog->checkPostcondition();
+    compileProgram(*prog);
+}
+
+TEST(Smoke, AllToNextCompilesAndVerifies)
+{
+    auto prog = makeAllToNext(2, 3, AlgoConfig{});
+    prog->checkPostcondition();
+    compileProgram(*prog);
+}
+
+TEST(Smoke, NaiveAllToNextCompilesAndVerifies)
+{
+    auto prog = makeNaiveAllToNext(2, 3, AlgoConfig{});
+    prog->checkPostcondition();
+    compileProgram(*prog);
+}
+
+TEST(Smoke, RingAllGatherCompilesAndVerifies)
+{
+    auto prog = makeRingAllGather(4, 2, AlgoConfig{});
+    prog->checkPostcondition();
+    compileProgram(*prog);
+}
+
+TEST(Smoke, Sccl122AllGatherCompilesAndVerifies)
+{
+    Topology dgx1 = makeDgx1();
+    auto prog = makeSccl122AllGather(dgx1, AlgoConfig{});
+    prog->checkPostcondition();
+    CompileOptions options;
+    options.topology = &dgx1;
+    compileProgram(*prog, options);
+}
+
+TEST(Smoke, InstancesSplitPrograms)
+{
+    AlgoConfig config;
+    config.instances = 3;
+    auto prog = makeRingAllReduce(4, 1, config);
+    Compiled out = compileProgram(*prog);
+    // Each instance needs its own channel.
+    EXPECT_GE(out.stats.channels, 3);
+}
+
+} // namespace
+} // namespace mscclang

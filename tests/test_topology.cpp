@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for the machine models: NDv4, DGX2, DGX-1 connectivity, NIC
+ * mapping, resource registration and route validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "topology/topology.h"
+
+namespace mscclang {
+namespace {
+
+TEST(Topology, Ndv4Shape)
+{
+    Topology topo = makeNdv4(2);
+    EXPECT_EQ(topo.numNodes(), 2);
+    EXPECT_EQ(topo.gpusPerNode(), 8);
+    EXPECT_EQ(topo.numRanks(), 16);
+    EXPECT_EQ(topo.nodeOf(11), 1);
+    EXPECT_EQ(topo.localOf(11), 3);
+    EXPECT_EQ(topo.rankOf(1, 3), 11);
+}
+
+TEST(Topology, LinkTypesByLocality)
+{
+    Topology topo = makeNdv4(2);
+    EXPECT_EQ(topo.linkType(0, 0), LinkType::Loopback);
+    EXPECT_EQ(topo.linkType(0, 7), LinkType::NvLink);
+    EXPECT_EQ(topo.linkType(0, 8), LinkType::InfiniBand);
+    EXPECT_EQ(topo.linkType(15, 1), LinkType::InfiniBand);
+}
+
+TEST(Topology, Ndv4OneNicPerGpu)
+{
+    // Different local GPUs must use different NIC resources; the
+    // same local index on both ends shares nothing but its own NICs.
+    Topology topo = makeNdv4(2);
+    const Route &a = topo.route(0, 8);
+    const Route &b = topo.route(1, 9);
+    ASSERT_EQ(a.resources.size(), 2u);
+    ASSERT_EQ(b.resources.size(), 2u);
+    EXPECT_NE(a.resources[0], b.resources[0]); // distinct send NICs
+    EXPECT_NE(a.resources[1], b.resources[1]); // distinct recv NICs
+}
+
+TEST(Topology, Dgx2SharesNicPerGpuPair)
+{
+    Topology topo = makeDgx2(2);
+    EXPECT_EQ(topo.gpusPerNode(), 16);
+    const Route &a = topo.route(0, 16); // local 0 -> NIC 0
+    const Route &b = topo.route(1, 17); // local 1 -> NIC 0 (shared!)
+    const Route &c = topo.route(2, 18); // local 2 -> NIC 1
+    EXPECT_EQ(a.resources[0], b.resources[0]);
+    EXPECT_NE(a.resources[0], c.resources[0]);
+}
+
+TEST(Topology, Dgx1AdjacencyIsHybridCubeMesh)
+{
+    Topology dgx1 = makeDgx1();
+    // Each V100 has exactly 4 NVLink neighbors.
+    for (int r = 0; r < 8; r++) {
+        int neighbors = 0;
+        for (int q = 0; q < 8; q++) {
+            if (q != r && dgx1.connected(r, q))
+                neighbors++;
+        }
+        EXPECT_EQ(neighbors, 4) << "gpu " << r;
+    }
+    // Known non-edges of the cube-mesh.
+    EXPECT_FALSE(dgx1.connected(0, 5));
+    EXPECT_FALSE(dgx1.connected(0, 6));
+    EXPECT_FALSE(dgx1.connected(0, 7));
+    EXPECT_TRUE(dgx1.connected(0, 3));
+    // Connectivity is symmetric.
+    for (int r = 0; r < 8; r++) {
+        for (int q = 0; q < 8; q++)
+            EXPECT_EQ(dgx1.connected(r, q), dgx1.connected(q, r));
+    }
+}
+
+TEST(Topology, Dgx1DoubleLinksHaveDoubleCapacity)
+{
+    Topology dgx1 = makeDgx1();
+    double cap01 =
+        dgx1.resourceCapacityGBps(dgx1.route(0, 1).resources[0]);
+    double cap03 =
+        dgx1.resourceCapacityGBps(dgx1.route(0, 3).resources[0]);
+    EXPECT_DOUBLE_EQ(cap01, 25.0);  // single NVLink
+    EXPECT_DOUBLE_EQ(cap03, 50.0);  // double NVLink
+}
+
+TEST(Topology, UnconnectedRouteThrows)
+{
+    Topology dgx1 = makeDgx1();
+    EXPECT_THROW(dgx1.route(0, 7), Error);
+    EXPECT_FALSE(dgx1.connected(0, 99));
+}
+
+TEST(Topology, ResourceValidation)
+{
+    Topology topo = makeGeneric(1, 2);
+    EXPECT_THROW(topo.addResource("bad", 0.0), Error);
+    EXPECT_THROW(topo.resourceCapacityGBps(-1), Error);
+    EXPECT_THROW(topo.resourceName(9999), Error);
+    Route route;
+    route.resources = { 123456 };
+    EXPECT_THROW(topo.setRoute(0, 1, route), Error);
+    EXPECT_THROW(Topology("x", 0, 1, MachineParams{}), Error);
+}
+
+TEST(Topology, GenerationParametersDiffer)
+{
+    Topology a100 = makeNdv4(1);
+    Topology v100 = makeDgx2(1);
+    EXPECT_GT(a100.params().nvlinkGpuBwGBps,
+              v100.params().nvlinkGpuBwGBps);
+    EXPECT_GT(a100.params().tbNvlinkBwGBps,
+              v100.params().tbNvlinkBwGBps);
+    EXPECT_GT(v100.params().protocolAlphaScale,
+              a100.params().protocolAlphaScale);
+}
+
+TEST(Topology, EveryResourceIsNamed)
+{
+    Topology topo = makeNdv4(2);
+    for (int r = 0; r < topo.numResources(); r++)
+        EXPECT_FALSE(topo.resourceName(r).empty());
+}
+
+} // namespace
+} // namespace mscclang

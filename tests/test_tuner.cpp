@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the autotuner, the chrome tracing export, and the
+ * topology spec parser — the tooling layer around the runtime.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "collectives/collectives.h"
+#include "common/error.h"
+#include "compiler/compiler.h"
+#include "runtime/tuner.h"
+
+namespace mscclang {
+namespace {
+
+TEST(Tuner, PicksLatencyAlgorithmSmallBandwidthLarge)
+{
+    Topology topo = makeNdv4(1);
+    AlgoConfig ll;
+    ll.protocol = Protocol::LL;
+    ll.instances = 4;
+    AlgoConfig simple;
+    simple.protocol = Protocol::Simple;
+    simple.instances = 8;
+    std::vector<IrProgram> candidates;
+    candidates.push_back(
+        compileProgram(*makeAllPairsAllReduce(8, ll)).ir); // latency
+    candidates.push_back(
+        compileProgram(*makeRingAllReduce(8, 1, simple)).ir); // bw
+
+    TuneOptions options;
+    options.fromBytes = 1 << 10;
+    options.toBytes = 64 << 20;
+    std::vector<TunedWindow> windows =
+        tuneWindows(topo, candidates, options);
+
+    ASSERT_GE(windows.size(), 2u);
+    EXPECT_EQ(windows.front().candidate, 0); // All Pairs at small
+    EXPECT_EQ(windows.back().candidate, 1);  // Ring at large
+    // Windows tile the space contiguously from zero to +inf.
+    EXPECT_EQ(windows.front().minBytes, 0u);
+    for (size_t i = 1; i < windows.size(); i++)
+        EXPECT_EQ(windows[i].minBytes, windows[i - 1].maxBytes + 1);
+    EXPECT_EQ(windows.back().maxBytes,
+              std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Tuner, RegisteredWindowsDriveSelection)
+{
+    Topology topo = makeNdv4(1);
+    AlgoConfig ll;
+    ll.protocol = Protocol::LL;
+    ll.instances = 4;
+    AlgoConfig simple;
+    simple.protocol = Protocol::Simple;
+    simple.instances = 8;
+    std::vector<IrProgram> candidates;
+    candidates.push_back(
+        compileProgram(*makeAllPairsAllReduce(8, ll)).ir);
+    candidates.back().name = "allpairs";
+    candidates.push_back(
+        compileProgram(*makeRingAllReduce(8, 1, simple)).ir);
+    candidates.back().name = "ring";
+
+    std::vector<TunedWindow> windows = tuneWindows(topo, candidates);
+    Communicator comm(topo);
+    registerTuned(comm, candidates, windows);
+
+    RunOptions small;
+    small.bytes = 1 << 10;
+    EXPECT_EQ(comm.run("allreduce", small).algorithm, "allpairs");
+    RunOptions big;
+    big.bytes = 64 << 20;
+    EXPECT_EQ(comm.run("allreduce", big).algorithm, "ring");
+}
+
+TEST(Tuner, RejectsBadInput)
+{
+    Topology topo = makeNdv4(1);
+    EXPECT_THROW(tuneWindows(topo, {}), RuntimeError);
+    std::vector<IrProgram> candidates;
+    candidates.push_back(
+        compileProgram(*makeRingAllReduce(8, 1, {})).ir);
+    TuneOptions bad;
+    bad.fromBytes = 100;
+    bad.toBytes = 10;
+    EXPECT_THROW(tuneWindows(topo, candidates, bad), RuntimeError);
+}
+
+TEST(Tracing, EmitsValidTimeline)
+{
+    Topology topo = makeGeneric(1, 4);
+    IrProgram ir = compileProgram(*makeRingAllReduce(4, 1, {})).ir;
+    std::string path = ::testing::TempDir() + "mscclang_trace.json";
+    ExecOptions options;
+    options.bytesPerRank = 64 << 10;
+    options.traceFile = path;
+    runIr(topo, ir, options);
+
+    std::ifstream file(path);
+    ASSERT_TRUE(file.good());
+    std::ostringstream text;
+    text << file.rdbuf();
+    std::string json = text.str();
+    EXPECT_EQ(json.front(), '[');
+    // Fused ring instructions appear as slices with durations.
+    EXPECT_NE(json.find("\"name\":\"rrcs\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+    // One slice per executed (tile, step): count events ~ instrs.
+    size_t events = 0;
+    for (size_t pos = json.find("\"name\""); pos != std::string::npos;
+         pos = json.find("\"name\"", pos + 1)) {
+        events++;
+    }
+    EXPECT_GE(events, 24u); // 4 ranks x 6 steps at least
+    std::remove(path.c_str());
+}
+
+TEST(TopologySpec, ParsesKnownMachines)
+{
+    EXPECT_EQ(parseTopology("ndv4:2").numRanks(), 16);
+    EXPECT_EQ(parseTopology("dgx2:1").numRanks(), 16);
+    EXPECT_EQ(parseTopology("dgx1").numRanks(), 8);
+    Topology generic = parseTopology("generic:3:5");
+    EXPECT_EQ(generic.numNodes(), 3);
+    EXPECT_EQ(generic.gpusPerNode(), 5);
+}
+
+TEST(TopologySpec, RejectsJunk)
+{
+    EXPECT_THROW(parseTopology("tpu:4"), Error);
+    EXPECT_THROW(parseTopology("ndv4:x"), Error);
+    EXPECT_THROW(parseTopology(""), Error);
+}
+
+} // namespace
+} // namespace mscclang

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Tests for the XML reader/writer and the MSCCL-IR exchange format:
+ * parser features and error reporting, escaping, and exact IR
+ * round-trips for every collective in the library.
+ */
+
+#include <gtest/gtest.h>
+
+#include "collectives/collectives.h"
+#include "common/error.h"
+#include "compiler/compiler.h"
+#include "ir/xml.h"
+
+namespace mscclang {
+namespace {
+
+TEST(Xml, ParsesAttributesAndChildren)
+{
+    XmlNode root = parseXml(
+        "<a x=\"1\" y='two'><b/><c z=\"3\"></c></a>");
+    EXPECT_EQ(root.tag, "a");
+    EXPECT_EQ(root.attrInt("x"), 1);
+    EXPECT_EQ(root.attr("y"), "two");
+    ASSERT_EQ(root.children.size(), 2u);
+    EXPECT_EQ(root.children[0].tag, "b");
+    EXPECT_EQ(root.children[1].attrInt("z"), 3);
+}
+
+TEST(Xml, SkipsCommentsAndProlog)
+{
+    XmlNode root = parseXml(
+        "<?xml version=\"1.0\"?><!-- hi --><a><!-- inner --><b/></a>");
+    EXPECT_EQ(root.tag, "a");
+    EXPECT_EQ(root.children.size(), 1u);
+}
+
+TEST(Xml, UnescapesEntities)
+{
+    XmlNode root = parseXml("<a v=\"&lt;&amp;&gt;&quot;&apos;\"/>");
+    EXPECT_EQ(root.attr("v"), "<&>\"'");
+}
+
+TEST(Xml, AttrHelpers)
+{
+    XmlNode root = parseXml("<a x=\"5\" f=\"2.5\"/>");
+    EXPECT_TRUE(root.hasAttr("x"));
+    EXPECT_FALSE(root.hasAttr("q"));
+    EXPECT_EQ(root.attrOr("q", "dflt"), "dflt");
+    EXPECT_EQ(root.attrIntOr("q", 9), 9);
+    EXPECT_DOUBLE_EQ(root.attrDouble("f"), 2.5);
+    EXPECT_THROW(root.attr("missing"), Error);
+    EXPECT_EQ(root.attrInt("f"), 2); // stoi truncates "2.5"
+}
+
+TEST(Xml, RejectsMalformedInput)
+{
+    EXPECT_THROW(parseXml(""), Error);
+    EXPECT_THROW(parseXml("<a>"), Error);
+    EXPECT_THROW(parseXml("<a></b>"), Error);
+    EXPECT_THROW(parseXml("<a x=1/>"), Error);
+    EXPECT_THROW(parseXml("<a>text</a>"), Error);
+    EXPECT_THROW(parseXml("<a/><b/>"), Error);
+    EXPECT_THROW(parseXml("<a v=\"&bogus;\"/>"), Error);
+}
+
+TEST(Xml, WriterProducesParsableNesting)
+{
+    XmlWriter writer;
+    writer.open("root");
+    writer.attr("n", 2);
+    writer.open("child");
+    writer.attr("s", "a<b");
+    writer.close();
+    writer.open("child");
+    writer.close();
+    writer.close();
+    XmlNode root = parseXml(writer.str());
+    EXPECT_EQ(root.tag, "root");
+    EXPECT_EQ(root.children.size(), 2u);
+    EXPECT_EQ(root.children[0].attr("s"), "a<b");
+}
+
+TEST(Xml, WriterRejectsMisuse)
+{
+    XmlWriter writer;
+    EXPECT_THROW(writer.attr("x", 1), Error);
+    EXPECT_THROW(writer.close(), Error);
+    writer.open("a");
+    EXPECT_THROW(writer.str(), Error); // unclosed
+}
+
+TEST(IrXml, RoundTripsEveryCollective)
+{
+    Topology dgx1 = makeDgx1();
+    std::vector<std::unique_ptr<Program>> programs;
+    AlgoConfig config;
+    config.instances = 2;
+    config.protocol = Protocol::LL;
+    programs.push_back(makeRingAllReduce(4, 2, config));
+    programs.push_back(makeAllPairsAllReduce(4, config));
+    programs.push_back(makeHierarchicalAllReduce(2, 3, 2, config));
+    programs.push_back(makeTwoStepAllToAll(2, 2, config));
+    programs.push_back(makeAllToNext(2, 3, config));
+    programs.push_back(makeRingAllGather(4, 2, config));
+    programs.push_back(makeSccl122AllGather(dgx1, config));
+    for (auto &prog : programs) {
+        Compiled out = compileProgram(*prog);
+        IrProgram reloaded = IrProgram::fromXml(out.ir.toXml());
+        EXPECT_EQ(reloaded, out.ir) << prog->options().name;
+    }
+}
+
+TEST(IrXml, RejectsUnknownStructure)
+{
+    EXPECT_THROW(IrProgram::fromXml("<wrong/>"), Error);
+    EXPECT_THROW(IrProgram::fromXml("<algo nranks=\"1\"><oops/></algo>"),
+                 Error);
+    EXPECT_THROW(IrProgram::fromXml(
+                     "<algo nranks=\"1\"><gpu id=\"0\" i_chunks=\"1\" "
+                     "o_chunks=\"1\" s_chunks=\"0\"><tb id=\"0\" "
+                     "send=\"-1\" recv=\"-1\" chan=\"0\">"
+                     "<step s=\"0\" type=\"xyz\" srcbuf=\"i\" "
+                     "srcoff=\"0\" dstbuf=\"o\" dstoff=\"0\" "
+                     "cnt=\"1\" hasdep=\"0\"/></tb></gpu></algo>"),
+                 Error);
+}
+
+TEST(IrXml, DumpMentionsEveryThreadBlock)
+{
+    Compiled out = compileProgram(*makeRingAllReduce(4, 1, {}));
+    std::string dump = out.ir.dump();
+    for (const IrGpu &gpu : out.ir.gpus) {
+        EXPECT_NE(dump.find(strprintf("gpu %d", gpu.rank)),
+                  std::string::npos);
+    }
+}
+
+TEST(IrOps, NameTableRoundTrips)
+{
+    for (IrOp op : { IrOp::Nop, IrOp::Send, IrOp::Recv, IrOp::Copy,
+                     IrOp::Reduce, IrOp::RecvReduceCopy,
+                     IrOp::RecvReduceSend, IrOp::RecvReduceCopySend,
+                     IrOp::RecvCopySend }) {
+        EXPECT_EQ(irOpFromName(irOpName(op)), op);
+    }
+    EXPECT_THROW(irOpFromName("nope"), Error);
+}
+
+TEST(IrOps, SemanticPredicatesAreConsistent)
+{
+    // Every op that sends or receives participates in communication;
+    // rrs is the only receiving op that does not write memory.
+    EXPECT_TRUE(irOpSends(IrOp::RecvReduceSend));
+    EXPECT_FALSE(irOpWritesDst(IrOp::RecvReduceSend));
+    EXPECT_TRUE(irOpReceives(IrOp::RecvCopySend));
+    EXPECT_FALSE(irOpReadsSrc(IrOp::RecvCopySend));
+    EXPECT_TRUE(irOpReduces(IrOp::RecvReduceCopySend));
+    EXPECT_FALSE(irOpReduces(IrOp::Copy));
+}
+
+} // namespace
+} // namespace mscclang

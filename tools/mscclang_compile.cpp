@@ -1,0 +1,284 @@
+/**
+ * @file
+ * CLI front end for the compiler — the msccl-tools analogue: pick an
+ * algorithm from the library, set the scheduling knobs, and emit
+ * MSCCL-IR as XML (plus optional human-readable and Graphviz dumps).
+ *
+ * Examples:
+ *   mscclang_compile --algo ring_allreduce --machine ndv4:1 \
+ *       --channels 4 --instances 8 --proto LL128 -o ring.xml
+ *   mscclang_compile --algo twostep_alltoall --machine ndv4:4 --dump
+ *   mscclang_compile --list
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "collectives/classic.h"
+#include "collectives/collectives.h"
+#include "common/error.h"
+#include "compiler/chunk_dag.h"
+#include "compiler/compiler.h"
+
+using namespace mscclang;
+
+namespace {
+
+struct Args
+{
+    std::string algo;
+    std::string machine = "ndv4:1";
+    std::string output;
+    Protocol proto = Protocol::Simple;
+    int channels = 1;
+    int instances = 1;
+    int root = 0;
+    int chunks = 4;
+    bool dump = false;
+    bool dot = false;
+    bool stats = false;
+    bool noFuse = false;
+    bool list = false;
+};
+
+void
+usage()
+{
+    std::fprintf(stderr,
+        "usage: mscclang_compile --algo <name> [options]\n"
+        "  --machine <spec>    ndv4:<n> | dgx2:<n> | dgx1 | "
+        "generic:<n>:<g>   (default ndv4:1)\n"
+        "  --proto <p>         Simple | LL | LL128 | Direct\n"
+        "  --channels <c>      ring channel distribution\n"
+        "  --instances <r>     program-wide parallelization\n"
+        "  --root <r>          broadcast root\n"
+        "  --chunks <c>        broadcast pipeline chunks\n"
+        "  -o <file>           write MSCCL-IR XML (default: stdout)\n"
+        "  --dump              print the human-readable IR\n"
+        "  --dot               print the Chunk DAG as Graphviz\n"
+        "  --stats             print compile statistics\n"
+        "  --no-fuse           disable instruction fusion\n"
+        "  --list              list available algorithms\n");
+}
+
+Protocol
+parseProto(const std::string &name)
+{
+    if (name == "Simple") return Protocol::Simple;
+    if (name == "LL") return Protocol::LL;
+    if (name == "LL128") return Protocol::LL128;
+    if (name == "Direct") return Protocol::Direct;
+    throw Error("unknown protocol '" + name + "'");
+}
+
+using Builder = std::function<std::unique_ptr<Program>(
+    const Topology &, const Args &)>;
+
+const std::map<std::string, Builder> &
+builders()
+{
+    static const std::map<std::string, Builder> table = {
+        { "ring_allreduce",
+          [](const Topology &topo, const Args &args) {
+              AlgoConfig config{ args.instances, args.proto };
+              return makeRingAllReduce(topo.numRanks(), args.channels,
+                                       config);
+          } },
+        { "allpairs_allreduce",
+          [](const Topology &topo, const Args &args) {
+              AlgoConfig config{ args.instances, args.proto };
+              return makeAllPairsAllReduce(topo.numRanks(), config);
+          } },
+        { "hierarchical_allreduce",
+          [](const Topology &topo, const Args &args) {
+              AlgoConfig config{ args.instances, args.proto };
+              return makeHierarchicalAllReduce(
+                  topo.numNodes(), topo.gpusPerNode(),
+                  std::max(1, topo.numNodes()), config);
+          } },
+        { "tree_allreduce",
+          [](const Topology &topo, const Args &args) {
+              AlgoConfig config{ args.instances, args.proto };
+              return makeDoubleBinaryTreeAllReduce(topo.numRanks(),
+                                                   config);
+          } },
+        { "rabenseifner_allreduce",
+          [](const Topology &topo, const Args &args) {
+              AlgoConfig config{ args.instances, args.proto };
+              return makeRabenseifnerAllReduce(topo.numRanks(),
+                                               config);
+          } },
+        { "twostep_alltoall",
+          [](const Topology &topo, const Args &args) {
+              AlgoConfig config{ args.instances, args.proto };
+              return makeTwoStepAllToAll(topo.numNodes(),
+                                         topo.gpusPerNode(), config);
+          } },
+        { "naive_alltoall",
+          [](const Topology &topo, const Args &args) {
+              AlgoConfig config{ args.instances, args.proto };
+              return makeNaiveAllToAll(topo.numRanks(), config);
+          } },
+        { "alltonext",
+          [](const Topology &topo, const Args &args) {
+              AlgoConfig config{ args.instances, args.proto };
+              return makeAllToNext(topo.numNodes(),
+                                   topo.gpusPerNode(), config);
+          } },
+        { "ring_allgather",
+          [](const Topology &topo, const Args &args) {
+              AlgoConfig config{ args.instances, args.proto };
+              return makeRingAllGather(topo.numRanks(), args.channels,
+                                       config);
+          } },
+        { "hierarchical_allgather",
+          [](const Topology &topo, const Args &args) {
+              AlgoConfig config{ args.instances, args.proto };
+              return makeHierarchicalAllGather(
+                  topo.numNodes(), topo.gpusPerNode(), config);
+          } },
+        { "rdoubling_allgather",
+          [](const Topology &topo, const Args &args) {
+              AlgoConfig config{ args.instances, args.proto };
+              return makeRecursiveDoublingAllGather(topo.numRanks(),
+                                                    config);
+          } },
+        { "rhalving_reducescatter",
+          [](const Topology &topo, const Args &args) {
+              AlgoConfig config{ args.instances, args.proto };
+              return makeRecursiveHalvingReduceScatter(
+                  topo.numRanks(), config);
+          } },
+        { "ring_broadcast",
+          [](const Topology &topo, const Args &args) {
+              AlgoConfig config{ args.instances, args.proto };
+              return makeRingBroadcast(topo.numRanks(), args.root,
+                                       args.chunks, config);
+          } },
+        { "binomial_broadcast",
+          [](const Topology &topo, const Args &args) {
+              AlgoConfig config{ args.instances, args.proto };
+              return makeBinomialBroadcast(topo.numRanks(), args.root,
+                                           config);
+          } },
+        { "sccl_allgather_122",
+          [](const Topology &topo, const Args &args) {
+              AlgoConfig config{ args.instances, args.proto };
+              return makeSccl122AllGather(topo, config);
+          } },
+    };
+    return table;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args;
+    for (int i = 1; i < argc; i++) {
+        std::string flag = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                throw Error("missing value for " + flag);
+            return argv[++i];
+        };
+        try {
+            if (flag == "--algo") args.algo = value();
+            else if (flag == "--machine") args.machine = value();
+            else if (flag == "--proto") args.proto = parseProto(value());
+            else if (flag == "--channels") args.channels = std::stoi(value());
+            else if (flag == "--instances") args.instances = std::stoi(value());
+            else if (flag == "--root") args.root = std::stoi(value());
+            else if (flag == "--chunks") args.chunks = std::stoi(value());
+            else if (flag == "-o") args.output = value();
+            else if (flag == "--dump") args.dump = true;
+            else if (flag == "--dot") args.dot = true;
+            else if (flag == "--stats") args.stats = true;
+            else if (flag == "--no-fuse") args.noFuse = true;
+            else if (flag == "--list") args.list = true;
+            else if (flag == "--help" || flag == "-h") {
+                usage();
+                return 0;
+            } else {
+                std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+                usage();
+                return 2;
+            }
+        } catch (const std::exception &error) {
+            std::fprintf(stderr, "error: %s\n", error.what());
+            return 2;
+        }
+    }
+
+    if (args.list) {
+        for (const auto &[name, builder] : builders())
+            std::printf("%s\n", name.c_str());
+        return 0;
+    }
+    if (args.algo.empty()) {
+        usage();
+        return 2;
+    }
+
+    try {
+        Topology topo = parseTopology(args.machine);
+        auto it = builders().find(args.algo);
+        if (it == builders().end())
+            throw Error("unknown algorithm '" + args.algo +
+                        "' (try --list)");
+        std::unique_ptr<Program> prog = it->second(topo, args);
+        prog->checkPostcondition();
+
+        CompileOptions copts;
+        copts.topology = &topo;
+        copts.fuse = !args.noFuse;
+        Compiled out = compileProgram(*prog, copts);
+
+        if (args.stats) {
+            std::fprintf(stderr,
+                "algo=%s machine=%s ranks=%d\n"
+                "trace ops          %6d\n"
+                "chunk critical path%6d\n"
+                "instrs pre-fusion  %6d\n"
+                "instrs post-fusion %6d (rcs=%d rrcs=%d rrs=%d)\n"
+                "channels           %6d\n"
+                "thread blocks/gpu  %6d\n",
+                args.algo.c_str(), topo.name().c_str(),
+                topo.numRanks(), out.stats.traceOps,
+                out.stats.chunkCriticalPath,
+                out.stats.instrsBeforeFusion,
+                out.stats.instrsAfterFusion, out.stats.fusion.rcs,
+                out.stats.fusion.rrcs, out.stats.fusion.rrs,
+                out.stats.channels, out.stats.maxThreadBlocks);
+        }
+        if (args.dot) {
+            ChunkDag dag(*prog);
+            std::printf("%s", dag.toDot(*prog).c_str());
+            return 0;
+        }
+        if (args.dump) {
+            std::printf("%s", out.ir.dump().c_str());
+            return 0;
+        }
+        std::string xml = out.ir.toXml();
+        if (args.output.empty()) {
+            std::printf("%s", xml.c_str());
+        } else {
+            std::ofstream file(args.output);
+            if (!file)
+                throw Error("cannot write " + args.output);
+            file << xml;
+            std::fprintf(stderr, "wrote %s (%zu bytes)\n",
+                         args.output.c_str(), xml.size());
+        }
+        return 0;
+    } catch (const std::exception &error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 1;
+    }
+}
