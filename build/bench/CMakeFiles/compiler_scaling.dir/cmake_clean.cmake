@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiler_scaling.dir/compiler_scaling.cpp.o"
+  "CMakeFiles/compiler_scaling.dir/compiler_scaling.cpp.o.d"
+  "compiler_scaling"
+  "compiler_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiler_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore_allreduce_algos.dir/explore_allreduce_algos.cpp.o"
+  "CMakeFiles/explore_allreduce_algos.dir/explore_allreduce_algos.cpp.o.d"
+  "explore_allreduce_algos"
+  "explore_allreduce_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore_allreduce_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_sccl_allgather.dir/fig11_sccl_allgather.cpp.o"
+  "CMakeFiles/fig11_sccl_allgather.dir/fig11_sccl_allgather.cpp.o.d"
+  "fig11_sccl_allgather"
+  "fig11_sccl_allgather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_sccl_allgather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

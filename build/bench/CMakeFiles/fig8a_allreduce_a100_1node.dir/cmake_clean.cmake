@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8a_allreduce_a100_1node.dir/fig8a_allreduce_a100_1node.cpp.o"
+  "CMakeFiles/fig8a_allreduce_a100_1node.dir/fig8a_allreduce_a100_1node.cpp.o.d"
+  "fig8a_allreduce_a100_1node"
+  "fig8a_allreduce_a100_1node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8a_allreduce_a100_1node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

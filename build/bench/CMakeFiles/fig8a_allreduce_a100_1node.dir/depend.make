@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8a_allreduce_a100_1node.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig8b_allreduce_v100_1node.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig8c_allreduce_a100_2node.
+# This may be replaced when dependencies are built.

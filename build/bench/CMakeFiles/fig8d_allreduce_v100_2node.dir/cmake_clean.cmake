@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8d_allreduce_v100_2node.dir/fig8d_allreduce_v100_2node.cpp.o"
+  "CMakeFiles/fig8d_allreduce_v100_2node.dir/fig8d_allreduce_v100_2node.cpp.o.d"
+  "fig8d_allreduce_v100_2node"
+  "fig8d_allreduce_v100_2node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8d_allreduce_v100_2node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig8g_alltonext_a100.
+# This may be replaced when dependencies are built.

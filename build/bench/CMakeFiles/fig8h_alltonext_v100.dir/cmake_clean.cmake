@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8h_alltonext_v100.dir/fig8h_alltonext_v100.cpp.o"
+  "CMakeFiles/fig8h_alltonext_v100.dir/fig8h_alltonext_v100.cpp.o.d"
+  "fig8h_alltonext_v100"
+  "fig8h_alltonext_v100.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8h_alltonext_v100.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8h_alltonext_v100.
+# This may be replaced when dependencies are built.

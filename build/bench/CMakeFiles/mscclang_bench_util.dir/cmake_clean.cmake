@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mscclang_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/mscclang_bench_util.dir/bench_util.cpp.o.d"
+  "libmscclang_bench_util.a"
+  "libmscclang_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mscclang_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_program_loc.dir/tab_program_loc.cpp.o"
+  "CMakeFiles/tab_program_loc.dir/tab_program_loc.cpp.o.d"
+  "tab_program_loc"
+  "tab_program_loc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_program_loc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

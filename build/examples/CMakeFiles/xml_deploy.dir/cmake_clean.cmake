@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_deploy.dir/xml_deploy.cpp.o"
+  "CMakeFiles/xml_deploy.dir/xml_deploy.cpp.o.d"
+  "xml_deploy"
+  "xml_deploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mscclang_baselines.dir/baselines.cpp.o"
+  "CMakeFiles/mscclang_baselines.dir/baselines.cpp.o.d"
+  "libmscclang_baselines.a"
+  "libmscclang_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mscclang_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

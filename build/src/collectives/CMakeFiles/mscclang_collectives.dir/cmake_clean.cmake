@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mscclang_collectives.dir/classic.cpp.o"
+  "CMakeFiles/mscclang_collectives.dir/classic.cpp.o.d"
+  "CMakeFiles/mscclang_collectives.dir/collectives.cpp.o"
+  "CMakeFiles/mscclang_collectives.dir/collectives.cpp.o.d"
+  "CMakeFiles/mscclang_collectives.dir/rooted.cpp.o"
+  "CMakeFiles/mscclang_collectives.dir/rooted.cpp.o.d"
+  "libmscclang_collectives.a"
+  "libmscclang_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mscclang_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mscclang_common.dir/log.cpp.o"
+  "CMakeFiles/mscclang_common.dir/log.cpp.o.d"
+  "CMakeFiles/mscclang_common.dir/strings.cpp.o"
+  "CMakeFiles/mscclang_common.dir/strings.cpp.o.d"
+  "CMakeFiles/mscclang_common.dir/types.cpp.o"
+  "CMakeFiles/mscclang_common.dir/types.cpp.o.d"
+  "libmscclang_common.a"
+  "libmscclang_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mscclang_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/common/CMakeFiles/mscclang_common.dir/types.cpp.o: \
+ /root/repo/src/common/types.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/common/types.h

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/chunk_dag.cpp" "src/compiler/CMakeFiles/mscclang_compiler.dir/chunk_dag.cpp.o" "gcc" "src/compiler/CMakeFiles/mscclang_compiler.dir/chunk_dag.cpp.o.d"
+  "/root/repo/src/compiler/compiler.cpp" "src/compiler/CMakeFiles/mscclang_compiler.dir/compiler.cpp.o" "gcc" "src/compiler/CMakeFiles/mscclang_compiler.dir/compiler.cpp.o.d"
+  "/root/repo/src/compiler/frac.cpp" "src/compiler/CMakeFiles/mscclang_compiler.dir/frac.cpp.o" "gcc" "src/compiler/CMakeFiles/mscclang_compiler.dir/frac.cpp.o.d"
+  "/root/repo/src/compiler/fusion.cpp" "src/compiler/CMakeFiles/mscclang_compiler.dir/fusion.cpp.o" "gcc" "src/compiler/CMakeFiles/mscclang_compiler.dir/fusion.cpp.o.d"
+  "/root/repo/src/compiler/instr_graph.cpp" "src/compiler/CMakeFiles/mscclang_compiler.dir/instr_graph.cpp.o" "gcc" "src/compiler/CMakeFiles/mscclang_compiler.dir/instr_graph.cpp.o.d"
+  "/root/repo/src/compiler/lower.cpp" "src/compiler/CMakeFiles/mscclang_compiler.dir/lower.cpp.o" "gcc" "src/compiler/CMakeFiles/mscclang_compiler.dir/lower.cpp.o.d"
+  "/root/repo/src/compiler/schedule.cpp" "src/compiler/CMakeFiles/mscclang_compiler.dir/schedule.cpp.o" "gcc" "src/compiler/CMakeFiles/mscclang_compiler.dir/schedule.cpp.o.d"
+  "/root/repo/src/compiler/verifier.cpp" "src/compiler/CMakeFiles/mscclang_compiler.dir/verifier.cpp.o" "gcc" "src/compiler/CMakeFiles/mscclang_compiler.dir/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsl/CMakeFiles/mscclang_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/mscclang_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/mscclang_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mscclang_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mscclang_compiler.dir/chunk_dag.cpp.o"
+  "CMakeFiles/mscclang_compiler.dir/chunk_dag.cpp.o.d"
+  "CMakeFiles/mscclang_compiler.dir/compiler.cpp.o"
+  "CMakeFiles/mscclang_compiler.dir/compiler.cpp.o.d"
+  "CMakeFiles/mscclang_compiler.dir/frac.cpp.o"
+  "CMakeFiles/mscclang_compiler.dir/frac.cpp.o.d"
+  "CMakeFiles/mscclang_compiler.dir/fusion.cpp.o"
+  "CMakeFiles/mscclang_compiler.dir/fusion.cpp.o.d"
+  "CMakeFiles/mscclang_compiler.dir/instr_graph.cpp.o"
+  "CMakeFiles/mscclang_compiler.dir/instr_graph.cpp.o.d"
+  "CMakeFiles/mscclang_compiler.dir/lower.cpp.o"
+  "CMakeFiles/mscclang_compiler.dir/lower.cpp.o.d"
+  "CMakeFiles/mscclang_compiler.dir/schedule.cpp.o"
+  "CMakeFiles/mscclang_compiler.dir/schedule.cpp.o.d"
+  "CMakeFiles/mscclang_compiler.dir/verifier.cpp.o"
+  "CMakeFiles/mscclang_compiler.dir/verifier.cpp.o.d"
+  "libmscclang_compiler.a"
+  "libmscclang_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mscclang_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

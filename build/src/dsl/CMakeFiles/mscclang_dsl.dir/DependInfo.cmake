@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsl/chunk.cpp" "src/dsl/CMakeFiles/mscclang_dsl.dir/chunk.cpp.o" "gcc" "src/dsl/CMakeFiles/mscclang_dsl.dir/chunk.cpp.o.d"
+  "/root/repo/src/dsl/collective.cpp" "src/dsl/CMakeFiles/mscclang_dsl.dir/collective.cpp.o" "gcc" "src/dsl/CMakeFiles/mscclang_dsl.dir/collective.cpp.o.d"
+  "/root/repo/src/dsl/program.cpp" "src/dsl/CMakeFiles/mscclang_dsl.dir/program.cpp.o" "gcc" "src/dsl/CMakeFiles/mscclang_dsl.dir/program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mscclang_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

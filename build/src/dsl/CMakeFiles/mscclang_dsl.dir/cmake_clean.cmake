@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mscclang_dsl.dir/chunk.cpp.o"
+  "CMakeFiles/mscclang_dsl.dir/chunk.cpp.o.d"
+  "CMakeFiles/mscclang_dsl.dir/collective.cpp.o"
+  "CMakeFiles/mscclang_dsl.dir/collective.cpp.o.d"
+  "CMakeFiles/mscclang_dsl.dir/program.cpp.o"
+  "CMakeFiles/mscclang_dsl.dir/program.cpp.o.d"
+  "libmscclang_dsl.a"
+  "libmscclang_dsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mscclang_dsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mscclang_ir.dir/ir.cpp.o"
+  "CMakeFiles/mscclang_ir.dir/ir.cpp.o.d"
+  "CMakeFiles/mscclang_ir.dir/xml.cpp.o"
+  "CMakeFiles/mscclang_ir.dir/xml.cpp.o.d"
+  "libmscclang_ir.a"
+  "libmscclang_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mscclang_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/communicator.cpp" "src/runtime/CMakeFiles/mscclang_runtime.dir/communicator.cpp.o" "gcc" "src/runtime/CMakeFiles/mscclang_runtime.dir/communicator.cpp.o.d"
+  "/root/repo/src/runtime/interpreter.cpp" "src/runtime/CMakeFiles/mscclang_runtime.dir/interpreter.cpp.o" "gcc" "src/runtime/CMakeFiles/mscclang_runtime.dir/interpreter.cpp.o.d"
+  "/root/repo/src/runtime/protocol.cpp" "src/runtime/CMakeFiles/mscclang_runtime.dir/protocol.cpp.o" "gcc" "src/runtime/CMakeFiles/mscclang_runtime.dir/protocol.cpp.o.d"
+  "/root/repo/src/runtime/reference.cpp" "src/runtime/CMakeFiles/mscclang_runtime.dir/reference.cpp.o" "gcc" "src/runtime/CMakeFiles/mscclang_runtime.dir/reference.cpp.o.d"
+  "/root/repo/src/runtime/tuner.cpp" "src/runtime/CMakeFiles/mscclang_runtime.dir/tuner.cpp.o" "gcc" "src/runtime/CMakeFiles/mscclang_runtime.dir/tuner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/mscclang_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mscclang_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/mscclang_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/mscclang_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mscclang_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

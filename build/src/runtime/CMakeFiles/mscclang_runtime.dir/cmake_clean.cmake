@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mscclang_runtime.dir/communicator.cpp.o"
+  "CMakeFiles/mscclang_runtime.dir/communicator.cpp.o.d"
+  "CMakeFiles/mscclang_runtime.dir/interpreter.cpp.o"
+  "CMakeFiles/mscclang_runtime.dir/interpreter.cpp.o.d"
+  "CMakeFiles/mscclang_runtime.dir/protocol.cpp.o"
+  "CMakeFiles/mscclang_runtime.dir/protocol.cpp.o.d"
+  "CMakeFiles/mscclang_runtime.dir/reference.cpp.o"
+  "CMakeFiles/mscclang_runtime.dir/reference.cpp.o.d"
+  "CMakeFiles/mscclang_runtime.dir/tuner.cpp.o"
+  "CMakeFiles/mscclang_runtime.dir/tuner.cpp.o.d"
+  "libmscclang_runtime.a"
+  "libmscclang_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mscclang_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

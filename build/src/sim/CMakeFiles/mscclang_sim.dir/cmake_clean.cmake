@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mscclang_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/mscclang_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/mscclang_sim.dir/flow_network.cpp.o"
+  "CMakeFiles/mscclang_sim.dir/flow_network.cpp.o.d"
+  "libmscclang_sim.a"
+  "libmscclang_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mscclang_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mscclang_topology.dir/topology.cpp.o"
+  "CMakeFiles/mscclang_topology.dir/topology.cpp.o.d"
+  "libmscclang_topology.a"
+  "libmscclang_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mscclang_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

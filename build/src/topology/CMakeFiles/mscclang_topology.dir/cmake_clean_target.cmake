@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmscclang_topology.a"
+)

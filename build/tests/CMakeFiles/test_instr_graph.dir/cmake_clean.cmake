@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_instr_graph.dir/test_instr_graph.cpp.o"
+  "CMakeFiles/test_instr_graph.dir/test_instr_graph.cpp.o.d"
+  "test_instr_graph"
+  "test_instr_graph.pdb"
+  "test_instr_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_instr_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

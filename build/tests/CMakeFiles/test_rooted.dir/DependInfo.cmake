@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_rooted.cpp" "tests/CMakeFiles/test_rooted.dir/test_rooted.cpp.o" "gcc" "tests/CMakeFiles/test_rooted.dir/test_rooted.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/mscclang_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mscclang_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/mscclang_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/collectives/CMakeFiles/mscclang_collectives.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/mscclang_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/mscclang_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/mscclang_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/mscclang_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mscclang_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

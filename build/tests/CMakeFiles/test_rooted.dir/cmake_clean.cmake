@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rooted.dir/test_rooted.cpp.o"
+  "CMakeFiles/test_rooted.dir/test_rooted.cpp.o.d"
+  "test_rooted"
+  "test_rooted.pdb"
+  "test_rooted[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rooted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

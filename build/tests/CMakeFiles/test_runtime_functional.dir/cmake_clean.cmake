@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime_functional.dir/test_runtime_functional.cpp.o"
+  "CMakeFiles/test_runtime_functional.dir/test_runtime_functional.cpp.o.d"
+  "test_runtime_functional"
+  "test_runtime_functional.pdb"
+  "test_runtime_functional[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime_functional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

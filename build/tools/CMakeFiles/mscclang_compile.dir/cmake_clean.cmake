@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mscclang_compile.dir/mscclang_compile.cpp.o"
+  "CMakeFiles/mscclang_compile.dir/mscclang_compile.cpp.o.d"
+  "mscclang_compile"
+  "mscclang_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mscclang_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

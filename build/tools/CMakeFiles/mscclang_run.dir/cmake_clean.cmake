@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mscclang_run.dir/mscclang_run.cpp.o"
+  "CMakeFiles/mscclang_run.dir/mscclang_run.cpp.o.d"
+  "mscclang_run"
+  "mscclang_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mscclang_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
