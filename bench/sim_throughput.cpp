@@ -1,0 +1,374 @@
+/**
+ * @file
+ * Simulator hot-path throughput benchmark — the perf-trajectory
+ * anchor for the discrete-event substrate itself (not a paper
+ * figure). Two workloads:
+ *
+ *  1. a 16-rank (2-node NDv4) timing-mode Ring AllReduce run
+ *     repeatedly across three buffer sizes, reporting wall-clock per
+ *     run and simulator events/second;
+ *  2. a tuner sweep (four AllReduce candidates x a 1KB..16MB
+ *     geometric size ladder), reporting wall-clock.
+ *
+ * Both workloads report the fastest of several identical batches.
+ * Shared-host CPU steal inflates individual wall-clock samples by up
+ * to 2x here; the minimum over batches is the standard estimator for
+ * one-sided interference noise, and the seed baselines below were
+ * measured with the same min-of-batches method.
+ *
+ * Both workloads also print a simulated-time fingerprint (endNs,
+ * messages, wireBytes). The fingerprint must be invariant under any
+ * simulator optimization — simulated timings are part of the repo's
+ * determinism contract (see EXPERIMENTS.md) — while the wall-clock
+ * numbers are what the optimizations move.
+ *
+ * With --json PATH the same numbers are written as BENCH_sim.json,
+ * including speedup factors versus the frozen pre-overhaul baseline
+ * (kSeedBaseline*, measured at the seed simulator on the reference
+ * container); tools/run_benches.sh invokes it that way.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "collectives/classic.h"
+#include "collectives/collectives.h"
+#include "compiler/compiler.h"
+#include "runtime/interpreter.h"
+#include "runtime/tuner.h"
+#include "sim/event_queue.h"
+#include "sim/flow_network.h"
+#include "topology/topology.h"
+
+using namespace mscclang;
+
+namespace {
+
+/**
+ * Pre-overhaul reference numbers (seed commit simulator, Release,
+ * reference container). Frozen so every future BENCH_sim.json
+ * reports its speedup against the same anchor.
+ */
+constexpr double kSeedBaselineAllreduceMs = 5.58; // ms per run
+constexpr double kSeedBaselineTunerMs = 223.0;    // ms per sweep
+
+struct Fingerprint
+{
+    TimeNs endNs = 0;
+    std::uint64_t messages = 0;
+    double wireBytes = 0.0;
+
+    void
+    add(const ExecStats &stats)
+    {
+        endNs += stats.endNs;
+        messages += stats.messages;
+        wireBytes += stats.wireBytes;
+    }
+};
+
+double
+wallMs(std::chrono::steady_clock::time_point t0)
+{
+    auto dt = std::chrono::steady_clock::now() - t0;
+    return std::chrono::duration<double, std::milli>(dt).count();
+}
+
+/**
+ * --fingerprint: runs a battery of (topology, program, size, mode)
+ * configurations and prints their exact simulated results — integer
+ * end times, message counts, full-precision wire bytes, and a hash
+ * of the trace-file content. Any change in this output means the
+ * simulation model changed (the determinism contract in
+ * EXPERIMENTS.md); simulator *performance* work must leave it
+ * byte-for-byte identical.
+ */
+int
+fingerprintBattery()
+{
+    struct Config
+    {
+        const char *name;
+        Topology topo;
+        IrProgram ir;
+        std::uint64_t bytes;
+        bool dataMode;
+    };
+
+    AlgoConfig simple8;
+    simple8.instances = 8;
+    simple8.protocol = Protocol::LL128;
+    AlgoConfig ll4;
+    ll4.instances = 4;
+    ll4.protocol = Protocol::LL;
+    AlgoConfig plain;
+
+    std::vector<Config> configs;
+    configs.push_back({ "ring8.ndv4.64K",
+                        makeNdv4(1),
+                        compileProgram(*makeRingAllReduce(8, 4, simple8)).ir,
+                        64ull << 10, false });
+    configs.push_back({ "ring16.ndv4x2.1M",
+                        makeNdv4(2),
+                        compileProgram(*makeRingAllReduce(16, 4, simple8)).ir,
+                        1ull << 20, false });
+    configs.push_back({ "hier.ndv4x2.4M",
+                        makeNdv4(2),
+                        compileProgram(
+                            *makeHierarchicalAllReduce(2, 8, 8, plain)).ir,
+                        4ull << 20, false });
+    configs.push_back({ "allpairs16.dgx2.64K",
+                        makeDgx2(1),
+                        compileProgram(*makeAllPairsAllReduce(16, ll4)).ir,
+                        64ull << 10, false });
+    configs.push_back({ "tree16.ndv4x2.256K",
+                        makeNdv4(2),
+                        compileProgram(
+                            *makeDoubleBinaryTreeAllReduce(16, ll4)).ir,
+                        256ull << 10, false });
+    configs.push_back({ "rab16.ndv4x2.1M",
+                        makeNdv4(2),
+                        compileProgram(
+                            *makeRabenseifnerAllReduce(16, ll4)).ir,
+                        1ull << 20, false });
+    configs.push_back({ "twostep.ndv4x2.1M",
+                        makeNdv4(2),
+                        compileProgram(*makeTwoStepAllToAll(2, 8, plain)).ir,
+                        1ull << 20, false });
+    configs.push_back({ "alltonext.ndv4x2.512K",
+                        makeNdv4(2),
+                        compileProgram(*makeAllToNext(2, 8, plain)).ir,
+                        512ull << 10, false });
+    configs.push_back({ "sccl122.dgx1.1M",
+                        makeDgx1(),
+                        compileProgram(
+                            *makeSccl122AllGather(makeDgx1(), plain)).ir,
+                        1ull << 20, false });
+    configs.push_back({ "ring8.data.256K",
+                        makeGeneric(1, 8),
+                        compileProgram(*makeRingAllReduce(8, 2, plain)).ir,
+                        256ull << 10, true });
+
+    for (Config &config : configs) {
+        ExecOptions exec;
+        exec.dataMode = config.dataMode;
+        exec.bytesPerRank = config.bytes;
+        exec.maxTilesPerChunk = 16;
+        exec.launchOverheadUs = config.topo.params().kernelLaunchUs;
+        exec.traceFile = "/tmp/mscclang_fingerprint_trace.json";
+        DataStore store;
+        if (config.dataMode) {
+            store.configure(config.ir, config.bytes);
+            for (int r = 0; r < config.ir.numRanks; r++) {
+                std::vector<float> &in = store.input(r);
+                for (size_t i = 0; i < in.size(); i++)
+                    in[i] = static_cast<float>((r * 131 + i) % 97);
+            }
+        }
+        EventQueue events;
+        FlowNetwork network(config.topo, events);
+        IrExecution run(config.topo, config.ir, events, network, exec,
+                        config.dataMode ? &store : nullptr);
+        ExecStats stats;
+        run.start([&](const ExecStats &s) { stats = s; });
+        events.run();
+
+        // FNV-1a over the trace file (timestamps are exact ns), plus
+        // an order-insensitive variant (xor of per-row hashes, the
+        // row's trailing comma stripped) that is invariant under row
+        // reordering.
+        std::uint64_t hash = 1469598103934665603ull;
+        std::uint64_t set_hash = 0;
+        std::FILE *f = std::fopen(exec.traceFile.c_str(), "rb");
+        if (f != nullptr) {
+            char line[512];
+            while (std::fgets(line, sizeof line, f) != nullptr) {
+                std::size_t len = std::strlen(line);
+                for (std::size_t i = 0; i < len; i++) {
+                    hash ^= static_cast<unsigned char>(line[i]);
+                    hash *= 1099511628211ull;
+                }
+                while (len > 0 && (line[len - 1] == '\n' ||
+                                   line[len - 1] == ','))
+                    len--;
+                std::uint64_t row = 1469598103934665603ull;
+                for (std::size_t i = 0; i < len; i++) {
+                    row ^= static_cast<unsigned char>(line[i]);
+                    row *= 1099511628211ull;
+                }
+                set_hash ^= row;
+            }
+            std::fclose(f);
+        }
+        std::printf("%-22s endNs=%-10lld messages=%-7llu "
+                    "wireBytes=%.17g trace=%016llx traceSet=%016llx\n",
+                    config.name,
+                    static_cast<long long>(stats.endNs),
+                    static_cast<unsigned long long>(stats.messages),
+                    stats.wireBytes,
+                    static_cast<unsigned long long>(hash),
+                    static_cast<unsigned long long>(set_hash));
+    }
+    std::remove("/tmp/mscclang_fingerprint_trace.json");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string json_path;
+    int iters = 20;
+    for (int i = 1; i < argc; i++) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            json_path = argv[++i];
+        else if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc)
+            iters = std::atoi(argv[++i]);
+        else if (std::strcmp(argv[i], "--fingerprint") == 0)
+            return fingerprintBattery();
+    }
+
+    Topology topo = makeNdv4(2); // 16 ranks
+    AlgoConfig cfg;
+    cfg.protocol = Protocol::LL128;
+    cfg.instances = 8;
+    IrProgram ring =
+        compileProgram(*makeRingAllReduce(16, 4, cfg)).ir;
+
+    // ---------------------------------------------------------------
+    // Workload 1: repeated timing-mode AllReduce runs.
+    const std::vector<std::uint64_t> sizes = { 64ull << 10, 1ull << 20,
+                                               16ull << 20 };
+    const int passes_per_batch = 4;
+    int batches =
+        std::max(1, (iters + passes_per_batch - 1) / passes_per_batch);
+    int runs_per_batch =
+        passes_per_batch * static_cast<int>(sizes.size());
+    Fingerprint fp;
+    double best_batch_ms = std::numeric_limits<double>::infinity();
+    std::uint64_t best_batch_events = 0;
+    for (int b = 0; b < batches; b++) {
+        std::uint64_t batch_events = 0;
+        auto t0 = std::chrono::steady_clock::now();
+        for (int it = 0; it < passes_per_batch; it++) {
+            for (std::uint64_t bytes : sizes) {
+                EventQueue events;
+                FlowNetwork network(topo, events);
+                ExecOptions exec;
+                exec.dataMode = false;
+                exec.bytesPerRank = bytes;
+                exec.maxTilesPerChunk = 16;
+                exec.launchOverheadUs = topo.params().kernelLaunchUs;
+                IrExecution run(topo, ring, events, network, exec,
+                                nullptr);
+                ExecStats stats;
+                run.start([&](const ExecStats &s) { stats = s; });
+                events.run();
+                if (b == 0 && it == 0)
+                    fp.add(stats); // fingerprint one size pass
+                batch_events += events.executed();
+            }
+        }
+        double ms = wallMs(t0);
+        if (ms < best_batch_ms) {
+            best_batch_ms = ms;
+            best_batch_events = batch_events;
+        }
+    }
+    double events_per_sec = static_cast<double>(best_batch_events) /
+        (best_batch_ms / 1000.0);
+    double ms_per_run = best_batch_ms / runs_per_batch;
+
+    std::printf("# sim_throughput — 16-rank NDv4 Ring AllReduce "
+                "(ch=4 r=8 LL128), timing mode\n");
+    std::printf("allreduce16: %d batches x %d runs, fastest batch "
+                "%.1f ms, %.3f ms/run, %.0f events/sec\n",
+                batches, runs_per_batch, best_batch_ms, ms_per_run,
+                events_per_sec);
+    std::printf("allreduce16 fingerprint: endNs=%lld messages=%llu "
+                "wireBytes=%.17g\n",
+                static_cast<long long>(fp.endNs),
+                static_cast<unsigned long long>(fp.messages),
+                fp.wireBytes);
+
+    // ---------------------------------------------------------------
+    // Workload 2: tuner sweep over four candidates.
+    AlgoConfig ll;
+    ll.protocol = Protocol::LL;
+    ll.instances = 4;
+    std::vector<IrProgram> candidates;
+    candidates.push_back(ring);
+    candidates.push_back(
+        compileProgram(*makeAllPairsAllReduce(16, ll)).ir);
+    candidates.push_back(
+        compileProgram(*makeDoubleBinaryTreeAllReduce(16, ll)).ir);
+    candidates.push_back(
+        compileProgram(*makeRabenseifnerAllReduce(16, ll)).ir);
+
+    TuneOptions tune;
+    tune.fromBytes = 1 << 10;
+    tune.toBytes = 16 << 20;
+    tune.maxTilesPerChunk = 16;
+    std::vector<TunedWindow> windows;
+    double tuner_ms = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < 3; rep++) {
+        auto t1 = std::chrono::steady_clock::now();
+        windows = tuneWindows(topo, candidates, tune);
+        tuner_ms = std::min(tuner_ms, wallMs(t1));
+    }
+
+    std::printf("tuner sweep: %zu candidates x [1KB,16MB], "
+                "fastest of 3 sweeps %.1f ms, %zu windows\n",
+                candidates.size(), tuner_ms, windows.size());
+    std::printf("tuner fingerprint:");
+    for (const TunedWindow &w : windows)
+        std::printf(" (%d,%.17g)", w.candidate, w.timeUs);
+    std::printf("\n");
+
+    if (!json_path.empty()) {
+        std::FILE *f = std::fopen(json_path.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         json_path.c_str());
+            return 1;
+        }
+        double ar_speedup = kSeedBaselineAllreduceMs > 0.0
+            ? kSeedBaselineAllreduceMs / ms_per_run
+            : 0.0;
+        double tn_speedup = kSeedBaselineTunerMs > 0.0
+            ? kSeedBaselineTunerMs / tuner_ms
+            : 0.0;
+        std::fprintf(f,
+            "{\n"
+            "  \"bench\": \"sim_throughput\",\n"
+            "  \"allreduce16\": {\n"
+            "    \"runs_per_batch\": %d,\n"
+            "    \"ms_per_run\": %.4f,\n"
+            "    \"events_per_sec\": %.0f,\n"
+            "    \"fingerprint\": {\"end_ns\": %lld, "
+            "\"messages\": %llu, \"wire_bytes\": %.17g}\n"
+            "  },\n"
+            "  \"tuner_sweep\": {\"wall_ms\": %.2f, "
+            "\"windows\": %zu},\n"
+            "  \"seed_baseline\": {\"allreduce16_ms_per_run\": %.4f, "
+            "\"tuner_sweep_ms\": %.2f},\n"
+            "  \"speedup_vs_seed\": {\"allreduce16\": %.2f, "
+            "\"tuner_sweep\": %.2f}\n"
+            "}\n",
+            runs_per_batch, ms_per_run, events_per_sec,
+            static_cast<long long>(fp.endNs),
+            static_cast<unsigned long long>(fp.messages),
+            fp.wireBytes, tuner_ms, windows.size(),
+            kSeedBaselineAllreduceMs, kSeedBaselineTunerMs,
+            ar_speedup, tn_speedup);
+        std::fclose(f);
+        std::printf("wrote %s\n", json_path.c_str());
+    }
+    return 0;
+}

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <tuple>
 
 #include "common/log.h"
 #include "common/error.h"
@@ -98,22 +100,63 @@ struct IrExecution::Impl
         int flatId = 0;
         int tile = 0;
         int step = 0;
+        int numSteps = 0;
         bool busy = false;
         bool finished = false;
         TimeNs busyStartNs = 0;
         /** Completed (tile, step) units, published to waiters. */
         long units = 0;
+        /** Memoized payloadBytes for the current (tile, step) — a
+         *  blocked thread block recomputes its step on every wake. */
+        std::uint64_t cachedPayload = 0;
+        int cachedTile = -1;
+        int cachedStep = -1;
+
+        // Dense plan, resolved once at construction.
+        int recvConn = -1; ///< index into conns (receive side)
+        int sendConn = -1; ///< index into conns (send side)
+        bool sendRouted = false;
+        /** Route resources (owned by the Topology, stable). */
+        const std::vector<ResourceId> *sendResources = nullptr;
+        double sendCapGBps = 0.0;
+        /** Per-message NIC occupancy folded into wire bytes (IB). */
+        double sendPerMessageWireBytes = 0.0;
+        /** Delivery latency after the wire drains: first tile pays
+         *  the full protocol alpha, later tiles the slot pipeline. */
+        TimeNs sendAlpha0Ns = 0;
+        TimeNs sendAlphaNNs = 0;
     };
 
+    /**
+     * One FIFO connection. The inbox is a fixed ring sized by the
+     * protocol's slot count: `occupied` (sent, not yet consumed)
+     * never exceeds the slot count, and the inbox never exceeds
+     * `occupied`.
+     */
     struct ConnState
     {
-        std::deque<Message> inbox;
+        std::vector<Message> ring;
+        int head = 0;
+        int count = 0;
         int occupied = 0; // FIFO slots in use (sent, not yet consumed)
         int waitingSender = -1;   // flat tb id blocked on a slot
         int waitingReceiver = -1; // flat tb id blocked on data
     };
 
-    using ConnKey = std::tuple<Rank, Rank, int>;
+    /** An in-flight send, pooled so callbacks capture only {this,
+     *  index} — small enough for std::function's inline storage. */
+    struct SendOp
+    {
+        Message msg;
+        int flat = 0;
+        int conn = 0;
+        bool receives = false;
+        TimeNs alphaNs = 0;
+        double wireBytes = 0.0;
+        double capGBps = 0.0;
+        const std::vector<ResourceId> *resources = nullptr;
+        int nextFree = -1;
+    };
 
     const Topology &topology;
     const IrProgram &ir;
@@ -126,17 +169,19 @@ struct IrExecution::Impl
     std::vector<TbState> tbs;
     /** flat tb id = tbBase[rank] + tb index */
     std::vector<int> tbBase;
-    std::map<ConnKey, ConnState> conns;
+    std::vector<ConnState> conns;
+    std::vector<SendOp> sendPool;
+    int freeSend = -1;
     /** semaphore waiters per flat tb: (threshold units, waiter). */
     std::vector<std::vector<std::pair<long, int>>> semWaiters;
 
     std::uint64_t chunkBytes = 0;
     int numTiles = 1;
     std::uint64_t chunkElems = 0;
-    /** Distinct send connections per IB NIC send resource. */
-    std::map<ResourceId, int> nicConnections;
 
     int finishedTbs = 0;
+    bool traceEnabled = false;
+    bool debugLog = false;
     std::vector<TraceEvent> trace;
     ExecStats stats;
     std::function<void(const ExecStats &)> onComplete;
@@ -151,6 +196,8 @@ struct IrExecution::Impl
                                "mismatch");
         if (options.dataMode && data == nullptr)
             throw RuntimeError("interpreter: data mode needs a store");
+        traceEnabled = !options.traceFile.empty();
+        debugLog = Log::enabled(LogLevel::Debug);
 
         int input_chunks = 1;
         int max_split = 1;
@@ -182,6 +229,7 @@ struct IrExecution::Impl
 
         // Count the send connections sharing each NIC: the
         // per-message proxy cost grows with queue-pair pressure.
+        std::vector<int> nic_connections(topo.numResources(), 0);
         for (const IrGpu &gpu : ir.gpus) {
             for (const IrThreadBlock &tb : gpu.threadBlocks) {
                 if (tb.sendPeer < 0 ||
@@ -191,7 +239,7 @@ struct IrExecution::Impl
                 const Route &route = topo.route(gpu.rank, tb.sendPeer);
                 if (route.type == LinkType::InfiniBand &&
                     !route.resources.empty()) {
-                    nicConnections[route.resources.front()]++;
+                    nic_connections[route.resources.front()]++;
                 }
             }
         }
@@ -205,6 +253,28 @@ struct IrExecution::Impl
             tbBase[r + 1] += tbBase[r];
         tbs.resize(tbBase[ir.numRanks]);
         semWaiters.resize(tbs.size());
+
+        // Resolve the dense execution plan: connection indices and
+        // flattened send-path constants per thread block.
+        int num_channels = std::max(ir.numChannels(), 1);
+        std::vector<int> conn_index(
+            static_cast<size_t>(ir.numRanks) * ir.numRanks *
+                num_channels,
+            -1);
+        auto conn_of = [&](Rank src, Rank dst, int channel) {
+            size_t key =
+                (static_cast<size_t>(src) * ir.numRanks + dst) *
+                    num_channels +
+                channel;
+            if (conn_index[key] < 0) {
+                conn_index[key] = static_cast<int>(conns.size());
+                ConnState conn;
+                conn.ring.resize(std::max(proto.slots, 1));
+                conns.push_back(std::move(conn));
+            }
+            return conn_index[key];
+        };
+        const MachineParams &params = topo.params();
         for (const IrGpu &gpu : ir.gpus) {
             for (const IrThreadBlock &tb : gpu.threadBlocks) {
                 int flat = tbBase[gpu.rank] + tb.id;
@@ -212,6 +282,46 @@ struct IrExecution::Impl
                 state.tb = &tb;
                 state.rank = gpu.rank;
                 state.flatId = flat;
+                state.numSteps = static_cast<int>(tb.steps.size());
+                if (tb.recvPeer >= 0) {
+                    state.recvConn =
+                        conn_of(tb.recvPeer, gpu.rank, tb.channel);
+                }
+                if (tb.sendPeer < 0)
+                    continue;
+                state.sendConn =
+                    conn_of(gpu.rank, tb.sendPeer, tb.channel);
+                if (!topo.connected(gpu.rank, tb.sendPeer))
+                    continue; // route() throws at first send
+                state.sendRouted = true;
+                const Route &route = topo.route(gpu.rank, tb.sendPeer);
+                state.sendResources = &route.resources;
+                double scale = params.protocolAlphaScale;
+                state.sendAlpha0Ns = usToNs(
+                    route.extraLatencyUs +
+                    scale * protocolAlphaUs(proto, route.type));
+                state.sendAlphaNNs = usToNs(
+                    route.extraLatencyUs +
+                    scale * proto.perSlotOverheadUs);
+                if (route.type == LinkType::InfiniBand) {
+                    state.sendCapGBps = params.ibNicBwGBps;
+                    // Per-message NIC occupancy: a message ties up
+                    // the NIC pipeline independent of its size, and
+                    // the cost grows with the number of connections
+                    // contending for the NIC's queue pairs
+                    // (1 GB/s == 1 byte/ns == 1000 bytes/us).
+                    int nic_conns = 1;
+                    if (!route.resources.empty()) {
+                        nic_conns = std::max(
+                            1, nic_connections[route.resources.front()]);
+                    }
+                    double per_message = params.ibPerMessageUs +
+                        params.ibQpPenaltyUs * (nic_conns - 1);
+                    state.sendPerMessageWireBytes =
+                        per_message * params.ibNicBwGBps * 1000.0;
+                } else {
+                    state.sendCapGBps = params.tbNvlinkBwGBps;
+                }
             }
         }
     }
@@ -220,6 +330,55 @@ struct IrExecution::Impl
     flatOf(Rank rank, int tb_id) const
     {
         return tbBase[rank] + tb_id;
+    }
+
+    // ------------------------------------------------------------------
+    // Ring inboxes and the pooled send arena.
+
+    Message
+    popInbox(ConnState &conn)
+    {
+        Message msg = std::move(conn.ring[conn.head]);
+        conn.head++;
+        if (conn.head == static_cast<int>(conn.ring.size()))
+            conn.head = 0;
+        conn.count--;
+        return msg;
+    }
+
+    void
+    pushInbox(ConnState &conn, Message &&msg)
+    {
+        if (conn.count == static_cast<int>(conn.ring.size()))
+            throw RuntimeError("interpreter: inbox ring overflow "
+                               "(FIFO accounting bug)");
+        int pos = conn.head + conn.count;
+        if (pos >= static_cast<int>(conn.ring.size()))
+            pos -= static_cast<int>(conn.ring.size());
+        conn.ring[pos] = std::move(msg);
+        conn.count++;
+    }
+
+    int
+    allocSendOp()
+    {
+        if (freeSend >= 0) {
+            int idx = freeSend;
+            freeSend = sendPool[idx].nextFree;
+            return idx;
+        }
+        sendPool.emplace_back();
+        return static_cast<int>(sendPool.size()) - 1;
+    }
+
+    void
+    freeSendOp(int idx)
+    {
+        SendOp &op = sendPool[idx];
+        op.msg.bytes = 0;
+        op.msg.data.clear(); // keeps capacity warm for data mode
+        op.nextFree = freeSend;
+        freeSend = idx;
     }
 
     /**
@@ -376,10 +535,21 @@ struct IrExecution::Impl
             onComplete(stats);
     }
 
-    /** Emits the chrome://tracing JSON timeline. */
+    /**
+     * Emits the chrome://tracing JSON timeline. Rows are sorted into
+     * canonical (rank, tb, tile, step) order so the file content is
+     * a pure function of the simulated schedule — same-time
+     * completion callbacks may execute in different orders across
+     * simulator versions without perturbing the trace.
+     */
     void
     writeTrace()
     {
+        std::sort(trace.begin(), trace.end(),
+                  [](const TraceEvent &a, const TraceEvent &b) {
+                      return std::tie(a.rank, a.tb, a.tile, a.step) <
+                          std::tie(b.rank, b.tb, b.tile, b.step);
+                  });
         std::FILE *file = std::fopen(options.traceFile.c_str(), "w");
         if (file == nullptr) {
             throw RuntimeError("interpreter: cannot write trace to " +
@@ -400,12 +570,6 @@ struct IrExecution::Impl
         }
         std::fputs("]\n", file);
         std::fclose(file);
-    }
-
-    ConnState &
-    connOf(Rank src, Rank dst, int channel)
-    {
-        return conns[ConnKey{ src, dst, channel }];
     }
 
     void
@@ -441,9 +605,8 @@ struct IrExecution::Impl
         TbState &tb = tbs[flat];
         if (tb.busy || tb.finished)
             return;
-        int num_steps = static_cast<int>(tb.tb->steps.size());
         for (;;) {
-            if (num_steps == 0 || tb.tile >= numTiles) {
+            if (tb.numSteps == 0 || tb.tile >= numTiles) {
                 tb.finished = true;
                 if (++finishedTbs ==
                     static_cast<int>(tbs.size())) {
@@ -457,8 +620,7 @@ struct IrExecution::Impl
             for (const IrDep &dep : instr.deps) {
                 int dep_flat = flatOf(tb.rank, dep.tb);
                 long needed = static_cast<long>(tb.tile) *
-                    static_cast<long>(
-                        tbs[dep_flat].tb->steps.size()) +
+                    static_cast<long>(tbs[dep_flat].numSteps) +
                     dep.step + 1;
                 if (tbs[dep_flat].units < needed) {
                     semWaiters[dep_flat].emplace_back(needed, flat);
@@ -466,21 +628,29 @@ struct IrExecution::Impl
                 }
             }
 
-            std::uint64_t payload = payloadBytes(instr, tb.tile);
+            std::uint64_t payload;
+            if (tb.cachedTile == tb.tile && tb.cachedStep == tb.step) {
+                payload = tb.cachedPayload;
+            } else {
+                payload = payloadBytes(instr, tb.tile);
+                tb.cachedPayload = payload;
+                tb.cachedTile = tb.tile;
+                tb.cachedStep = tb.step;
+            }
             bool receives = irOpReceives(instr.op) && payload > 0;
             bool sends = irOpSends(instr.op) && payload > 0;
 
             if (receives) {
-                ConnState &in = connOf(tb.tb->recvPeer, tb.rank,
-                                       tb.tb->channel);
-                if (in.inbox.empty()) {
+                if (tb.recvConn < 0)
+                    return; // no peer: wedges, as diagnosed by runIr
+                ConnState &in = conns[tb.recvConn];
+                if (in.count == 0) {
                     in.waitingReceiver = flat;
                     return;
                 }
             }
             if (sends) {
-                ConnState &out = connOf(tb.rank, tb.tb->sendPeer,
-                                        tb.tb->channel);
+                ConnState &out = conns[tb.sendConn];
                 if (out.occupied >= proto.slots) {
                     out.waitingSender = flat;
                     return;
@@ -501,10 +671,7 @@ struct IrExecution::Impl
 
         Message incoming;
         if (receives) {
-            ConnState &in = connOf(tb.tb->recvPeer, tb.rank,
-                                   tb.tb->channel);
-            incoming = std::move(in.inbox.front());
-            in.inbox.pop_front();
+            incoming = popInbox(conns[tb.recvConn]);
             if (incoming.bytes != payload) {
                 throw RuntimeError(strprintf(
                     "interpreter: rank %d tb %d: message of %llu bytes "
@@ -523,11 +690,11 @@ struct IrExecution::Impl
             applyData(tb, instr, incoming, outgoing);
 
         if (sends) {
-            ConnState &out = connOf(tb.rank, tb.tb->sendPeer,
-                                    tb.tb->channel);
-            out.occupied++;
-            const Route &route = topology.route(tb.rank,
-                                                tb.tb->sendPeer);
+            if (!tb.sendRouted) {
+                // Throws the canonical "no route" error.
+                topology.route(tb.rank, tb.tb->sendPeer);
+            }
+            conns[tb.sendConn].occupied++;
             // Time the thread block itself is occupied before the
             // data starts streaming: instruction issue, semaphore
             // publication, and the per-slot flag synchronization for
@@ -543,68 +710,32 @@ struct IrExecution::Impl
             if (slot_crossings > 1)
                 issue_us += proto.perSlotOverheadUs *
                     static_cast<double>(slot_crossings - 1);
+
+            double wire_bytes =
+                static_cast<double>(payload) / proto.efficiency;
+            wire_bytes += tb.sendPerMessageWireBytes;
+            stats.messages++;
+            stats.wireBytes += wire_bytes;
+
+            int idx = allocSendOp();
+            SendOp &op = sendPool[idx];
+            op.msg = std::move(outgoing);
+            op.flat = tb.flatId;
+            op.conn = tb.sendConn;
+            op.receives = receives;
             // Link latency is NOT thread block occupancy: the sender
             // moves on once its last byte is in the FIFO, while the
             // message only becomes visible to the receiver a
             // protocol+link alpha later. Protocols stream: only the
             // first tile of a chunk pays the full protocol alpha;
             // later tiles ride the established slot pipeline.
-            double scale = topology.params().protocolAlphaScale;
-            double alpha_us = route.extraLatencyUs +
-                scale * (tb.tile == 0
-                             ? protocolAlphaUs(proto, route.type)
-                             : proto.perSlotOverheadUs);
-
-            double wire_bytes =
-                static_cast<double>(payload) / proto.efficiency;
-            double cap = route.type == LinkType::InfiniBand
-                ? topology.params().ibNicBwGBps
-                : topology.params().tbNvlinkBwGBps;
-            if (route.type == LinkType::InfiniBand) {
-                // Per-message NIC occupancy: a message ties up the
-                // NIC pipeline independent of its size, and the cost
-                // grows with the number of connections contending
-                // for the NIC's queue pairs
-                // (1 GB/s == 1 byte/ns == 1000 bytes/us).
-                int conns = 1;
-                auto it = nicConnections.find(route.resources.front());
-                if (it != nicConnections.end())
-                    conns = std::max(1, it->second);
-                double per_message =
-                    topology.params().ibPerMessageUs +
-                    topology.params().ibQpPenaltyUs * (conns - 1);
-                wire_bytes += per_message *
-                    topology.params().ibNicBwGBps * 1000.0;
-            }
-            stats.messages++;
-            stats.wireBytes += wire_bytes;
-
-            int flat = tb.flatId;
-            Rank dst = tb.tb->sendPeer;
-            int channel = tb.tb->channel;
-            auto launch_flow = [this, flat, dst, channel, wire_bytes,
-                                cap, receives, alpha_us,
-                                msg = std::move(outgoing),
-                                resources = route.resources]() mutable {
-                network.startFlow(
-                    resources, cap, wire_bytes,
-                    [this, flat, dst, channel, receives, alpha_us,
-                     msg = std::move(msg)]() mutable {
-                        // The sender is released as soon as the wire
-                        // drains; delivery lands alpha later.
-                        completeInstr(flat, receives);
-                        Rank src = tbs[flat].rank;
-                        events.scheduleAfter(
-                            usToNs(alpha_us),
-                            [this, src, dst, channel,
-                             msg = std::move(msg)]() mutable {
-                                deliver(src, dst, channel,
-                                        std::move(msg));
-                            });
-                    });
-            };
+            op.alphaNs =
+                tb.tile == 0 ? tb.sendAlpha0Ns : tb.sendAlphaNNs;
+            op.wireBytes = wire_bytes;
+            op.capGBps = tb.sendCapGBps;
+            op.resources = tb.sendResources;
             events.scheduleAfter(usToNs(issue_us),
-                                 std::move(launch_flow));
+                                 [this, idx] { launchFlow(idx); });
         } else {
             double cost_us = localCostUs(instr, payload, tb.tile);
             int flat = tb.flatId;
@@ -615,12 +746,33 @@ struct IrExecution::Impl
         }
     }
 
+    /** Issue done: the send's flow enters the network. */
+    void
+    launchFlow(int idx)
+    {
+        SendOp &op = sendPool[idx];
+        network.startFlow(*op.resources, op.capGBps, op.wireBytes,
+                          [this, idx] { flowDrained(idx); });
+    }
+
+    /** The wire drained: release the sender, deliver alpha later. */
+    void
+    flowDrained(int idx)
+    {
+        SendOp &op = sendPool[idx];
+        completeInstr(op.flat, op.receives);
+        events.scheduleAfter(sendPool[idx].alphaNs,
+                             [this, idx] { deliver(idx); });
+    }
+
     /** A sent tile arrived at the destination rank. */
     void
-    deliver(Rank src, Rank dst, int channel, Message msg)
+    deliver(int idx)
     {
-        ConnState &conn = connOf(src, dst, channel);
-        conn.inbox.push_back(std::move(msg));
+        SendOp &op = sendPool[idx];
+        ConnState &conn = conns[op.conn];
+        pushInbox(conn, std::move(op.msg));
+        freeSendOp(idx);
         wake(conn.waitingReceiver);
     }
 
@@ -629,14 +781,14 @@ struct IrExecution::Impl
     completeInstr(int flat, bool received)
     {
         TbState &tb = tbs[flat];
-        if (!options.traceFile.empty()) {
+        if (traceEnabled) {
             trace.push_back(TraceEvent{ tb.rank, tb.tb->id, tb.tile,
                                         tb.step,
                                         tb.tb->steps[tb.step].op,
                                         tb.busyStartNs,
                                         events.now() });
         }
-        if (Log::enabled(LogLevel::Debug)) {
+        if (debugLog) {
             logDebug(strprintf(
                 "t=%8.2fus rank %d tb %d tile %d step %d done: %s",
                 static_cast<double>(events.now()) / 1000.0, tb.rank,
@@ -645,15 +797,14 @@ struct IrExecution::Impl
         }
         if (received) {
             // Consuming the message frees the sender's FIFO slot.
-            ConnState &in = connOf(tb.tb->recvPeer, tb.rank,
-                                   tb.tb->channel);
+            ConnState &in = conns[tb.recvConn];
             in.occupied--;
             wake(in.waitingSender);
         }
         bumpUnits(tb);
         tb.busy = false;
         tb.step++;
-        if (tb.step >= static_cast<int>(tb.tb->steps.size())) {
+        if (tb.step >= tb.numSteps) {
             tb.step = 0;
             tb.tile++;
         }

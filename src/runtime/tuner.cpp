@@ -1,11 +1,30 @@
 #include "runtime/tuner.h"
 
+#include <atomic>
+#include <exception>
 #include <limits>
+#include <mutex>
+#include <thread>
 
 #include "common/error.h"
 #include "common/strings.h"
+#include "runtime/interpreter.h"
 
 namespace mscclang {
+
+namespace {
+
+/** True when two programs are indistinguishable to the simulator
+ *  (identical up to their display names). */
+bool
+sameProgram(const IrProgram &a, const IrProgram &b)
+{
+    return a.numRanks == b.numRanks && a.inPlace == b.inPlace &&
+        a.protocol == b.protocol && a.reduceOp == b.reduceOp &&
+        a.outputScale == b.outputScale && a.gpus == b.gpus;
+}
+
+} // namespace
 
 std::vector<TunedWindow>
 tuneWindows(const Topology &topology,
@@ -20,16 +39,91 @@ tuneWindows(const Topology &topology,
     std::vector<std::uint64_t> sizes =
         sizeSweep(options.fromBytes, options.toBytes);
 
-    Communicator comm(topology);
+    // Memoize structurally identical candidates: variants often
+    // differ only in name (or the same program is offered twice,
+    // once per registration path), and every (program, size) point
+    // costs a full simulation.
+    std::vector<int> unique_of(candidates.size());
+    std::vector<const IrProgram *> unique;
+    for (size_t c = 0; c < candidates.size(); c++) {
+        int found = -1;
+        for (size_t u = 0; u < unique.size(); u++) {
+            if (sameProgram(*unique[u], candidates[c])) {
+                found = static_cast<int>(u);
+                break;
+            }
+        }
+        if (found < 0) {
+            found = static_cast<int>(unique.size());
+            unique.push_back(&candidates[c]);
+        }
+        unique_of[c] = found;
+    }
+
+    // The sweep points are independent simulations on an immutable
+    // topology: fan them out over a worker pool. Workers claim
+    // points off a shared counter and each writes only its own
+    // matrix cell, so the filled matrix — and every window derived
+    // from it — is the same for any thread count.
+    std::vector<double> time_us(unique.size() * sizes.size(), 0.0);
+    size_t points = time_us.size();
+    auto simulate = [&](size_t point) {
+        size_t u = point / sizes.size();
+        size_t i = point % sizes.size();
+        ExecOptions exec;
+        exec.bytesPerRank = sizes[i];
+        exec.maxTilesPerChunk = options.maxTilesPerChunk;
+        exec.launchOverheadUs = topology.params().kernelLaunchUs;
+        ExecStats stats = runIr(topology, *unique[u], exec);
+        time_us[point] = stats.durationUs();
+    };
+
+    unsigned hw = std::thread::hardware_concurrency();
+    size_t want = options.threads > 0
+        ? static_cast<size_t>(options.threads)
+        : static_cast<size_t>(hw > 0 ? hw : 1);
+    size_t workers = std::min(want, points);
+    if (workers <= 1) {
+        for (size_t p = 0; p < points; p++)
+            simulate(p);
+    } else {
+        std::atomic<size_t> next{ 0 };
+        std::exception_ptr error;
+        std::mutex error_mutex;
+        auto drain = [&] {
+            for (;;) {
+                size_t p =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (p >= points)
+                    return;
+                try {
+                    simulate(p);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(error_mutex);
+                    if (!error)
+                        error = std::current_exception();
+                    return;
+                }
+            }
+        };
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (size_t w = 0; w < workers; w++)
+            pool.emplace_back(drain);
+        for (std::thread &worker : pool)
+            worker.join();
+        if (error)
+            std::rethrow_exception(error);
+    }
+
     std::vector<TunedWindow> windows;
     for (size_t i = 0; i < sizes.size(); i++) {
         double best = std::numeric_limits<double>::infinity();
         int winner = -1;
         for (size_t c = 0; c < candidates.size(); c++) {
-            RunOptions run;
-            run.bytes = sizes[i];
-            run.maxTilesPerChunk = options.maxTilesPerChunk;
-            double us = comm.runProgram(candidates[c], run).timeUs;
+            double us = time_us[static_cast<size_t>(unique_of[c]) *
+                                    sizes.size() +
+                                i];
             if (us < best) {
                 best = us;
                 winner = static_cast<int>(c);

@@ -37,6 +37,14 @@ struct TuneOptions
     std::uint64_t fromBytes = 1 << 10;
     std::uint64_t toBytes = 64 << 20;
     int maxTilesPerChunk = 16;
+    /**
+     * Worker threads for the sweep; 0 means one per hardware thread.
+     * The tuned windows are identical for any thread count: each
+     * (candidate, size) point is an independent simulation on the
+     * immutable topology, and the winner merge runs serially over
+     * the completed result matrix.
+     */
+    int threads = 0;
 };
 
 /**

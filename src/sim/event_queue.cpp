@@ -1,44 +1,101 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 
 namespace mscclang {
+
+namespace {
+
+/** Tombstone count below which compaction is never worth it. */
+constexpr std::size_t kCompactFloor = 64;
+
+} // namespace
 
 EventId
 EventQueue::schedule(TimeNs when, Callback cb)
 {
     if (when < now_)
         throw RuntimeError("EventQueue: scheduling into the past");
-    EventId id = nextId_++;
-    heap_.push(Event{ when, id, std::move(cb) });
+
+    std::uint32_t index;
+    if (!freeSlots_.empty()) {
+        index = freeSlots_.back();
+        freeSlots_.pop_back();
+    } else {
+        index = static_cast<std::uint32_t>(slots_.size());
+        slots_.emplace_back();
+    }
+    Slot &slot = slots_[index];
+    slot.cb = std::move(cb);
+    slot.live = true;
+
+    heap_.push_back(Entry{ when, nextSeq_++, index, slot.gen });
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
     liveEvents_++;
-    return id;
+    // EventId 0 is reserved as "none": slot is offset by one.
+    return (static_cast<EventId>(slot.gen) << 32) |
+        static_cast<EventId>(index + 1);
+}
+
+void
+EventQueue::releaseSlot(std::uint32_t index)
+{
+    Slot &slot = slots_[index];
+    slot.cb = nullptr; // drop captured state now, not at pop time
+    slot.live = false;
+    slot.gen++;
+    freeSlots_.push_back(index);
 }
 
 void
 EventQueue::cancel(EventId id)
 {
-    if (id == 0 || id >= nextId_)
+    std::uint32_t index = static_cast<std::uint32_t>(id & 0xffffffffu);
+    if (index == 0 || index > slots_.size())
         return;
-    if (cancelled_.insert(id).second && liveEvents_ > 0)
-        liveEvents_--;
+    index--;
+    Slot &slot = slots_[index];
+    std::uint32_t gen = static_cast<std::uint32_t>(id >> 32);
+    if (!slot.live || slot.gen != gen)
+        return; // already fired or already cancelled
+    releaseSlot(index);
+    liveEvents_--;
+    deadInHeap_++;
+    if (deadInHeap_ > kCompactFloor && deadInHeap_ * 2 > heap_.size())
+        compact();
+}
+
+void
+EventQueue::compact()
+{
+    heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                               [this](const Entry &entry) {
+                                   return dead(entry);
+                               }),
+                heap_.end());
+    std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    deadInHeap_ = 0;
 }
 
 bool
 EventQueue::runOne()
 {
     while (!heap_.empty()) {
-        Event event = heap_.top();
-        heap_.pop();
-        auto it = cancelled_.find(event.id);
-        if (it != cancelled_.end()) {
-            cancelled_.erase(it);
+        std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+        Entry entry = heap_.back();
+        heap_.pop_back();
+        if (dead(entry)) {
+            deadInHeap_--;
             continue;
         }
-        now_ = event.when;
+        Callback cb = std::move(slots_[entry.slot].cb);
+        releaseSlot(entry.slot);
+        now_ = entry.when;
         liveEvents_--;
         executed_++;
-        event.cb();
+        cb();
         return true;
     }
     return false;

@@ -4,6 +4,17 @@
  * (time, callback) events with cancellation, driving the runtime
  * interpreter and the flow-level network model. Time is in integer
  * nanoseconds for determinism.
+ *
+ * Storage layout (hot path): the binary heap holds 24-byte POD
+ * entries ordered by (time, schedule sequence) — the sequence keeps
+ * same-time events FIFO — while callbacks live in a pooled slot
+ * arena addressed by the entries. Cancellation is O(1) via slot
+ * generations: cancelling bumps the slot's generation, releases the
+ * callback's storage immediately, and returns the slot to the free
+ * list; the stale heap entry is discarded lazily when popped (or by
+ * compaction when tombstones dominate the heap). Live storage is
+ * therefore bounded by the peak number of concurrently pending
+ * events, no matter how many schedule/cancel cycles a long run does.
  */
 
 #ifndef MSCCLANG_SIM_EVENT_QUEUE_H_
@@ -11,8 +22,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 namespace mscclang {
@@ -27,7 +36,10 @@ usToNs(double us)
     return static_cast<TimeNs>(us * 1000.0 + 0.5);
 }
 
-/** Identifier of a scheduled event, usable for cancellation. */
+/**
+ * Identifier of a scheduled event, usable for cancellation. Encodes
+ * (arena slot, generation); 0 is never a valid id.
+ */
 using EventId = std::uint64_t;
 
 /** The event queue. Single-threaded; callbacks may schedule more. */
@@ -63,30 +75,65 @@ class EventQueue
     /** Number of events executed so far (diagnostics). */
     std::uint64_t executed() const { return executed_; }
 
+    /**
+     * Allocated callback-arena slots (diagnostics). Bounded by the
+     * peak number of simultaneously pending events.
+     */
+    std::size_t poolSlots() const { return slots_.size(); }
+
+    /**
+     * Heap entries including cancellation tombstones (diagnostics).
+     * Compaction keeps this within a constant factor of the live
+     * event count.
+     */
+    std::size_t heapEntries() const { return heap_.size(); }
+
   private:
-    struct Event
+    /** POD heap entry; the callback lives in slots_[slot]. */
+    struct Entry
     {
         TimeNs when;
-        EventId id;
-        Callback cb;
+        std::uint64_t seq; // schedule order, FIFO tie-break
+        std::uint32_t slot;
+        std::uint32_t gen;
 
         bool
-        operator>(const Event &other) const
+        operator>(const Entry &other) const
         {
-            // Earliest first; FIFO among equal times via id.
             if (when != other.when)
                 return when > other.when;
-            return id > other.id;
+            return seq > other.seq;
         }
     };
 
+    /** One pooled callback slot. */
+    struct Slot
+    {
+        Callback cb;
+        std::uint32_t gen = 0;
+        bool live = false;
+    };
+
+    bool dead(const Entry &entry) const
+    {
+        const Slot &slot = slots_[entry.slot];
+        return !slot.live || slot.gen != entry.gen;
+    }
+
+    /** Frees a slot's callback storage and recycles the slot. */
+    void releaseSlot(std::uint32_t index);
+
+    /** Drops dead entries when tombstones dominate the heap. */
+    void compact();
+
     TimeNs now_ = 0;
-    EventId nextId_ = 1;
+    std::uint64_t nextSeq_ = 1;
     std::uint64_t executed_ = 0;
     std::size_t liveEvents_ = 0;
-    std::priority_queue<Event, std::vector<Event>, std::greater<>>
-        heap_;
-    std::unordered_set<EventId> cancelled_;
+    std::size_t deadInHeap_ = 0;
+    std::vector<Entry> heap_; // min-heap by (when, seq)
+    std::vector<Slot> slots_;
+    std::vector<std::uint32_t> freeSlots_;
 };
 
 } // namespace mscclang

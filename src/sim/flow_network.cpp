@@ -20,6 +20,34 @@ constexpr double kRateEpsilon = 1e-12;
 FlowNetwork::FlowNetwork(const Topology &topology, EventQueue &events)
     : topology_(topology), events_(events)
 {
+    int n = topology_.numResources();
+    flowCount_.assign(n, 0);
+    inTouched_.assign(n, 0);
+    remCap_.assign(n, 0.0);
+    usage_.assign(n, 0);
+    capacity_.resize(n);
+    for (int r = 0; r < n; r++)
+        capacity_[r] = topology_.resourceCapacityGBps(r);
+}
+
+void
+FlowNetwork::addMembership(const Flow &flow)
+{
+    for (ResourceId r : flow.resources) {
+        if (flowCount_[r]++ == 0 && !inTouched_[r]) {
+            inTouched_[r] = 1;
+            touched_.push_back(r);
+        }
+    }
+}
+
+void
+FlowNetwork::dropMembership(const Flow &flow)
+{
+    // Counts drop immediately; the touched_ entry is swept lazily at
+    // the next recompute() so no O(touched) removal happens here.
+    for (ResourceId r : flow.resources)
+        flowCount_[r]--;
 }
 
 FlowId
@@ -42,11 +70,18 @@ FlowNetwork::startFlow(const std::vector<ResourceId> &resources,
 
     settle();
     Flow flow;
-    flow.resources = resources;
+    if (!flowPool_.empty()) {
+        flow = std::move(flowPool_.back()); // warm vector capacity
+        flowPool_.pop_back();
+    }
+    flow.id = id;
+    flow.resources.assign(resources.begin(), resources.end());
     flow.capGBps = cap_gbps;
     flow.remaining = bytes;
+    flow.rateGBps = 0.0;
     flow.onDone = std::move(on_done);
-    flows_.emplace(id, std::move(flow));
+    addMembership(flow);
+    flows_.push_back(std::move(flow));
     // Batch rate recomputation: many flows typically start at the
     // same instant (a phase boundary); one recomputation serves all.
     scheduleUpdate(events_.now());
@@ -66,8 +101,11 @@ FlowNetwork::resourceBytes(ResourceId resource) const
 double
 FlowNetwork::currentRateGBps(FlowId id) const
 {
-    auto it = flows_.find(id);
-    return it == flows_.end() ? 0.0 : it->second.rateGBps;
+    for (const Flow &flow : flows_) {
+        if (flow.id == id)
+            return flow.rateGBps;
+    }
+    return 0.0;
 }
 
 void
@@ -80,7 +118,7 @@ FlowNetwork::settle()
         return;
     if (resourceBytes_.empty())
         resourceBytes_.assign(topology_.numResources(), 0.0);
-    for (auto &[id, flow] : flows_) {
+    for (Flow &flow : flows_) {
         // 1 GB/s == 1 byte/ns, so rate converts directly.
         double moved = flow.rateGBps * elapsed_ns;
         moved = std::min(moved, flow.remaining);
@@ -112,80 +150,102 @@ FlowNetwork::update()
     settle();
 
     // Complete drained flows. Their callbacks run after rates are
-    // refreshed so new flows see a consistent network.
-    std::vector<std::function<void()>> done;
-    for (auto it = flows_.begin(); it != flows_.end();) {
-        if (it->second.remaining <= kDoneEpsilon) {
-            done.push_back(std::move(it->second.onDone));
-            it = flows_.erase(it);
+    // refreshed so new flows see a consistent network; completion
+    // order is flow start order (deterministic).
+    doneScratch_.clear();
+    size_t kept = 0;
+    for (size_t i = 0; i < flows_.size(); i++) {
+        Flow &flow = flows_[i];
+        if (flow.remaining <= kDoneEpsilon) {
+            dropMembership(flow);
+            doneScratch_.push_back(std::move(flow.onDone));
+            flow.onDone = nullptr;
+            flowPool_.push_back(std::move(flow));
         } else {
-            ++it;
+            if (kept != i)
+                flows_[kept] = std::move(flow);
+            kept++;
         }
     }
+    flows_.resize(kept);
 
     recompute();
-    for (auto &cb : done)
+    for (auto &cb : doneScratch_)
         cb();
+    doneScratch_.clear();
 }
 
 void
 FlowNetwork::recompute()
 {
-    // Progressive filling (max-min fairness with per-flow caps).
-    std::vector<double> rem_cap(topology_.numResources());
-    for (int r = 0; r < topology_.numResources(); r++)
-        rem_cap[r] = topology_.resourceCapacityGBps(r);
+    // Sweep stale touched_ entries (resources whose last flow left)
+    // and reset the per-resource scratch for the live ones.
+    size_t live = 0;
+    for (ResourceId r : touched_) {
+        if (flowCount_[r] > 0) {
+            touched_[live++] = r;
+            remCap_[r] = capacity_[r];
+            usage_[r] = flowCount_[r];
+        } else {
+            inTouched_[r] = 0;
+        }
+    }
+    touched_.resize(live);
 
-    std::vector<Flow *> unfrozen;
-    unfrozen.reserve(flows_.size());
-    for (auto &[id, flow] : flows_) {
+    // Progressive filling (max-min fairness with per-flow caps).
+    // Equivalent to recounting usage over the unfrozen set each
+    // round: usage starts at the full membership count and drops as
+    // flows freeze.
+    unfrozen_.clear();
+    unfrozen_.reserve(flows_.size());
+    for (Flow &flow : flows_) {
         flow.rateGBps = 0.0;
-        unfrozen.push_back(&flow);
+        unfrozen_.push_back(&flow);
     }
 
-    std::vector<int> usage(topology_.numResources(), 0);
-    while (!unfrozen.empty()) {
-        std::fill(usage.begin(), usage.end(), 0);
-        for (Flow *flow : unfrozen) {
-            for (ResourceId r : flow->resources)
-                usage[r]++;
-        }
+    while (!unfrozen_.empty()) {
         double inc = std::numeric_limits<double>::infinity();
-        for (int r = 0; r < topology_.numResources(); r++) {
-            if (usage[r] > 0)
-                inc = std::min(inc, rem_cap[r] / usage[r]);
+        for (ResourceId r : touched_) {
+            if (usage_[r] > 0)
+                inc = std::min(inc, remCap_[r] / usage_[r]);
         }
-        for (Flow *flow : unfrozen)
+        for (Flow *flow : unfrozen_)
             inc = std::min(inc, flow->capGBps - flow->rateGBps);
         inc = std::max(inc, 0.0);
 
-        for (Flow *flow : unfrozen)
+        for (Flow *flow : unfrozen_)
             flow->rateGBps += inc;
-        for (int r = 0; r < topology_.numResources(); r++) {
-            if (usage[r] > 0)
-                rem_cap[r] = std::max(0.0, rem_cap[r] - inc * usage[r]);
+        for (ResourceId r : touched_) {
+            if (usage_[r] > 0)
+                remCap_[r] = std::max(0.0, remCap_[r] - inc * usage_[r]);
         }
 
-        // Freeze flows that hit their cap or a saturated resource.
-        std::vector<Flow *> next;
-        for (Flow *flow : unfrozen) {
+        // Freeze flows that hit their cap or a saturated resource,
+        // releasing their usage counts for the next round.
+        size_t next = 0;
+        for (size_t i = 0; i < unfrozen_.size(); i++) {
+            Flow *flow = unfrozen_[i];
             bool frozen =
                 flow->rateGBps >= flow->capGBps - kRateEpsilon;
             for (ResourceId r : flow->resources) {
-                if (rem_cap[r] <= kRateEpsilon)
+                if (remCap_[r] <= kRateEpsilon)
                     frozen = true;
             }
-            if (!frozen)
-                next.push_back(flow);
+            if (frozen) {
+                for (ResourceId r : flow->resources)
+                    usage_[r]--;
+            } else {
+                unfrozen_[next++] = flow;
+            }
         }
-        if (next.size() == unfrozen.size())
+        if (next == unfrozen_.size())
             break; // numerically stuck; rates are valid, stop here
-        unfrozen = std::move(next);
+        unfrozen_.resize(next);
     }
 
     // Schedule the earliest completion.
     double earliest_ns = std::numeric_limits<double>::infinity();
-    for (auto &[id, flow] : flows_) {
+    for (const Flow &flow : flows_) {
         if (flow.rateGBps < kRateEpsilon)
             throw RuntimeError(
                 "FlowNetwork: flow starved (zero-capacity route?)");

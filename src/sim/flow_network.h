@@ -8,13 +8,24 @@
  * act: parallelization adds flows to raise a link's utilization,
  * aggregation amortizes per-message latency (paid by the caller),
  * pipelining overlaps flows on disjoint resources.
+ *
+ * Hot-path layout: flows live in a start-ordered vector (completion
+ * callbacks therefore fire in deterministic start order), per-
+ * resource flow-membership counts are maintained incrementally so
+ * the progressive-filling recomputation touches only resources that
+ * actually carry flows, and all per-recompute scratch (remaining
+ * capacities, usage counts, the unfrozen set) is reused across
+ * updates instead of reallocated. The computed rates are exactly
+ * those of the naive all-flows x all-resources formulation: min()
+ * reductions are order-independent, and decrementing a resource's
+ * usage count when a flow freezes yields the same per-round counts
+ * as recounting from scratch.
  */
 
 #ifndef MSCCLANG_SIM_FLOW_NETWORK_H_
 #define MSCCLANG_SIM_FLOW_NETWORK_H_
 
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/event_queue.h"
@@ -59,6 +70,7 @@ class FlowNetwork
   private:
     struct Flow
     {
+        FlowId id = 0;
         std::vector<ResourceId> resources;
         double capGBps = 0.0;
         double remaining = 0.0; // bytes
@@ -82,15 +94,37 @@ class FlowNetwork
     /** Max-min fair rate recomputation + completion scheduling. */
     void recompute();
 
+    /** Adds/removes a flow's membership in the per-resource counts. */
+    void addMembership(const Flow &flow);
+    void dropMembership(const Flow &flow);
+
     const Topology &topology_;
     EventQueue &events_;
-    std::unordered_map<FlowId, Flow> flows_;
+    /** Active flows in start order. */
+    std::vector<Flow> flows_;
+    /** Retired Flow shells recycled to keep vector capacity warm. */
+    std::vector<Flow> flowPool_;
     FlowId nextId_ = 1;
     TimeNs lastUpdate_ = 0;
     EventId pendingEvent_ = 0;
     TimeNs pendingAt_ = 0;
     double delivered_ = 0.0;
     std::vector<double> resourceBytes_;
+
+    /** Resource capacities, copied once (the topology is immutable). */
+    std::vector<double> capacity_;
+    /** Number of active flows crossing each resource. */
+    std::vector<int> flowCount_;
+    /** Resources with flowCount_ > 0 (lazily compacted). */
+    std::vector<ResourceId> touched_;
+    /** Whether a resource is in touched_ (dedup flag). */
+    std::vector<char> inTouched_;
+
+    // Scratch reused by recompute().
+    std::vector<double> remCap_;
+    std::vector<int> usage_;
+    std::vector<Flow *> unfrozen_;
+    std::vector<std::function<void()>> doneScratch_;
 };
 
 } // namespace mscclang

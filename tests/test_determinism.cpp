@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Bit-exact determinism of the simulator. Simulated results — the
+ * ExecStats fingerprint, the trace file content, and data-mode
+ * buffer contents — must be identical on every run of the same
+ * program: hot-path work (incremental max-min rates, pooled events,
+ * dense interpreter plans, parallel tuner sweeps) is only allowed to
+ * move wall-clock time, never simulated time. EXPERIMENTS.md states
+ * this contract; these tests pin it across topologies, collectives,
+ * and both execution modes.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "collectives/classic.h"
+#include "collectives/collectives.h"
+#include "compiler/compiler.h"
+#include "runtime/interpreter.h"
+#include "runtime/tuner.h"
+#include "topology/topology.h"
+
+namespace mscclang {
+namespace {
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "cannot read " << path;
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+/** Runs @p ir once in timing mode, tracing to @p trace_path. */
+ExecStats
+runTimed(const Topology &topo, const IrProgram &ir,
+         std::uint64_t bytes, const std::string &trace_path)
+{
+    ExecOptions exec;
+    exec.bytesPerRank = bytes;
+    exec.maxTilesPerChunk = 16;
+    exec.launchOverheadUs = topo.params().kernelLaunchUs;
+    exec.traceFile = trace_path;
+    return runIr(topo, ir, exec);
+}
+
+/**
+ * Runs twice from identical fresh state and requires the stats and
+ * the trace files to be bitwise identical (== on doubles, byte-equal
+ * trace content).
+ */
+void
+expectBitIdentical(const Topology &topo, const IrProgram &ir,
+                   std::uint64_t bytes)
+{
+    std::string path_a =
+        testing::TempDir() + "mscclang_determinism_a.json";
+    std::string path_b =
+        testing::TempDir() + "mscclang_determinism_b.json";
+    ExecStats a = runTimed(topo, ir, bytes, path_a);
+    ExecStats b = runTimed(topo, ir, bytes, path_b);
+    EXPECT_EQ(a.endNs, b.endNs);
+    EXPECT_EQ(a.startNs, b.startNs);
+    EXPECT_EQ(a.messages, b.messages);
+    EXPECT_EQ(a.wireBytes, b.wireBytes); // exact, not NEAR
+    std::string trace_a = slurp(path_a);
+    std::string trace_b = slurp(path_b);
+    EXPECT_FALSE(trace_a.empty());
+    EXPECT_EQ(trace_a, trace_b);
+    std::remove(path_a.c_str());
+    std::remove(path_b.c_str());
+}
+
+TEST(Determinism, RingAllReduceSingleNode)
+{
+    Topology topo = makeNdv4(1);
+    AlgoConfig cfg;
+    cfg.protocol = Protocol::LL128;
+    cfg.instances = 2;
+    IrProgram ir = compileProgram(*makeRingAllReduce(8, 2, cfg)).ir;
+    expectBitIdentical(topo, ir, 1 << 20);
+}
+
+TEST(Determinism, RingAllReduceTwoNodesCrossesIb)
+{
+    Topology topo = makeNdv4(2);
+    AlgoConfig cfg;
+    cfg.protocol = Protocol::Simple;
+    cfg.instances = 4;
+    IrProgram ir = compileProgram(*makeRingAllReduce(16, 4, cfg)).ir;
+    expectBitIdentical(topo, ir, 4 << 20);
+}
+
+TEST(Determinism, DoubleBinaryTreeDgx2)
+{
+    Topology topo = makeDgx2(1);
+    AlgoConfig cfg;
+    cfg.protocol = Protocol::LL;
+    cfg.instances = 2;
+    IrProgram ir =
+        compileProgram(*makeDoubleBinaryTreeAllReduce(16, cfg)).ir;
+    expectBitIdentical(topo, ir, 256 << 10);
+}
+
+TEST(Determinism, HierarchicalAllReduceDgx1)
+{
+    Topology topo = makeDgx1();
+    AlgoConfig cfg;
+    cfg.protocol = Protocol::Simple;
+    cfg.instances = 1;
+    IrProgram ir =
+        compileProgram(*makeRabenseifnerAllReduce(8, cfg)).ir;
+    expectBitIdentical(topo, ir, 1 << 20);
+}
+
+TEST(Determinism, DataModeStatsAndBuffersAreBitIdentical)
+{
+    Topology topo = makeNdv4(1);
+    AlgoConfig cfg;
+    cfg.protocol = Protocol::Simple;
+    cfg.instances = 2;
+    IrProgram ir = compileProgram(*makeRingAllReduce(8, 2, cfg)).ir;
+    const std::uint64_t bytes = 256 << 10;
+
+    auto run_once = [&](DataStore &store) {
+        store.configure(ir, bytes);
+        for (int r = 0; r < 8; r++) {
+            std::vector<float> &in = store.input(r);
+            for (size_t i = 0; i < in.size(); i++)
+                in[i] = static_cast<float>((r * 131 + i) % 97);
+        }
+        ExecOptions exec;
+        exec.dataMode = true;
+        exec.bytesPerRank = bytes;
+        exec.maxTilesPerChunk = 16;
+        exec.launchOverheadUs = topo.params().kernelLaunchUs;
+        return runIr(topo, ir, exec, &store);
+    };
+
+    DataStore store_a, store_b;
+    ExecStats a = run_once(store_a);
+    ExecStats b = run_once(store_b);
+    EXPECT_EQ(a.endNs, b.endNs);
+    EXPECT_EQ(a.messages, b.messages);
+    EXPECT_EQ(a.wireBytes, b.wireBytes);
+    for (int r = 0; r < 8; r++) {
+        // Element-exact: reductions must run in the same order too.
+        EXPECT_EQ(store_a.output(r), store_b.output(r)) << "rank " << r;
+    }
+}
+
+TEST(Determinism, TimingModeMatchesDataModeTimings)
+{
+    // The two modes share one event schedule; moving real floats must
+    // not perturb simulated time.
+    Topology topo = makeNdv4(1);
+    AlgoConfig cfg;
+    cfg.protocol = Protocol::LL;
+    cfg.instances = 2;
+    IrProgram ir = compileProgram(*makeRingAllReduce(8, 2, cfg)).ir;
+    const std::uint64_t bytes = 64 << 10;
+
+    ExecOptions timing;
+    timing.bytesPerRank = bytes;
+    timing.maxTilesPerChunk = 16;
+    timing.launchOverheadUs = topo.params().kernelLaunchUs;
+    ExecStats t = runIr(topo, ir, timing);
+
+    DataStore store;
+    store.configure(ir, bytes);
+    ExecOptions data = timing;
+    data.dataMode = true;
+    ExecStats d = runIr(topo, ir, data, &store);
+
+    EXPECT_EQ(t.endNs, d.endNs);
+    EXPECT_EQ(t.messages, d.messages);
+    EXPECT_EQ(t.wireBytes, d.wireBytes);
+}
+
+TEST(Determinism, TunerWindowsIndependentOfThreadCount)
+{
+    Topology topo = makeNdv4(2);
+    AlgoConfig cfg;
+    cfg.protocol = Protocol::Simple;
+    cfg.instances = 2;
+    std::vector<IrProgram> candidates;
+    candidates.push_back(
+        compileProgram(*makeRingAllReduce(16, 2, cfg)).ir);
+    candidates.push_back(
+        compileProgram(*makeAllPairsAllReduce(16, cfg)).ir);
+    candidates.push_back(
+        compileProgram(*makeDoubleBinaryTreeAllReduce(16, cfg)).ir);
+
+    TuneOptions tune;
+    tune.fromBytes = 1 << 12;
+    tune.toBytes = 1 << 20;
+
+    tune.threads = 1;
+    std::vector<TunedWindow> serial =
+        tuneWindows(topo, candidates, tune);
+    tune.threads = 4;
+    std::vector<TunedWindow> parallel =
+        tuneWindows(topo, candidates, tune);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); i++) {
+        EXPECT_EQ(serial[i].minBytes, parallel[i].minBytes);
+        EXPECT_EQ(serial[i].maxBytes, parallel[i].maxBytes);
+        EXPECT_EQ(serial[i].candidate, parallel[i].candidate);
+        EXPECT_EQ(serial[i].timeUs, parallel[i].timeUs); // exact
+    }
+}
+
+TEST(Determinism, TunerMemoizesDuplicateCandidates)
+{
+    Topology topo = makeNdv4(1);
+    AlgoConfig cfg;
+    cfg.protocol = Protocol::Simple;
+    cfg.instances = 2;
+    std::vector<IrProgram> candidates;
+    candidates.push_back(
+        compileProgram(*makeRingAllReduce(8, 2, cfg)).ir);
+    candidates.push_back(
+        compileProgram(*makeAllPairsAllReduce(8, cfg)).ir);
+    // The same ring again under a different name: structurally equal,
+    // so it shares the first candidate's simulations and — by the
+    // strict-< winner rule — can never displace it.
+    candidates.push_back(candidates[0]);
+    candidates.back().name = "ring-again";
+
+    TuneOptions tune;
+    tune.fromBytes = 1 << 12;
+    tune.toBytes = 1 << 18;
+    std::vector<TunedWindow> windows =
+        tuneWindows(topo, candidates, tune);
+    for (const TunedWindow &w : windows)
+        EXPECT_NE(w.candidate, 2) << "duplicate displaced original";
+}
+
+} // namespace
+} // namespace mscclang

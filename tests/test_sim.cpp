@@ -7,6 +7,7 @@
  */
 
 #include <cmath>
+#include <functional>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -65,6 +66,54 @@ TEST(EventQueue, CancelPreventsExecution)
     events.run();
     EXPECT_EQ(fired, 10);
     EXPECT_TRUE(events.empty());
+}
+
+TEST(EventQueue, CancelChurnKeepsStorageBounded)
+{
+    // Regression: cancelled events used to linger in the heap and in
+    // a cancelled-id set until their (arbitrarily far) deadline, so a
+    // cancel/reschedule pattern — exactly what FlowNetwork's update
+    // coalescing does — grew memory without bound. The pooled-slot
+    // queue must stay O(live events).
+    EventQueue events;
+    EventId pending = 0;
+    for (int i = 0; i < 100000; i++) {
+        if (pending != 0)
+            events.cancel(pending);
+        pending = events.schedule(1000000 + i, [] {});
+    }
+    EXPECT_LE(events.poolSlots(), 64u);
+    EXPECT_LE(events.heapEntries(), 256u); // 1 live + bounded slack
+    events.cancel(pending);
+    events.run();
+    EXPECT_EQ(events.executed(), 0u);
+    EXPECT_TRUE(events.empty());
+}
+
+TEST(EventQueue, StaleCancelDoesNotKillSlotReuser)
+{
+    EventQueue events;
+    int fired = 0;
+    EventId a = events.schedule(1, [&] { fired += 1; });
+    events.runOne();
+    // a's pool slot is free and may be handed to b; cancelling with
+    // the stale id must be a no-op, not kill b.
+    EventId b = events.schedule(2, [&] { fired += 10; });
+    events.cancel(a);
+    events.cancel(a);
+    events.run();
+    EXPECT_EQ(fired, 11);
+    EXPECT_NE(a, b);
+}
+
+TEST(EventQueue, CancelledSlotIsRecycled)
+{
+    EventQueue events;
+    for (int i = 0; i < 1000; i++)
+        events.cancel(events.schedule(10, [] {}));
+    EXPECT_LE(events.poolSlots(), 8u);
+    events.run();
+    EXPECT_EQ(events.executed(), 0u);
 }
 
 TEST(EventQueue, SchedulingIntoPastThrows)
@@ -224,6 +273,72 @@ TEST(FlowNetwork, ManyFlowsConserveBytes)
     EXPECT_EQ(completed, 64);
     EXPECT_NEAR(net.deliveredBytes(), total, 1.0);
     EXPECT_EQ(net.activeFlows(), 0);
+}
+
+TEST(FlowNetwork, BurstyStartsConservePerResourceBytes)
+{
+    // Exercises the incremental bookkeeping (membership counts,
+    // lazily compacted touched set, usage decrements) under waves of
+    // flows that start from completion callbacks, so starts and
+    // finishes interleave and resources repeatedly drain to zero
+    // flows and refill.
+    MachineParams params;
+    params.nvlinkGpuBwGBps = 5.0;
+    Topology topo = makeGeneric(1, 6, params);
+    EventQueue events;
+    FlowNetwork net(topo, events);
+    std::vector<double> expected(topo.numResources(), 0.0);
+    double total = 0.0;
+    int completed = 0;
+    std::function<void(int)> burst = [&](int wave) {
+        if (wave >= 3)
+            return;
+        for (int i = 0; i < 12; i++) {
+            int src = (i + wave) % 6;
+            int dst = (src + 1 + i % 3) % 6;
+            double bytes = 50.0 * (i + 1 + wave);
+            const std::vector<ResourceId> &resources =
+                topo.route(src, dst).resources;
+            for (ResourceId r : resources)
+                expected[r] += bytes;
+            total += bytes;
+            bool leader = i == 0;
+            net.startFlow(resources, 1.5, bytes,
+                          [&, leader, wave] {
+                              completed++;
+                              if (leader)
+                                  burst(wave + 1);
+                          });
+        }
+    };
+    burst(0);
+    events.run();
+    EXPECT_EQ(completed, 36);
+    EXPECT_NEAR(net.deliveredBytes(), total, 1e-2);
+    for (ResourceId r = 0; r < topo.numResources(); r++)
+        EXPECT_NEAR(net.resourceBytes(r), expected[r], 1e-2);
+    EXPECT_EQ(net.activeFlows(), 0);
+}
+
+TEST(FlowNetwork, ResourcesLeftIdleStayClean)
+{
+    // A resource whose flows all finish must drop out of the touched
+    // set and come back correctly when used again later.
+    Topology topo = tinyFabric(10.0);
+    EventQueue events;
+    FlowNetwork net(topo, events);
+    auto route01 = topo.route(0, 1).resources;
+    auto route10 = topo.route(1, 0).resources;
+    TimeNs second_done = -1;
+    net.startFlow(route01, 100.0, 1000.0, [&] {
+        // Re-use the reverse direction after the fabric went idle.
+        net.startFlow(route10, 100.0, 1000.0,
+                      [&] { second_done = events.now(); });
+    });
+    events.run();
+    // Each leg runs alone at the 10 GB/s resource cap: 100ns each.
+    EXPECT_NEAR(static_cast<double>(second_done), 200.0, 4.0);
+    EXPECT_NEAR(net.deliveredBytes(), 2000.0, 1e-2);
 }
 
 } // namespace
