@@ -99,8 +99,14 @@ std::vector<std::uint64_t>
 sizeSweep(std::uint64_t from_bytes, std::uint64_t to_bytes)
 {
     std::vector<std::uint64_t> sizes;
-    for (std::uint64_t s = from_bytes; s <= to_bytes; s <<= 1)
+    for (std::uint64_t s = from_bytes; s <= to_bytes;) {
         sizes.push_back(s);
+        // Stop before the doubling wraps: a start in the top bit
+        // range would otherwise shift to 0 and loop forever.
+        if (s > to_bytes / 2)
+            break;
+        s <<= 1;
+    }
     return sizes;
 }
 

@@ -35,6 +35,16 @@ enum class Protocol { Simple = 0, LL = 1, LL128 = 2, Direct = 3 };
 
 const char *protocolName(Protocol proto);
 
+/**
+ * FIFO slots per connection (paper: 1 <= s <= 8). The single source
+ * of truth shared by the runtime interpreter's ring inboxes
+ * (protocolParams) and the verifier's deadlock model (VerifyOptions):
+ * if the two disagreed, a program the verifier certifies
+ * deadlock-free could wedge on the runtime. Guarded by
+ * Faults.SlotContractSingleSourceOfTruth in tests/test_faults.cpp.
+ */
+constexpr int kFifoSlotsPerConnection = 8;
+
 /** Pointwise reduction applied by reduce instructions. */
 enum class ReduceOp { Sum = 0, Prod = 1, Max = 2, Min = 3 };
 

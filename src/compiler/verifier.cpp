@@ -428,10 +428,9 @@ class AbstractMachine
                     reason = strprintf("FIFO slot to %d (queued=%zu) or "
                                        "dependency", tb.sendPeer, queued);
                 }
-                report += strprintf(
-                    "  rank %d tb %d blocked at step %d (%s) waiting "
-                    "for %s\n", gpu.rank, tb.id, cursor,
-                    instr.toString().c_str(), reason.c_str());
+                report += formatBlockedThreadBlock(gpu.rank, tb.id,
+                                                   cursor, instr,
+                                                   reason);
             }
         }
         return report;
@@ -485,9 +484,12 @@ void
 verifyIr(const IrProgram &ir, const Collective &collective,
          const VerifyOptions &options)
 {
-    if (options.slots < 1)
+    VerifyOptions resolved = options;
+    if (resolved.slots == 0)
+        resolved.slots = kFifoSlotsPerConnection;
+    if (resolved.slots < 1)
         throw VerificationError("verifier: slots must be >= 1");
-    AbstractMachine machine(ir, collective, options);
+    AbstractMachine machine(ir, collective, resolved);
     machine.run();
 }
 

@@ -30,8 +30,15 @@ namespace mscclang {
 /** Verification knobs. */
 struct VerifyOptions
 {
-    /** FIFO slots per connection assumed for deadlock detection. */
-    int slots = 8;
+    /**
+     * FIFO slots per connection assumed for deadlock detection. The
+     * default 0 means "the runtime's actual FIFO depth"
+     * (kFifoSlotsPerConnection, the same constant the interpreter's
+     * ring inboxes are sized from) — overriding it voids the
+     * verifier's deadlock-freedom guarantee for the runtime, so only
+     * do so to model hypothetical hardware.
+     */
+    int slots = 0;
     /**
      * When false, the postcondition check is skipped and only
      * progress/consistency properties are verified (useful for

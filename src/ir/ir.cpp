@@ -136,6 +136,16 @@ IrInstruction::toString() const
     return text;
 }
 
+std::string
+formatBlockedThreadBlock(Rank rank, int tb, int step,
+                         const IrInstruction &instr,
+                         const std::string &reason)
+{
+    return strprintf(
+        "  rank %d tb %d blocked at step %d (%s) waiting for %s\n",
+        rank, tb, step, instr.toString().c_str(), reason.c_str());
+}
+
 int
 IrProgram::numChannels() const
 {

@@ -93,6 +93,16 @@ struct IrInstruction
     std::string toString() const;
 };
 
+/**
+ * The canonical one-line description of a wedged thread block, shared
+ * by the verifier's deadlock report and the runtime watchdog's abort
+ * report so both tools speak the same language:
+ * "  rank R tb T blocked at step S (instr) waiting for <reason>\n".
+ */
+std::string formatBlockedThreadBlock(Rank rank, int tb, int step,
+                                     const IrInstruction &instr,
+                                     const std::string &reason);
+
 /** A thread block: sequential instructions + up to two connections. */
 struct IrThreadBlock
 {

@@ -159,6 +159,39 @@ class Parser
         return text_.substr(start, pos_ - start);
     }
 
+    /** Longest recognized entity body ("&#x10FFFF;" is 8 chars). */
+    static constexpr size_t kMaxEntityLen = 8;
+
+    /** Decodes "#NN" / "#xNN" character references (bytes only). */
+    char
+    numericEntity(const std::string &entity)
+    {
+        size_t p = 1;
+        int base = 10;
+        if (p < entity.size() &&
+            (entity[p] == 'x' || entity[p] == 'X')) {
+            base = 16;
+            p++;
+        }
+        if (p >= entity.size())
+            fail("empty character reference");
+        unsigned long value = 0;
+        for (; p < entity.size(); p++) {
+            int digit;
+            char c = entity[p];
+            if (c >= '0' && c <= '9') digit = c - '0';
+            else if (base == 16 && c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+            else if (base == 16 && c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+            else fail("malformed character reference '&" + entity + ";'");
+            value = value * static_cast<unsigned long>(base) +
+                static_cast<unsigned long>(digit);
+            if (value > 0xFF)
+                fail("character reference '&" + entity +
+                     ";' out of byte range");
+        }
+        return static_cast<char>(static_cast<unsigned char>(value));
+    }
+
     std::string
     unescape(const std::string &raw)
     {
@@ -169,15 +202,22 @@ class Parser
                 out.push_back(raw[i]);
                 continue;
             }
+            // Bound the scan for ';' so a stray '&' fails fast with a
+            // short message instead of swallowing the rest of the
+            // value into an "unknown entity" report.
             size_t semi = raw.find(';', i);
-            if (semi == std::string::npos)
+            if (semi == std::string::npos ||
+                semi - i - 1 > kMaxEntityLen) {
                 fail("unterminated entity");
+            }
             std::string entity = raw.substr(i + 1, semi - i - 1);
-            if (entity == "amp") out.push_back('&');
+            if (entity.empty()) fail("empty entity '&;'");
+            else if (entity == "amp") out.push_back('&');
             else if (entity == "lt") out.push_back('<');
             else if (entity == "gt") out.push_back('>');
             else if (entity == "quot") out.push_back('"');
             else if (entity == "apos") out.push_back('\'');
+            else if (entity[0] == '#') out.push_back(numericEntity(entity));
             else fail("unknown entity '&" + entity + ";'");
             i = semi;
         }
@@ -279,7 +319,16 @@ xmlEscape(const std::string &text)
           case '>': out += "&gt;"; break;
           case '"': out += "&quot;"; break;
           case '\'': out += "&apos;"; break;
-          default: out.push_back(c);
+          default: {
+            // Control characters go out as numeric references so
+            // attribute values round-trip byte-exactly (a literal
+            // newline would be normalized away by any XML parser).
+            unsigned char u = static_cast<unsigned char>(c);
+            if (u < 0x20 || u == 0x7F)
+                out += strprintf("&#%u;", static_cast<unsigned>(u));
+            else
+                out.push_back(c);
+          }
         }
     }
     return out;

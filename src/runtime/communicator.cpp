@@ -1,5 +1,7 @@
 #include "runtime/communicator.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 #include "common/strings.h"
 
@@ -28,45 +30,138 @@ Communicator::registerFallback(
     fallbacks_[collective] = std::move(factory);
 }
 
+const Communicator::Registered *
+Communicator::selectWindow(const std::string &collective,
+                           std::uint64_t bytes) const
+{
+    // Both window bounds are inclusive (bytes == maxBytes matches).
+    // Overlaps resolve to the largest minBytes; ties to the latest
+    // registration — hence ">=" while scanning in registration order.
+    const Registered *best = nullptr;
+    for (const Registered &entry : algorithms_) {
+        if (entry.ir.collective != collective ||
+            bytes < entry.minBytes || bytes > entry.maxBytes) {
+            continue;
+        }
+        if (best == nullptr || entry.minBytes >= best->minBytes)
+            best = &entry;
+    }
+    return best;
+}
+
 RunResult
 Communicator::run(const std::string &collective,
                   const RunOptions &options)
 {
-    for (const Registered &entry : algorithms_) {
-        if (entry.ir.collective == collective &&
-            options.bytes >= entry.minBytes &&
-            options.bytes <= entry.maxBytes) {
-            return runProgram(entry.ir, options);
-        }
-    }
-    auto it = fallbacks_.find(collective);
-    if (it == fallbacks_.end()) {
+    const Registered *picked = selectWindow(collective, options.bytes);
+    auto fallback = fallbacks_.find(collective);
+    if (picked == nullptr && fallback == fallbacks_.end()) {
         throw RuntimeError("no algorithm or fallback registered for '" +
                            collective + "' at " +
                            formatBytes(options.bytes));
     }
-    IrProgram ir = it->second(options.bytes);
-    RunResult result = runProgram(ir, options);
-    result.algorithm += " (fallback)";
-    return result;
+
+    // Attempt loop. Fault events are transient: the working copy of
+    // the schedule drops events an aborted attempt already fired, so
+    // the retry replays only the remaining script — deterministic,
+    // and a mid-kernel link-down does not re-kill the fallback.
+    FaultSchedule working = topology_.faultSchedule();
+    DataStore::Snapshot snapshot;
+    if (options.dataMode)
+        snapshot = store_.snapshot();
+
+    IrProgram fallback_ir;
+    const IrProgram *program = nullptr;
+    bool on_fallback = picked == nullptr;
+    if (picked != nullptr) {
+        program = &picked->ir;
+    } else {
+        fallback_ir = fallback->second(options.bytes);
+        program = &fallback_ir;
+    }
+
+    int attempts = 0;
+    int faults_total = 0;
+    int max_attempts = std::max(1, options.maxAttempts);
+    for (;;) {
+        attempts++;
+        RunResult result = runAttempt(*program, options, &working);
+        faults_total += result.stats.faultsSeen;
+        if (!result.stats.aborted) {
+            result.attempts = attempts;
+            result.faultsSeen = faults_total;
+            result.degraded = attempts > 1;
+            if (on_fallback)
+                result.algorithm += " (fallback)";
+            return result;
+        }
+        if (attempts >= max_attempts) {
+            throw RuntimeError(strprintf(
+                "run '%s' at %s aborted after %d attempt(s) (%d fault"
+                "(s) seen): %s", collective.c_str(),
+                formatBytes(options.bytes).c_str(), attempts,
+                faults_total, result.stats.abortReason.c_str()));
+        }
+        if (fallback == fallbacks_.end()) {
+            throw RuntimeError(strprintf(
+                "run '%s' at %s aborted and no fallback is "
+                "registered: %s", collective.c_str(),
+                formatBytes(options.bytes).c_str(),
+                result.stats.abortReason.c_str()));
+        }
+        // Consume the faults the aborted attempt saw, roll the store
+        // back to its pre-launch contents, and go again on the
+        // fallback (the paper's NCCL role).
+        std::vector<FaultEvent> remaining;
+        std::vector<bool> fired(working.events.size(), false);
+        for (int index : result.stats.firedFaults) {
+            if (index >= 0 &&
+                index < static_cast<int>(fired.size())) {
+                fired[index] = true;
+            }
+        }
+        for (size_t i = 0; i < working.events.size(); i++) {
+            if (!fired[i])
+                remaining.push_back(working.events[i]);
+        }
+        working.events = std::move(remaining);
+        if (options.dataMode)
+            store_.restore(snapshot);
+        if (!on_fallback) {
+            fallback_ir = fallback->second(options.bytes);
+            program = &fallback_ir;
+            on_fallback = true;
+        }
+    }
 }
 
 RunResult
 Communicator::runProgram(const IrProgram &ir, const RunOptions &options)
+{
+    return runAttempt(ir, options, nullptr);
+}
+
+RunResult
+Communicator::runAttempt(const IrProgram &ir, const RunOptions &options,
+                         const FaultSchedule *faults)
 {
     ExecOptions exec;
     exec.dataMode = options.dataMode;
     exec.bytesPerRank = options.bytes;
     exec.maxTilesPerChunk = options.maxTilesPerChunk;
     exec.launchOverheadUs = topology_.params().kernelLaunchUs;
+    exec.watchdogTimeoutUs = options.watchdogTimeoutUs;
+    exec.watchdogNoProgressUs = options.watchdogNoProgressUs;
+    exec.faults = faults;
     if (options.dataMode)
         store_.configure(ir, options.bytes);
     ExecStats stats = runIr(topology_, ir, exec,
                             options.dataMode ? &store_ : nullptr);
     RunResult result;
-    result.stats = stats;
-    result.timeUs = stats.durationUs();
+    result.stats = std::move(stats);
+    result.timeUs = result.stats.durationUs();
     result.algorithm = ir.name;
+    result.faultsSeen = result.stats.faultsSeen;
     return result;
 }
 

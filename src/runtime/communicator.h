@@ -32,6 +32,19 @@ struct RunOptions
     bool dataMode = false;
     /** Pipeline tile cap per chunk (see ExecOptions). */
     int maxTilesPerChunk = 16;
+    /** Watchdog knobs, forwarded to the interpreter (see
+     *  ExecOptions); both 0 leaves the watchdog off. */
+    double watchdogTimeoutUs = 0.0;
+    double watchdogNoProgressUs = 0.0;
+    /**
+     * Total kernel attempts Communicator::run may make when the
+     * watchdog aborts: the first attempt uses the selected
+     * algorithm, every further one the registered fallback (the
+     * paper's NCCL role). Faults that already fired are treated as
+     * transient — consumed by the aborted attempt — so the retry
+     * replays only the not-yet-fired remainder of the schedule.
+     */
+    int maxAttempts = 2;
 };
 
 /** Result of one collective invocation. */
@@ -40,6 +53,13 @@ struct RunResult
     double timeUs = 0.0;
     std::string algorithm;
     ExecStats stats;
+    /** Kernel attempts made (> 1 means the watchdog fired). */
+    int attempts = 1;
+    /** Fault events that activated across all attempts. */
+    int faultsSeen = 0;
+    /** True when the run only completed via the fallback after an
+     *  abort — the degradation record the caller can alert on. */
+    bool degraded = false;
 };
 
 /** The NCCL-API-compatible communicator over a simulated machine. */
@@ -54,9 +74,18 @@ class Communicator
 
     /**
      * Registers @p ir for its collective, active for input sizes in
-     * [min_bytes, max_bytes] (paper §6: "the runtime dynamically
-     * selects the right algorithm based on user configurable size
-     * ranges").
+     * [min_bytes, max_bytes] — both bounds inclusive, so
+     * bytes == max_bytes selects this window (paper §6: "the runtime
+     * dynamically selects the right algorithm based on user
+     * configurable size ranges").
+     *
+     * Overlapping windows are legal and resolved deterministically:
+     * among all windows containing the size, the one with the
+     * largest minBytes wins, ties going to the most recently
+     * registered. For the contiguous tiling registerTuned emits this
+     * degenerates to the unique containing window; for hand-stacked
+     * overlaps it means "the most specific (highest lower bound),
+     * freshest registration".
      */
     void registerAlgorithm(IrProgram ir, std::uint64_t min_bytes,
                            std::uint64_t max_bytes);
@@ -72,12 +101,27 @@ class Communicator
 
     /**
      * Runs the named collective, selecting among registered
-     * algorithms / fallback. @throws RuntimeError if nothing matches.
+     * algorithms / fallback (see registerAlgorithm for the window
+     * resolution rule). When the topology carries a fault schedule
+     * and the watchdog aborts an attempt, retries with the
+     * registered fallback up to options.maxAttempts total attempts;
+     * in data mode the store is rolled back to its pre-launch
+     * snapshot before each retry, so a completed run always starts
+     * from defined buffers. The result records the degradation
+     * (attempts, faultsSeen, degraded, the algorithm actually used).
+     * @throws RuntimeError if nothing matches, or if the final
+     * attempt still aborts (the message carries the blocked-set
+     * report).
      */
     RunResult run(const std::string &collective,
                   const RunOptions &options);
 
-    /** Runs a specific program (one cooperative kernel launch). */
+    /**
+     * Runs a specific program (one cooperative kernel launch). No
+     * retry: a watchdog abort is returned in result.stats.aborted,
+     * and in data mode the store keeps whatever the executed prefix
+     * wrote.
+     */
     RunResult runProgram(const IrProgram &ir, const RunOptions &options);
 
     /**
@@ -97,6 +141,14 @@ class Communicator
         std::uint64_t minBytes;
         std::uint64_t maxBytes;
     };
+
+    /** One kernel attempt with an explicit fault script override. */
+    RunResult runAttempt(const IrProgram &ir, const RunOptions &options,
+                         const FaultSchedule *faults);
+
+    /** The window winning at @p bytes, or null (see registerAlgorithm). */
+    const Registered *selectWindow(const std::string &collective,
+                                   std::uint64_t bytes) const;
 
     const Topology &topology_;
     DataStore store_;

@@ -43,6 +43,20 @@ DataStore::configure(const IrProgram &ir, std::uint64_t bytes_per_rank)
     }
 }
 
+DataStore::Snapshot
+DataStore::snapshot() const
+{
+    return Snapshot{ input_, output_, scratch_ };
+}
+
+void
+DataStore::restore(const Snapshot &snap)
+{
+    input_ = snap.input;
+    output_ = snap.output;
+    scratch_ = snap.scratch;
+}
+
 std::vector<float> &
 DataStore::buffer(Rank rank, BufferKind kind, bool in_place)
 {
@@ -185,6 +199,16 @@ struct IrExecution::Impl
     std::vector<TraceEvent> trace;
     ExecStats stats;
     std::function<void(const ExecStats &)> onComplete;
+
+    // Watchdog state: `progress` counts completed instructions and
+    // delivered messages; the no-progress tick compares it against
+    // the previous tick's snapshot.
+    bool aborted = false;
+    bool done = false;
+    std::uint64_t progress = 0;
+    std::uint64_t lastProgress = 0;
+    EventId watchdogAbsEvent = 0;
+    EventId watchdogTickEvent = 0;
 
     Impl(const Topology &topo, const IrProgram &program, EventQueue &eq,
          FlowNetwork &net, ExecOptions opts, DataStore *store)
@@ -515,6 +539,19 @@ struct IrExecution::Impl
         onComplete = std::move(cb);
         stats.startNs = events.now();
         TimeNs launch = usToNs(options.launchOverheadUs);
+        if (options.watchdogTimeoutUs > 0.0) {
+            watchdogAbsEvent = events.scheduleAfter(
+                launch + usToNs(options.watchdogTimeoutUs), [this] {
+                    watchdogAbsEvent = 0;
+                    abort(strprintf("watchdog: kernel exceeded %.1fus",
+                                    options.watchdogTimeoutUs));
+                });
+        }
+        if (options.watchdogNoProgressUs > 0.0) {
+            watchdogTickEvent = events.scheduleAfter(
+                launch + usToNs(options.watchdogNoProgressUs),
+                [this] { watchdogTick(); });
+        }
         events.scheduleAfter(launch, [this] {
             if (tbs.empty()) {
                 finishAll();
@@ -526,9 +563,108 @@ struct IrExecution::Impl
     }
 
     void
+    watchdogTick()
+    {
+        watchdogTickEvent = 0;
+        if (done)
+            return;
+        if (progress == lastProgress) {
+            abort(strprintf("watchdog: no progress for %.1fus",
+                            options.watchdogNoProgressUs));
+            return;
+        }
+        lastProgress = progress;
+        watchdogTickEvent = events.scheduleAfter(
+            usToNs(options.watchdogNoProgressUs),
+            [this] { watchdogTick(); });
+    }
+
+    /**
+     * Clean watchdog abort: no further instruction makes progress,
+     * in-flight pooled sends drain back to the arena as their events
+     * fire, the trace file is flushed, and the completion callback
+     * receives aborted stats carrying the blocked-set diagnosis.
+     * DataStore contents are whatever the executed prefix wrote —
+     * rollback is the caller's policy (see Communicator::run).
+     */
+    void
+    abort(const std::string &why)
+    {
+        if (done)
+            return;
+        aborted = true;
+        stats.aborted = true;
+        stats.abortReason = why + ":\n" + blockedReport();
+        finishAll();
+    }
+
+    /** The runtime twin of the verifier's deadlock report. */
+    std::string
+    blockedReport() const
+    {
+        std::string report;
+        for (const TbState &tb : tbs) {
+            if (tb.finished || tb.numSteps == 0)
+                continue;
+            const IrInstruction &instr = tb.tb->steps[tb.step];
+            std::string reason;
+            if (tb.busy) {
+                if (irOpSends(instr.op) && tb.tb->sendPeer >= 0) {
+                    reason = strprintf(
+                        "send to rank %d ch %d to drain (in flight, "
+                        "occupied=%d)", tb.tb->sendPeer,
+                        tb.tb->channel, conns[tb.sendConn].occupied);
+                } else {
+                    reason = "local work to complete (in flight)";
+                }
+            } else if (irOpReceives(instr.op) && tb.recvConn >= 0 &&
+                       conns[tb.recvConn].count == 0) {
+                reason = strprintf(
+                    "data from rank %d ch %d (inbox empty)",
+                    tb.tb->recvPeer, tb.tb->channel);
+            } else if (irOpSends(instr.op) && tb.sendConn >= 0 &&
+                       conns[tb.sendConn].occupied >= proto.slots) {
+                reason = strprintf(
+                    "FIFO slot to rank %d ch %d (occupied=%d)",
+                    tb.tb->sendPeer, tb.tb->channel,
+                    conns[tb.sendConn].occupied);
+            } else {
+                reason = "dependency";
+                for (const IrDep &dep : instr.deps) {
+                    int dep_flat = flatOf(tb.rank, dep.tb);
+                    long needed = static_cast<long>(tb.tile) *
+                        static_cast<long>(tbs[dep_flat].numSteps) +
+                        dep.step + 1;
+                    if (tbs[dep_flat].units < needed) {
+                        reason = strprintf(
+                            "tb %d step %d (units=%ld, needed=%ld)",
+                            dep.tb, dep.step, tbs[dep_flat].units,
+                            needed);
+                        break;
+                    }
+                }
+            }
+            report += formatBlockedThreadBlock(tb.rank, tb.tb->id,
+                                               tb.step, instr, reason);
+        }
+        return report;
+    }
+
+    void
     finishAll()
     {
+        done = true;
+        if (watchdogAbsEvent != 0) {
+            events.cancel(watchdogAbsEvent);
+            watchdogAbsEvent = 0;
+        }
+        if (watchdogTickEvent != 0) {
+            events.cancel(watchdogTickEvent);
+            watchdogTickEvent = 0;
+        }
         stats.endNs = events.now();
+        stats.faultsSeen = network.faultsFired();
+        stats.firedFaults = network.firedFaults();
         if (!options.traceFile.empty())
             writeTrace();
         if (onComplete)
@@ -602,6 +738,8 @@ struct IrExecution::Impl
     void
     tryAdvance(int flat)
     {
+        if (aborted)
+            return;
         TbState &tb = tbs[flat];
         if (tb.busy || tb.finished)
             return;
@@ -750,6 +888,10 @@ struct IrExecution::Impl
     void
     launchFlow(int idx)
     {
+        if (aborted) {
+            freeSendOp(idx); // drain the arena on abort
+            return;
+        }
         SendOp &op = sendPool[idx];
         network.startFlow(*op.resources, op.capGBps, op.wireBytes,
                           [this, idx] { flowDrained(idx); });
@@ -759,6 +901,10 @@ struct IrExecution::Impl
     void
     flowDrained(int idx)
     {
+        if (aborted) {
+            freeSendOp(idx);
+            return;
+        }
         SendOp &op = sendPool[idx];
         completeInstr(op.flat, op.receives);
         events.scheduleAfter(sendPool[idx].alphaNs,
@@ -769,10 +915,15 @@ struct IrExecution::Impl
     void
     deliver(int idx)
     {
+        if (aborted) {
+            freeSendOp(idx);
+            return;
+        }
         SendOp &op = sendPool[idx];
         ConnState &conn = conns[op.conn];
         pushInbox(conn, std::move(op.msg));
         freeSendOp(idx);
+        progress++;
         wake(conn.waitingReceiver);
     }
 
@@ -780,6 +931,9 @@ struct IrExecution::Impl
     void
     completeInstr(int flat, bool received)
     {
+        if (aborted)
+            return;
+        progress++;
         TbState &tb = tbs[flat];
         if (traceEnabled) {
             trace.push_back(TraceEvent{ tb.rank, tb.tb->id, tb.tile,
@@ -889,12 +1043,23 @@ IrExecution::start(std::function<void(const ExecStats &)> on_complete)
     impl_->start(std::move(on_complete));
 }
 
+std::string
+IrExecution::blockedReport() const
+{
+    return impl_->blockedReport();
+}
+
 ExecStats
 runIr(const Topology &topology, const IrProgram &ir,
       const ExecOptions &options, DataStore *data)
 {
     EventQueue events;
     FlowNetwork network(topology, events);
+    const FaultSchedule &faults =
+        options.faults != nullptr ? *options.faults
+                                  : topology.faultSchedule();
+    if (!faults.empty())
+        network.injectFaults(faults);
     if (options.dataMode && data != nullptr)
         data->configure(ir, options.bytesPerRank);
     IrExecution exec(topology, ir, events, network, options, data);
@@ -907,7 +1072,8 @@ runIr(const Topology &topology, const IrProgram &ir,
     events.run();
     if (!done)
         throw RuntimeError(
-            "interpreter: execution wedged (runtime deadlock)");
+            "interpreter: execution wedged (runtime deadlock):\n" +
+            exec.blockedReport());
     return result;
 }
 

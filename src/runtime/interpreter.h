@@ -69,8 +69,31 @@ struct ExecOptions
      * When non-empty, write a chrome://tracing (Trace Event Format)
      * JSON timeline of every instruction execution to this path —
      * one row per (rank, thread block), one slice per (tile, step).
+     * Flushed (well-formed) even when the watchdog aborts the run.
      */
     std::string traceFile;
+    /**
+     * Watchdog: abort the kernel once this much simulated time has
+     * passed since launch without completing (0 disables). An abort
+     * is clean: in-flight pooled sends are drained back to their
+     * arena, the trace file is flushed, and ExecStats reports
+     * aborted=true with a blocked-thread-block diagnosis.
+     */
+    double watchdogTimeoutUs = 0.0;
+    /**
+     * Watchdog: abort when no instruction completes and no message
+     * is delivered for this long (0 disables) — catches executions
+     * wedged mid-kernel (e.g. by an injected link-down) long before
+     * an absolute timeout would.
+     */
+    double watchdogNoProgressUs = 0.0;
+    /**
+     * Fault script override for this run. When null, the topology's
+     * own schedule (Topology::setFaultSchedule) applies; the
+     * Communicator's retry path passes the not-yet-fired remainder
+     * here. Not owned; must outlive the run.
+     */
+    const FaultSchedule *faults = nullptr;
 };
 
 /** Per-rank float buffers, persistent across composed kernels. */
@@ -94,6 +117,21 @@ class DataStore
 
     int numRanks() const { return static_cast<int>(input_.size()); }
 
+    /** A full copy of all buffers, for abort rollback. */
+    struct Snapshot
+    {
+        std::vector<std::vector<float>> input, output, scratch;
+    };
+
+    /**
+     * Captures / restores buffer contents. An aborted kernel may
+     * have partially mutated the store (in-place programs reduce
+     * into their inputs); restoring the pre-launch snapshot is what
+     * makes a Communicator retry start from a defined state.
+     */
+    Snapshot snapshot() const;
+    void restore(const Snapshot &snap);
+
   private:
     std::vector<std::vector<float>> input_;
     std::vector<std::vector<float>> output_;
@@ -107,6 +145,15 @@ struct ExecStats
     TimeNs endNs = 0;
     std::uint64_t messages = 0;
     double wireBytes = 0.0;
+    /** True when the watchdog aborted the kernel before completion. */
+    bool aborted = false;
+    /** Why the watchdog fired plus the blocked thread blocks, in the
+     *  verifier's blocked-set format (empty unless aborted). */
+    std::string abortReason;
+    /** Fault events that activated during this run. */
+    int faultsSeen = 0;
+    /** Indices into the armed FaultSchedule of the fired events. */
+    std::vector<int> firedFaults;
 
     double durationUs() const
     {
@@ -131,6 +178,13 @@ class IrExecution
 
     /** Begins execution; @p on_complete fires at the final event. */
     void start(std::function<void(const ExecStats &)> on_complete);
+
+    /**
+     * Describes every unfinished thread block and what it waits on,
+     * one line each in the verifier's blocked-set format. Used for
+     * watchdog abort reports and wedge diagnostics.
+     */
+    std::string blockedReport() const;
 
   private:
     struct Impl;

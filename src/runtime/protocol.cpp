@@ -17,7 +17,7 @@ protocolParams(Protocol proto)
         params.ibAlphaUs = 1.0;
         params.perSlotOverheadUs = 0.04;
         params.slotBytes = 32 << 10;
-        params.slots = 8;
+        params.slots = kFifoSlotsPerConnection;
         return params;
       case Protocol::LL128:
         // 120/128 of the wire is payload; light per-line sync.
@@ -26,7 +26,7 @@ protocolParams(Protocol proto)
         params.ibAlphaUs = 1.6;
         params.perSlotOverheadUs = 0.10;
         params.slotBytes = 128 << 10;
-        params.slots = 8;
+        params.slots = kFifoSlotsPerConnection;
         return params;
       case Protocol::Simple:
         // High-bandwidth copies staged through intermediate FIFO
@@ -37,7 +37,7 @@ protocolParams(Protocol proto)
         params.ibAlphaUs = 3.8;
         params.perSlotOverheadUs = 0.25;
         params.slotBytes = 512 << 10;
-        params.slots = 8;
+        params.slots = kFifoSlotsPerConnection;
         return params;
       case Protocol::Direct:
         // SCCL's protocol (paper §7.5): direct source-to-destination
@@ -51,7 +51,7 @@ protocolParams(Protocol proto)
         params.ibAlphaUs = 6.0;
         params.perSlotOverheadUs = 0.05;
         params.slotBytes = 16 << 20;
-        params.slots = 8;
+        params.slots = kFifoSlotsPerConnection;
         return params;
     }
     throw Error("unknown protocol");

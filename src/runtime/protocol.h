@@ -33,8 +33,8 @@ struct ProtocolParams
     double perSlotOverheadUs = 0.1;
     /** Payload capacity of one FIFO slot, bytes. */
     std::uint64_t slotBytes = 512 << 10;
-    /** FIFO depth (paper: 1 <= s <= 8). */
-    int slots = 8;
+    /** FIFO depth (see kFifoSlotsPerConnection in common/types.h). */
+    int slots = kFifoSlotsPerConnection;
 };
 
 /** The tuned table for the three protocols. */

@@ -36,8 +36,24 @@ tuneWindows(const Topology &topology,
     if (options.fromBytes == 0 || options.fromBytes > options.toBytes)
         throw RuntimeError("tuneWindows: bad size range");
 
-    std::vector<std::uint64_t> sizes =
-        sizeSweep(options.fromBytes, options.toBytes);
+    // Sweep points: powers-of-two multiples of fromBytes, clamped so
+    // toBytes itself is always the last point. This keeps the window
+    // arithmetic exact at the edges the doubling loop used to
+    // mishandle: fromBytes == toBytes yields the single point,
+    // non-power-of-two endpoints are measured rather than skipped,
+    // and endpoints in the top bit range of std::uint64_t clamp
+    // instead of wrapping the shift to zero.
+    std::vector<std::uint64_t> sizes;
+    for (std::uint64_t s = options.fromBytes;;) {
+        sizes.push_back(s);
+        if (s >= options.toBytes)
+            break;
+        if (s > options.toBytes / 2) {
+            sizes.push_back(options.toBytes); // clamp the overshoot
+            break;
+        }
+        s <<= 1;
+    }
 
     // Memoize structurally identical candidates: variants often
     // differ only in name (or the same program is offered twice,

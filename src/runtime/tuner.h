@@ -48,11 +48,15 @@ struct TuneOptions
 };
 
 /**
- * Times every candidate at every power-of-two size in the range and
- * returns the merged windows of winners. Windows tile
- * [from, 2*to-1] contiguously: window k covers from its sweep point
- * up to just below the next one (the last window is open-ended up to
- * max std::uint64_t).
+ * Times every candidate at each power-of-two multiple of fromBytes
+ * up to and including toBytes (toBytes is always measured, even when
+ * it is not a doubling point) and returns the merged windows of
+ * winners. Windows tile all of [0, max std::uint64_t] contiguously:
+ * window k covers from its sweep point up to just below the next
+ * one, the first window extends down to 0, and the last is
+ * open-ended — so the boundary sizes themselves (fromBytes ==
+ * toBytes, endpoints in the top bit range) clamp instead of
+ * wrapping.
  */
 std::vector<TunedWindow> tuneWindows(
     const Topology &topology, const std::vector<IrProgram> &candidates,

@@ -26,8 +26,77 @@ FlowNetwork::FlowNetwork(const Topology &topology, EventQueue &events)
     remCap_.assign(n, 0.0);
     usage_.assign(n, 0);
     capacity_.resize(n);
+    degradeFactor_.assign(n, 1.0);
+    zeroCount_.assign(n, 0);
     for (int r = 0; r < n; r++)
         capacity_[r] = topology_.resourceCapacityGBps(r);
+    baseCapacity_ = capacity_;
+}
+
+void
+FlowNetwork::injectFaults(const FaultSchedule &schedule)
+{
+    if (faultsArmed_)
+        throw RuntimeError("FlowNetwork: faults already armed");
+    faultsArmed_ = true;
+    faultEvents_ = schedule.events;
+    for (size_t i = 0; i < faultEvents_.size(); i++) {
+        const FaultEvent &event = faultEvents_[i];
+        if (event.resource < 0 ||
+            event.resource >= topology_.numResources()) {
+            throw RuntimeError("FlowNetwork: fault references unknown "
+                               "resource");
+        }
+        int index = static_cast<int>(i);
+        events_.schedule(usToNs(event.atUs),
+                         [this, index] { activateFault(index); });
+    }
+}
+
+void
+FlowNetwork::refreshCapacity(ResourceId resource)
+{
+    capacity_[resource] = zeroCount_[resource] > 0
+        ? 0.0
+        : baseCapacity_[resource] * degradeFactor_[resource];
+}
+
+void
+FlowNetwork::activateFault(int index)
+{
+    const FaultEvent &event = faultEvents_[index];
+    ResourceId r = event.resource;
+    // Book progress at the pre-fault rates before capacities change.
+    settle();
+    firedFaults_.push_back(index);
+    bool bounded = event.durationUs > 0.0;
+    switch (event.kind) {
+      case FaultKind::Degrade:
+        degradeFactor_[r] *= event.factor;
+        break;
+      case FaultKind::Stall:
+      case FaultKind::LinkDown:
+        if (zeroCount_[r]++ == 0)
+            zeroedResources_++;
+        break;
+    }
+    refreshCapacity(r);
+    if (bounded && event.kind != FaultKind::LinkDown) {
+        double factor = event.factor;
+        FaultKind kind = event.kind;
+        events_.scheduleAfter(usToNs(event.durationUs), [this, r,
+                                                         factor, kind] {
+            settle();
+            if (kind == FaultKind::Degrade) {
+                degradeFactor_[r] /= factor;
+            } else if (--zeroCount_[r] == 0) {
+                zeroedResources_--;
+            }
+            refreshCapacity(r);
+            scheduleUpdate(events_.now());
+        });
+    }
+    scheduleUpdate(events_.now());
 }
 
 void
@@ -243,12 +312,21 @@ FlowNetwork::recompute()
         unfrozen_.resize(next);
     }
 
-    // Schedule the earliest completion.
+    // Schedule the earliest completion. Flows frozen at rate 0 by an
+    // active fault simply make no progress (their completion is
+    // rescheduled when the fault recovers — or never, for a hard
+    // link-down, which the interpreter's watchdog detects).
     double earliest_ns = std::numeric_limits<double>::infinity();
     for (const Flow &flow : flows_) {
-        if (flow.rateGBps < kRateEpsilon)
+        if (flow.rateGBps < kRateEpsilon) {
+            bool faulted = false;
+            for (ResourceId r : flow.resources)
+                faulted = faulted || zeroCount_[r] > 0;
+            if (faulted)
+                continue;
             throw RuntimeError(
                 "FlowNetwork: flow starved (zero-capacity route?)");
+        }
         earliest_ns = std::min(earliest_ns,
                                flow.remaining / flow.rateGBps);
     }

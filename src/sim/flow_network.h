@@ -52,6 +52,29 @@ class FlowNetwork
                      double cap_gbps, double bytes,
                      std::function<void()> on_done);
 
+    /**
+     * Arms @p schedule: each event is scheduled on the event queue at
+     * its activation time and mutates the effective capacity of its
+     * resource (degrade multiplies, stall/link-down zero it; stalls
+     * and bounded degrades recover after their duration). Flows
+     * crossing a zeroed resource freeze at rate 0 instead of
+     * triggering the starvation error — a wedged execution is then
+     * the watchdog's to detect. Call at most once, before running.
+     */
+    void injectFaults(const FaultSchedule &schedule);
+
+    /** Number of fault events that have activated so far. */
+    int faultsFired() const
+    {
+        return static_cast<int>(firedFaults_.size());
+    }
+
+    /** Indices (into the armed schedule) of activated events. */
+    const std::vector<int> &firedFaults() const { return firedFaults_; }
+
+    /** True if any resource is currently zeroed by a fault. */
+    bool faultActive() const { return zeroedResources_ > 0; }
+
     /** Instantaneous rate of a flow in GB/s (0 if finished). */
     double currentRateGBps(FlowId id) const;
 
@@ -111,8 +134,26 @@ class FlowNetwork
     double delivered_ = 0.0;
     std::vector<double> resourceBytes_;
 
-    /** Resource capacities, copied once (the topology is immutable). */
+    /** Applies one armed fault event (and schedules its recovery). */
+    void activateFault(int index);
+
+    /** Recomputes a resource's effective capacity from fault state. */
+    void refreshCapacity(ResourceId resource);
+
+    /** Effective resource capacities (base x active fault effects). */
     std::vector<double> capacity_;
+    /** Pristine capacities, copied once (the topology is immutable). */
+    std::vector<double> baseCapacity_;
+    /** Product of active degrade factors per resource. */
+    std::vector<double> degradeFactor_;
+    /** Count of active zeroing faults (stall/link-down) per resource. */
+    std::vector<int> zeroCount_;
+    /** Number of resources with zeroCount_ > 0. */
+    int zeroedResources_ = 0;
+    /** Armed fault script (copied) and the indices already fired. */
+    std::vector<FaultEvent> faultEvents_;
+    std::vector<int> firedFaults_;
+    bool faultsArmed_ = false;
     /** Number of active flows crossing each resource. */
     std::vector<int> flowCount_;
     /** Resources with flowCount_ > 0 (lazily compacted). */

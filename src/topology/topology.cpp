@@ -98,6 +98,36 @@ Topology::linkType(int src, int dst) const
     return route(src, dst).type;
 }
 
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::Degrade: return "degrade";
+      case FaultKind::Stall: return "stall";
+      case FaultKind::LinkDown: return "linkdown";
+    }
+    return "?";
+}
+
+void
+Topology::setFaultSchedule(FaultSchedule schedule)
+{
+    for (const FaultEvent &event : schedule.events) {
+        if (event.resource < 0 || event.resource >= numResources()) {
+            throw Error(strprintf(
+                "Topology %s: fault references unknown resource %d",
+                name_.c_str(), event.resource));
+        }
+        if (event.atUs < 0.0)
+            throw Error("Topology: fault activation time must be >= 0");
+        if (event.kind == FaultKind::Degrade &&
+            (event.factor <= 0.0 || event.factor > 1.0)) {
+            throw Error("Topology: degrade factor must be in (0, 1]");
+        }
+    }
+    faults_ = std::move(schedule);
+}
+
 namespace {
 
 /**

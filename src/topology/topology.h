@@ -35,6 +35,49 @@ const char *linkTypeName(LinkType type);
 /** Identifier of a shared capacity resource inside a Topology. */
 using ResourceId = int;
 
+/** What an injected fault does to a capacity resource. */
+enum class FaultKind {
+    /** Multiply the resource's capacity by `factor` (a degraded
+     *  link); restored after `durationUs`, or permanent if <= 0. */
+    Degrade,
+    /** Capacity drops to zero for `durationUs`, then recovers (a
+     *  transient stall: flows freeze but are not lost). */
+    Stall,
+    /** Capacity drops to zero for the rest of the run (a hard link
+     *  failure; flows crossing it never drain). */
+    LinkDown,
+};
+
+/** Returns a short human-readable name ("degrade", "stall", ...). */
+const char *faultKindName(FaultKind kind);
+
+/**
+ * One scripted fault: at simulated time @p atUs (measured from the
+ * start of the run), @p resource suffers @p kind. Fault activation
+ * rides the deterministic event queue, so a schedule replays
+ * bit-identically across runs.
+ */
+struct FaultEvent
+{
+    ResourceId resource = -1;
+    FaultKind kind = FaultKind::Degrade;
+    /** Activation time from run start, microseconds. */
+    double atUs = 0.0;
+    /** Degrade/Stall: time until the resource recovers; <= 0 means
+     *  the fault lasts for the rest of the run. */
+    double durationUs = 0.0;
+    /** Degrade: remaining capacity fraction in (0, 1]. */
+    double factor = 0.5;
+};
+
+/** A deterministic script of faults, applied in simulated time. */
+struct FaultSchedule
+{
+    std::vector<FaultEvent> events;
+
+    bool empty() const { return events.empty(); }
+};
+
 /** A directed route between two ranks and the resources it consumes. */
 struct Route
 {
@@ -145,6 +188,16 @@ class Topology
     /** Link type of the route; convenience for cost lookups. */
     LinkType linkType(int src, int dst) const;
 
+    /**
+     * Attaches a fault script to the machine: every run on this
+     * topology (interpreter, tuner sweep, chaos driver) replays the
+     * same faults at the same simulated timestamps. The one mutable
+     * aspect of an otherwise immutable topology.
+     * @throws mscclang::Error on unknown resources or bad factors.
+     */
+    void setFaultSchedule(FaultSchedule schedule);
+    const FaultSchedule &faultSchedule() const { return faults_; }
+
   private:
     int routeIndex(int src, int dst) const
     {
@@ -159,6 +212,7 @@ class Topology
     std::vector<double> resourceCaps_;
     std::vector<Route> routes_;
     std::vector<bool> hasRoute_;
+    FaultSchedule faults_;
 };
 
 /**

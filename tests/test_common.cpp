@@ -4,6 +4,8 @@
  * helpers, deterministic RNG and vocabulary types.
  */
 
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "common/error.h"
@@ -71,6 +73,27 @@ TEST(Strings, SizeSweepIsGeometric)
     ASSERT_EQ(sizes.size(), 4u);
     EXPECT_EQ(sizes[0], 1u << 10);
     EXPECT_EQ(sizes[3], 8u << 10);
+}
+
+TEST(Strings, SizeSweepBoundaries)
+{
+    // Degenerate range: exactly one point.
+    auto single = sizeSweep(1 << 20, 1 << 20);
+    ASSERT_EQ(single.size(), 1u);
+    EXPECT_EQ(single[0], 1u << 20);
+
+    // A start in the top bit range must clamp, not wrap the shift to
+    // zero and loop forever.
+    constexpr std::uint64_t kTop = 1ULL << 63;
+    auto top = sizeSweep(kTop, std::numeric_limits<std::uint64_t>::max());
+    ASSERT_EQ(top.size(), 1u);
+    EXPECT_EQ(top[0], kTop);
+
+    // Non-power-of-two upper bound: the sweep stops at the last
+    // doubling point inside the range.
+    auto odd = sizeSweep(1 << 10, 3 << 10);
+    ASSERT_EQ(odd.size(), 2u);
+    EXPECT_EQ(odd.back(), 2u << 10);
 }
 
 TEST(Strings, Strprintf)

@@ -79,6 +79,73 @@ TEST(Tuner, RegisteredWindowsDriveSelection)
     EXPECT_EQ(comm.run("allreduce", big).algorithm, "ring");
 }
 
+TEST(Tuner, DegenerateRangeYieldsOneWindowSet)
+{
+    Topology topo = makeGeneric(1, 4);
+    std::vector<IrProgram> candidates;
+    candidates.push_back(
+        compileProgram(*makeRingAllReduce(4, 1, {})).ir);
+
+    // fromBytes == toBytes: a single sweep point, a single window
+    // covering the whole size axis.
+    TuneOptions options;
+    options.fromBytes = 1 << 20;
+    options.toBytes = 1 << 20;
+    std::vector<TunedWindow> windows =
+        tuneWindows(topo, candidates, options);
+    ASSERT_EQ(windows.size(), 1u);
+    EXPECT_EQ(windows[0].minBytes, 0u);
+    EXPECT_EQ(windows[0].maxBytes,
+              std::numeric_limits<std::uint64_t>::max());
+    EXPECT_EQ(windows[0].candidate, 0);
+    EXPECT_GT(windows[0].timeUs, 0.0);
+}
+
+TEST(Tuner, NonPowerOfTwoEndpointIsMeasured)
+{
+    Topology topo = makeGeneric(1, 4);
+    std::vector<IrProgram> candidates;
+    candidates.push_back(
+        compileProgram(*makeRingAllReduce(4, 1, {})).ir);
+
+    // toBytes is not a doubling point of fromBytes; it must still be
+    // a measured sweep point, so the windows tile contiguously with
+    // no gap between the last doubling point and toBytes.
+    TuneOptions options;
+    options.fromBytes = 1 << 10;
+    options.toBytes = (1 << 14) + 512;
+    std::vector<TunedWindow> windows =
+        tuneWindows(topo, candidates, options);
+    ASSERT_FALSE(windows.empty());
+    EXPECT_EQ(windows.front().minBytes, 0u);
+    for (size_t i = 1; i < windows.size(); i++)
+        EXPECT_EQ(windows[i].minBytes, windows[i - 1].maxBytes + 1);
+    EXPECT_EQ(windows.back().maxBytes,
+              std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Tuner, OddSinglePointRange)
+{
+    // A non-power-of-two degenerate range: one measured point, full
+    // tiling, no doubling arithmetic involved. (The top-bit overflow
+    // clamp of the shared sweep loop is unit-tested directly in
+    // Strings.SizeSweepBoundaries — sizes that large cannot be
+    // simulated without the timeline itself overflowing.)
+    Topology topo = makeGeneric(1, 4);
+    std::vector<IrProgram> candidates;
+    candidates.push_back(
+        compileProgram(*makeRingAllReduce(4, 1, {})).ir);
+    TuneOptions options;
+    options.fromBytes = (1 << 20) + 12288;
+    options.toBytes = options.fromBytes;
+    std::vector<TunedWindow> windows =
+        tuneWindows(topo, candidates, options);
+    ASSERT_EQ(windows.size(), 1u);
+    EXPECT_EQ(windows[0].minBytes, 0u);
+    EXPECT_EQ(windows[0].maxBytes,
+              std::numeric_limits<std::uint64_t>::max());
+}
+
 TEST(Tuner, RejectsBadInput)
 {
     Topology topo = makeNdv4(1);

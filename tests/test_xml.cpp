@@ -41,6 +41,49 @@ TEST(Xml, UnescapesEntities)
     EXPECT_EQ(root.attr("v"), "<&>\"'");
 }
 
+TEST(Xml, NumericCharacterReferences)
+{
+    // Decimal and hex forms, lower/upper hex digits, byte range.
+    XmlNode root = parseXml("<a v=\"&#65;&#x42;&#x63;&#10;&#x7F;\"/>");
+    EXPECT_EQ(root.attr("v"), std::string("ABc\n\x7F"));
+    // Out-of-byte-range and malformed references are rejected.
+    EXPECT_THROW(parseXml("<a v=\"&#256;\"/>"), Error);
+    EXPECT_THROW(parseXml("<a v=\"&#x100;\"/>"), Error);
+    EXPECT_THROW(parseXml("<a v=\"&#;\"/>"), Error);
+    EXPECT_THROW(parseXml("<a v=\"&#x;\"/>"), Error);
+    EXPECT_THROW(parseXml("<a v=\"&#12a;\"/>"), Error);
+}
+
+TEST(Xml, UnterminatedEntityScanIsBounded)
+{
+    // A stray '&' must fail fast with "unterminated entity" instead
+    // of scanning to the end of the value (or matching a ';' far
+    // away and reporting the swallowed text as an unknown entity).
+    EXPECT_THROW(parseXml("<a v=\"a &amp b\"/>"), Error);
+    try {
+        parseXml("<a v=\"x & yyyyyyyyyyyyyyyyyyy ; z\"/>");
+        FAIL() << "expected the bounded entity scan to reject this";
+    } catch (const Error &error) {
+        EXPECT_NE(std::string(error.what()).find("unterminated entity"),
+                  std::string::npos);
+    }
+    EXPECT_THROW(parseXml("<a v=\"dangling &quo\"/>"), Error);
+}
+
+TEST(Xml, ControlCharactersRoundTripThroughAttributes)
+{
+    // xmlEscape emits numeric references for control characters so a
+    // write-then-parse round trip is byte-exact.
+    std::string nasty = "line1\nline2\ttab\rret\x01\x1F\x7F end";
+    EXPECT_EQ(xmlEscape("\n"), "&#10;");
+    XmlWriter writer;
+    writer.open("a");
+    writer.attr("v", nasty);
+    writer.close();
+    XmlNode root = parseXml(writer.str());
+    EXPECT_EQ(root.attr("v"), nasty);
+}
+
 TEST(Xml, AttrHelpers)
 {
     XmlNode root = parseXml("<a x=\"5\" f=\"2.5\"/>");

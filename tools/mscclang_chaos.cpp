@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Chaos driver: sweeps fault scenarios across registered algorithms
+ * and prints a survival/latency matrix — does a candidate ride out a
+ * degraded link, a transient stall, a hard link-down? Each cell runs
+ * the algorithm under a scripted fault with the watchdog armed and a
+ * ring fallback registered, and reports the completed latency, the
+ * attempts it took, and whether the fallback had to finish the job.
+ *
+ * Examples:
+ *   mscclang_chaos
+ *   mscclang_chaos --machine ndv4:2 --bytes 16MB
+ *   mscclang_chaos --machine dgx1 --at-frac 0.6 --data
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "collectives/collectives.h"
+#include "common/error.h"
+#include "common/strings.h"
+#include "compiler/compiler.h"
+#include "runtime/communicator.h"
+
+using namespace mscclang;
+
+namespace {
+
+void
+usage()
+{
+    std::fprintf(stderr,
+        "usage: mscclang_chaos [options]\n"
+        "  --machine <spec>   ndv4:<n> | dgx2:<n> | dgx1 | "
+        "generic:<n>:<g>   (default ndv4:1)\n"
+        "  --bytes <size>     input bytes per rank (default 4MB)\n"
+        "  --at-frac <f>      fault activation as a fraction of the\n"
+        "                     algorithm's healthy latency (default 0.3)\n"
+        "  --resource <id>    faulted resource id (default: first\n"
+        "                     resource of the 0 -> 1 route)\n"
+        "  --data             move real floats (slower, validates "
+        "buffers)\n");
+}
+
+struct Candidate
+{
+    std::string label;
+    IrProgram ir;
+};
+
+struct Scenario
+{
+    std::string label;
+    FaultKind kind;
+    double factor;       // Degrade only
+    double durationFrac; // Stall only, fraction of healthy latency
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string machine = "ndv4:1";
+    std::uint64_t bytes = 4 << 20;
+    double at_frac = 0.3;
+    int resource = -1;
+    bool data_mode = false;
+    for (int i = 1; i < argc; i++) {
+        std::string flag = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                throw Error("missing value for " + flag);
+            return argv[++i];
+        };
+        try {
+            if (flag == "--machine") machine = value();
+            else if (flag == "--bytes") bytes = parseBytes(value());
+            else if (flag == "--at-frac") at_frac = std::stod(value());
+            else if (flag == "--resource") resource = std::stoi(value());
+            else if (flag == "--data") data_mode = true;
+            else if (flag == "--help" || flag == "-h") {
+                usage();
+                return 0;
+            } else {
+                std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+                usage();
+                return 2;
+            }
+        } catch (const std::exception &error) {
+            std::fprintf(stderr, "error: %s\n", error.what());
+            return 2;
+        }
+    }
+
+    try {
+        Topology probe = parseTopology(machine);
+        int ranks = probe.numRanks();
+        if (resource < 0) {
+            const Route &first = probe.route(0, 1 % ranks);
+            if (first.resources.empty())
+                throw Error("route 0 -> 1 has no shared resources; "
+                            "pass --resource");
+            resource = first.resources.front();
+        }
+
+        AlgoConfig ll;
+        ll.protocol = Protocol::LL;
+        ll.instances = 4;
+        AlgoConfig simple;
+        simple.protocol = Protocol::Simple;
+        simple.instances = 4;
+        std::vector<Candidate> candidates;
+        candidates.push_back(Candidate{
+            "ring/LL",
+            compileProgram(*makeRingAllReduce(ranks, 1, ll)).ir });
+        candidates.push_back(Candidate{
+            "ring/Simple",
+            compileProgram(*makeRingAllReduce(ranks, 2, simple)).ir });
+        candidates.push_back(Candidate{
+            "allpairs/LL",
+            compileProgram(*makeAllPairsAllReduce(ranks, ll)).ir });
+
+        AlgoConfig fb;
+        fb.protocol = Protocol::Simple;
+        fb.instances = 2;
+        IrProgram fallback_ir =
+            compileProgram(*makeRingAllReduce(ranks, 1, fb)).ir;
+        fallback_ir.name = "ring-fallback";
+
+        const std::vector<Scenario> scenarios = {
+            { "healthy", FaultKind::Degrade, 1.0, 0.0 },
+            { "degrade50", FaultKind::Degrade, 0.5, 0.0 },
+            { "degrade90", FaultKind::Degrade, 0.1, 0.0 },
+            { "stall", FaultKind::Stall, 0.0, 0.5 },
+            { "linkdown", FaultKind::LinkDown, 0.0, 0.0 },
+        };
+
+        std::printf("machine %s, %s per rank, fault on resource %d "
+                    "(%s) at %.0f%% of healthy latency\n",
+                    probe.name().c_str(), formatBytes(bytes).c_str(),
+                    resource, probe.resourceName(resource).c_str(),
+                    at_frac * 100.0);
+        std::printf("%-14s", "algorithm");
+        for (const Scenario &s : scenarios)
+            std::printf(" %16s", s.label.c_str());
+        std::printf("\n");
+
+        for (const Candidate &candidate : candidates) {
+            std::printf("%-14s", candidate.label.c_str());
+            // Healthy latency anchors the fault timings per algorithm.
+            double healthy_us = 0.0;
+            for (const Scenario &scenario : scenarios) {
+                Topology topo = parseTopology(machine);
+                if (scenario.label != "healthy") {
+                    FaultEvent event;
+                    event.resource = resource;
+                    event.kind = scenario.kind;
+                    event.atUs = healthy_us * at_frac;
+                    event.factor = scenario.factor;
+                    event.durationUs =
+                        healthy_us * scenario.durationFrac;
+                    topo.setFaultSchedule(
+                        FaultSchedule{ { event } });
+                }
+                Communicator comm(topo);
+                comm.registerAlgorithm(candidate.ir, 0,
+                    std::numeric_limits<std::uint64_t>::max());
+                comm.registerFallback("allreduce",
+                    [&](std::uint64_t) { return fallback_ir; });
+                RunOptions run;
+                run.bytes = bytes;
+                run.dataMode = data_mode;
+                run.watchdogNoProgressUs =
+                    std::max(200.0, healthy_us);
+                try {
+                    RunResult result = comm.run("allreduce", run);
+                    if (scenario.label == "healthy")
+                        healthy_us = result.timeUs;
+                    std::printf(" %11.1fus %s", result.timeUs,
+                                result.degraded ? "FB "
+                                                : "ok ");
+                } catch (const RuntimeError &) {
+                    std::printf(" %14s", "FAILED ");
+                }
+            }
+            std::printf("\n");
+        }
+        std::printf("\nok: completed on the selected algorithm; "
+                    "FB: watchdog aborted, fallback finished;\n"
+                    "FAILED: no attempt survived the fault.\n");
+        return 0;
+    } catch (const std::exception &error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 1;
+    }
+}

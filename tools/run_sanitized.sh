@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Builds the test suite in a separate tree with AddressSanitizer and
+# UBSan enabled (-DMSCCLANG_SANITIZE=ON) and runs the suites that
+# exercise the pooled hot paths hardest: the interpreter's send-op
+# arena and ring inboxes, the event queue's callback slots, and the
+# fault/watchdog abort paths that recycle both mid-kernel. Also
+# registered as the "sanitize" ctest configuration (ctest -C sanitize)
+# next to the existing "perf" configuration.
+#
+# Usage: tools/run_sanitized.sh [ctest -R regex]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build-asan}"
+FILTER="${1:-Faults|Watchdog|Communicator|Interpreter|EventQueue|Flow}"
+
+cmake -B "$BUILD_DIR" -S . -DMSCCLANG_SANITIZE=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" --target test_faults test_interpreter \
+    test_sim test_races -j"$(nproc)"
+
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
+ctest --test-dir "$BUILD_DIR" -R "$FILTER" --output-on-failure \
+    -j"$(nproc)"
