@@ -322,6 +322,105 @@ makeRingAllGather(int num_ranks, int channels, const AlgoConfig &config)
     return prog;
 }
 
+namespace {
+
+/** @throws Error unless @p order is a permutation of [0, R). */
+void
+checkRingOrder(const std::vector<Rank> &order, const char *what)
+{
+    std::vector<Rank> sorted = order;
+    std::sort(sorted.begin(), sorted.end());
+    for (int r = 0; r < static_cast<int>(sorted.size()); r++) {
+        if (sorted[r] != r) {
+            throw Error(strprintf(
+                "%s: order is not a permutation of 0..%d", what,
+                static_cast<int>(order.size()) - 1));
+        }
+    }
+}
+
+/** Extends order[0..depth) to a full cycle; ascending candidate
+ *  order makes the first solution lexicographically smallest. */
+bool
+extendRingOrder(const Topology &topology, std::vector<Rank> &order,
+                std::vector<bool> &used, int depth)
+{
+    int R = topology.numRanks();
+    if (depth == R)
+        return topology.connected(order[R - 1], order[0]);
+    for (Rank next = 0; next < R; next++) {
+        if (used[next] || !topology.connected(order[depth - 1], next))
+            continue;
+        order[depth] = next;
+        used[next] = true;
+        if (extendRingOrder(topology, order, used, depth + 1))
+            return true;
+        used[next] = false;
+    }
+    return false;
+}
+
+} // namespace
+
+std::vector<Rank>
+findRingOrder(const Topology &topology)
+{
+    int R = topology.numRanks();
+    if (R == 0)
+        return {};
+    std::vector<Rank> order(R, 0);
+    std::vector<bool> used(R, false);
+    used[0] = true; // cycles are rotation-invariant: anchor at rank 0
+    if (R == 1)
+        return order;
+    if (!extendRingOrder(topology, order, used, 1))
+        return {};
+    return order;
+}
+
+std::unique_ptr<Program>
+makeRingAllReduceOver(const std::vector<Rank> &order, int channels,
+                      const AlgoConfig &config)
+{
+    if (channels < 1)
+        throw Error("ring allreduce: channels must be >= 1");
+    checkRingOrder(order, "ring allreduce over");
+    int R = static_cast<int>(order.size());
+    auto coll = std::make_shared<AllReduceCollective>(R, R);
+    auto prog = std::make_unique<Program>(
+        coll,
+        baseOptions(strprintf("ring_allreduce_reformed_ch%d", channels),
+                    config));
+    auto channel_of = [channels](int block) { return block % channels; };
+    ringReduceScatter(*prog, order, 0, 1, channel_of);
+    ringAllGather(*prog, order, 0, 1, channel_of);
+    return prog;
+}
+
+std::unique_ptr<Program>
+makeRingAllGatherOver(const std::vector<Rank> &order, int channels,
+                      const AlgoConfig &config)
+{
+    if (channels < 1)
+        throw Error("ring allgather: channels must be >= 1");
+    checkRingOrder(order, "ring allgather over");
+    int R = static_cast<int>(order.size());
+    auto coll = std::make_shared<AllGatherCollective>(R, 1);
+    auto prog = std::make_unique<Program>(
+        coll, baseOptions("ring_allgather_reformed", config));
+    for (int i = 0; i < R; i++) {
+        Rank owner = order[i];
+        ChunkRef c = prog->chunk(owner, BufferKind::Input, 0)
+                         .copy(owner, BufferKind::Output, owner);
+        for (int step = 1; step < R; step++) {
+            Rank next = order[(i + step) % R];
+            c = c.copy(next, BufferKind::Output, owner,
+                       OpOptions{ i % channels });
+        }
+    }
+    return prog;
+}
+
 std::unique_ptr<Program>
 makeSccl122AllGather(const Topology &topology, const AlgoConfig &config)
 {

@@ -116,6 +116,34 @@ std::unique_ptr<Program> makeSccl122AllGather(const Topology &topology,
                                               const AlgoConfig &config);
 
 /**
+ * A Hamiltonian cycle over @p topology's direct links, found by
+ * deterministic backtracking: the lexicographically smallest rank
+ * order [0, r1, ..., r_{R-1}] such that every consecutive pair and
+ * the wrap-around are directly connected. Returns empty when no
+ * cycle exists (e.g. too many links quarantined). This is the ring
+ * reformation step of degraded-topology replanning: a dead link
+ * excludes some orders, and the search routes the ring around it.
+ * Worst case exponential in ranks — intended for the machine sizes
+ * the paper evaluates (8..32 ranks), not thousand-rank clusters.
+ */
+std::vector<Rank> findRingOrder(const Topology &topology);
+
+/**
+ * Ring AllReduce traversing @p order instead of rank-index order —
+ * the replanner's building block: pass findRingOrder() of a degraded
+ * topology and the ring only crosses surviving links. @p order must
+ * be a permutation of [0, R).
+ */
+std::unique_ptr<Program> makeRingAllReduceOver(
+    const std::vector<Rank> &order, int channels,
+    const AlgoConfig &config);
+
+/** Ring AllGather (non-in-place) traversing @p order. */
+std::unique_ptr<Program> makeRingAllGatherOver(
+    const std::vector<Rank> &order, int channels,
+    const AlgoConfig &config);
+
+/**
  * Ring phase builders (paper Figure 3b), exposed for composing
  * hierarchical algorithms and multi-kernel baselines: a Ring
  * ReduceScatter / AllGather over @p ranks in the input buffer,

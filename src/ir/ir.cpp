@@ -166,6 +166,38 @@ IrProgram::maxThreadBlocks() const
     return most;
 }
 
+bool
+IrProgram::carriesReduction() const
+{
+    for (const IrGpu &gpu : gpus) {
+        for (const IrThreadBlock &tb : gpu.threadBlocks) {
+            for (const IrInstruction &instr : tb.steps) {
+                if (irOpReduces(instr.op))
+                    return true;
+            }
+        }
+    }
+    return false;
+}
+
+bool
+IrProgram::mutatesInput() const
+{
+    for (const IrGpu &gpu : gpus) {
+        for (const IrThreadBlock &tb : gpu.threadBlocks) {
+            for (const IrInstruction &instr : tb.steps) {
+                if (!irOpWritesDst(instr.op))
+                    continue;
+                if (instr.dstBuf == BufferKind::Input ||
+                    (inPlace && instr.dstBuf == BufferKind::Output)) {
+                    return true;
+                }
+            }
+        }
+    }
+    return false;
+}
+
 int
 IrProgram::totalInstructions() const
 {

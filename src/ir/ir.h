@@ -151,6 +151,19 @@ struct IrProgram
     /** Largest thread block count of any GPU. */
     int maxThreadBlocks() const;
 
+    /** True if any instruction applies the reduction operator. */
+    bool carriesReduction() const;
+
+    /**
+     * True if any instruction writes the input buffer (directly, or
+     * through the in-place output alias). A program that never
+     * mutates its input — the copy-only collectives: allgather,
+     * broadcast, alltoall — can simply be re-executed after an
+     * aborted attempt, so the runtime skips the DataStore snapshot
+     * and rollback for it (progress-aware recovery).
+     */
+    bool mutatesInput() const;
+
     /** Total instruction count across all GPUs. */
     int totalInstructions() const;
 

@@ -4,8 +4,77 @@
 
 #include "common/error.h"
 #include "common/strings.h"
+#include "compiler/compiler.h"
 
 namespace mscclang {
+
+namespace {
+
+/** Both inputs sorted; true if they share a link. */
+bool
+linksIntersect(const std::vector<Link> &a, const std::vector<Link> &b)
+{
+    auto ia = a.begin();
+    auto ib = b.begin();
+    while (ia != a.end() && ib != b.end()) {
+        if (*ia == *ib)
+            return true;
+        if (*ia < *ib)
+            ++ia;
+        else
+            ++ib;
+    }
+    return false;
+}
+
+/** "3->4,3->5", the canonical cache-key spelling of a link set. */
+std::string
+linkSetName(const std::vector<Link> &links)
+{
+    std::string out;
+    for (const Link &link : links) {
+        if (!out.empty())
+            out += ",";
+        out += linkName(link);
+    }
+    return out;
+}
+
+/**
+ * Timestamp order (stable). Fired-fault consumption walks the armed
+ * schedule by index, so sorting once up front makes overlapping
+ * same-link events (a Degrade window containing a LinkDown) consume
+ * in deterministic firing order across retries regardless of how the
+ * user ordered the schedule.
+ */
+void
+sortByTimestamp(FaultSchedule &schedule)
+{
+    std::stable_sort(schedule.events.begin(), schedule.events.end(),
+                     [](const FaultEvent &a, const FaultEvent &b) {
+                         return a.atUs < b.atUs;
+                     });
+}
+
+/** Drops the events @p fired_indices (into @p schedule) names. */
+void
+consumeFired(FaultSchedule &schedule,
+             const std::vector<int> &fired_indices)
+{
+    std::vector<bool> fired(schedule.events.size(), false);
+    for (int index : fired_indices) {
+        if (index >= 0 && index < static_cast<int>(fired.size()))
+            fired[index] = true;
+    }
+    std::vector<FaultEvent> remaining;
+    for (size_t i = 0; i < schedule.events.size(); i++) {
+        if (!fired[i])
+            remaining.push_back(schedule.events[i]);
+    }
+    schedule.events = std::move(remaining);
+}
+
+} // namespace
 
 void
 Communicator::registerAlgorithm(IrProgram ir, std::uint64_t min_bytes,
@@ -18,8 +87,20 @@ Communicator::registerAlgorithm(IrProgram ir, std::uint64_t min_bytes,
     }
     if (min_bytes > max_bytes)
         throw RuntimeError("registerAlgorithm: empty size window");
-    algorithms_.push_back(
-        Registered{ std::move(ir), min_bytes, max_bytes });
+    std::vector<Link> links = programLinks(ir);
+    algorithms_.push_back(Registered{ std::move(ir), min_bytes,
+                                      max_bytes, std::move(links) });
+}
+
+void
+Communicator::clearAlgorithms(const std::string &collective)
+{
+    algorithms_.erase(
+        std::remove_if(algorithms_.begin(), algorithms_.end(),
+                       [&](const Registered &entry) {
+                           return entry.ir.collective == collective;
+                       }),
+        algorithms_.end());
 }
 
 void
@@ -30,6 +111,16 @@ Communicator::registerFallback(
     fallbacks_[collective] = std::move(factory);
 }
 
+void
+Communicator::registerReplanner(
+    const std::string &collective,
+    std::function<std::unique_ptr<Program>(const Topology &,
+                                           std::uint64_t)>
+        factory)
+{
+    replanners_[collective] = std::move(factory);
+}
+
 const Communicator::Registered *
 Communicator::selectWindow(const std::string &collective,
                            std::uint64_t bytes) const
@@ -37,10 +128,16 @@ Communicator::selectWindow(const std::string &collective,
     // Both window bounds are inclusive (bytes == maxBytes matches).
     // Overlaps resolve to the largest minBytes; ties to the latest
     // registration — hence ">=" while scanning in registration order.
+    // Windows crossing a quarantined link are out of service.
+    const std::vector<Link> quarantine = health_.quarantined();
     const Registered *best = nullptr;
     for (const Registered &entry : algorithms_) {
         if (entry.ir.collective != collective ||
             bytes < entry.minBytes || bytes > entry.maxBytes) {
+            continue;
+        }
+        if (!quarantine.empty() &&
+            linksIntersect(entry.links, quarantine)) {
             continue;
         }
         if (best == nullptr || entry.minBytes >= best->minBytes)
@@ -49,52 +146,154 @@ Communicator::selectWindow(const std::string &collective,
     return best;
 }
 
+const IrProgram *
+Communicator::replanProgram(const std::string &collective,
+                            const std::vector<Link> &quarantine,
+                            std::uint64_t bytes)
+{
+    if (quarantine.empty())
+        return nullptr;
+    auto replanner = replanners_.find(collective);
+    if (replanner == replanners_.end())
+        return nullptr;
+    std::string key = collective + "|" + linkSetName(quarantine);
+    auto hit = replanCache_.find(key);
+    if (hit != replanCache_.end())
+        return &hit->second;
+
+    Topology degraded = topology_.degraded(quarantine);
+    std::unique_ptr<Program> plan;
+    try {
+        plan = replanner->second(degraded, bytes);
+    } catch (const Error &) {
+        return nullptr;
+    }
+    if (plan == nullptr)
+        return nullptr;
+
+    // The repair plan goes through the full pipeline: fusion, thread
+    // block scheduling, and the verifier's postcondition + deadlock
+    // checks against the degraded machine. A plan that does not
+    // verify is no plan at all.
+    CompileOptions copts;
+    copts.verify = true;
+    copts.topology = &degraded;
+    IrProgram ir;
+    try {
+        ir = compileProgram(*plan, copts).ir;
+    } catch (const Error &) {
+        return nullptr;
+    }
+    replanCompiles_++;
+    auto [pos, inserted] = replanCache_.emplace(key, std::move(ir));
+    return &pos->second;
+}
+
+void
+Communicator::syncQuarantine()
+{
+    std::vector<Link> now = health_.quarantined();
+    if (now == lastQuarantine_)
+        return;
+    lastQuarantine_ = std::move(now);
+    if (retuneHook_)
+        retuneHook_(lastQuarantine_);
+}
+
 RunResult
 Communicator::run(const std::string &collective,
                   const RunOptions &options)
 {
-    const Registered *picked = selectWindow(collective, options.bytes);
+    health_.beginRun();
+
+    enum class Source { Window, Replan, Fallback };
     auto fallback = fallbacks_.find(collective);
-    if (picked == nullptr && fallback == fallbacks_.end()) {
-        throw RuntimeError("no algorithm or fallback registered for '" +
-                           collective + "' at " +
-                           formatBytes(options.bytes));
+
+    // Initial selection: a registered window avoiding the quarantine,
+    // then the replan cache (links already out of service), then the
+    // fallback.
+    IrProgram fallback_ir;
+    const IrProgram *program = nullptr;
+    Source source = Source::Window;
+    const Registered *picked = selectWindow(collective, options.bytes);
+    if (picked != nullptr) {
+        program = &picked->ir;
+    } else {
+        program = replanProgram(collective, health_.quarantined(),
+                                options.bytes);
+        source = Source::Replan;
+    }
+    if (program == nullptr) {
+        if (fallback == fallbacks_.end()) {
+            throw RuntimeError("no algorithm or fallback registered "
+                               "for '" + collective + "' at " +
+                               formatBytes(options.bytes));
+        }
+        fallback_ir = fallback->second(options.bytes);
+        program = &fallback_ir;
+        source = Source::Fallback;
     }
 
     // Attempt loop. Fault events are transient: the working copy of
     // the schedule drops events an aborted attempt already fired, so
     // the retry replays only the remaining script — deterministic,
-    // and a mid-kernel link-down does not re-kill the fallback.
+    // and a mid-kernel link-down does not re-kill the recovery plan.
     FaultSchedule working = topology_.faultSchedule();
-    DataStore::Snapshot snapshot;
-    if (options.dataMode)
-        snapshot = store_.snapshot();
+    sortByTimestamp(working);
 
-    IrProgram fallback_ir;
-    const IrProgram *program = nullptr;
-    bool on_fallback = picked == nullptr;
-    if (picked != nullptr) {
-        program = &picked->ir;
-    } else {
-        fallback_ir = fallback->second(options.bytes);
-        program = &fallback_ir;
-    }
+    // Progress-aware recovery: only a program that mutates its input
+    // needs the snapshot/rollback machinery. Copy-only collectives
+    // (allgather, broadcast, alltoall) leave their inputs intact, so
+    // an aborted attempt is repaired by simply running again.
+    DataStore::Snapshot snapshot;
+    bool have_snapshot = false;
+    bool rolled_back = false;
 
     int attempts = 0;
     int faults_total = 0;
+    double total_time = 0.0;
+    double backoff_total = 0.0;
     int max_attempts = std::max(1, options.maxAttempts);
     for (;;) {
+        if (options.dataMode && !have_snapshot &&
+            program->mutatesInput()) {
+            snapshot = store_.snapshot();
+            have_snapshot = true;
+        }
         attempts++;
         RunResult result = runAttempt(*program, options, &working);
         faults_total += result.stats.faultsSeen;
+        total_time += result.timeUs;
+
+        // Feed the monitor before consuming anything: the fired
+        // indices refer to the armed (working) schedule.
+        for (int index : result.stats.firedFaults) {
+            if (index >= 0 &&
+                index < static_cast<int>(working.events.size())) {
+                health_.noteFault(working.events[index]);
+            }
+        }
+
         if (!result.stats.aborted) {
+            health_.noteSuccess(programLinks(*program));
             result.attempts = attempts;
             result.faultsSeen = faults_total;
             result.degraded = attempts > 1;
-            if (on_fallback)
+            result.recoveredViaReplan = source == Source::Replan;
+            result.backoffUs = backoff_total;
+            result.totalTimeUs = total_time + backoff_total;
+            result.rolledBack = rolled_back;
+            if (source == Source::Fallback)
                 result.algorithm += " (fallback)";
+            else if (source == Source::Replan)
+                result.algorithm += " (replan)";
+            syncQuarantine();
+            result.quarantinedLinks = lastQuarantine_;
             return result;
         }
+
+        // Abort: attribute the blocked thread blocks to their links.
+        health_.noteBlocked(result.stats.blockedLinks);
         if (attempts >= max_attempts) {
             throw RuntimeError(strprintf(
                 "run '%s' at %s aborted after %d attempt(s) (%d fault"
@@ -102,36 +301,52 @@ Communicator::run(const std::string &collective,
                 formatBytes(options.bytes).c_str(), attempts,
                 faults_total, result.stats.abortReason.c_str()));
         }
+        consumeFired(working, result.stats.firedFaults);
+        if (options.dataMode && have_snapshot) {
+            store_.restore(snapshot);
+            rolled_back = true;
+        }
+
+        // Pick the recovery route. Conclusive evidence (the
+        // quarantine grew) abandons the current plan: first a
+        // registered window that avoids the quarantined links
+        // (possibly freshly re-tuned by the hook), then a verified
+        // recompile on the degraded topology, then the blind
+        // fallback. Transient evidence (stall/degrade below the
+        // threshold) retries the same algorithm after a bounded
+        // deterministic backoff until the budget is spent.
+        bool quarantine_changed =
+            health_.quarantined() != lastQuarantine_;
+        if (quarantine_changed) {
+            syncQuarantine(); // fires the retune hook
+            const Registered *rewin =
+                selectWindow(collective, options.bytes);
+            if (rewin != nullptr) {
+                program = &rewin->ir;
+                source = Source::Window;
+                continue;
+            }
+            const IrProgram *replan = replanProgram(
+                collective, lastQuarantine_, options.bytes);
+            if (replan != nullptr) {
+                program = replan;
+                source = Source::Replan;
+                continue;
+            }
+        } else if (!health_.transientBudgetSpent()) {
+            backoff_total += health_.nextBackoffUs();
+            continue;
+        }
         if (fallback == fallbacks_.end()) {
             throw RuntimeError(strprintf(
-                "run '%s' at %s aborted and no fallback is "
-                "registered: %s", collective.c_str(),
+                "run '%s' at %s aborted and no recovery plan or "
+                "fallback is registered: %s", collective.c_str(),
                 formatBytes(options.bytes).c_str(),
                 result.stats.abortReason.c_str()));
         }
-        // Consume the faults the aborted attempt saw, roll the store
-        // back to its pre-launch contents, and go again on the
-        // fallback (the paper's NCCL role).
-        std::vector<FaultEvent> remaining;
-        std::vector<bool> fired(working.events.size(), false);
-        for (int index : result.stats.firedFaults) {
-            if (index >= 0 &&
-                index < static_cast<int>(fired.size())) {
-                fired[index] = true;
-            }
-        }
-        for (size_t i = 0; i < working.events.size(); i++) {
-            if (!fired[i])
-                remaining.push_back(working.events[i]);
-        }
-        working.events = std::move(remaining);
-        if (options.dataMode)
-            store_.restore(snapshot);
-        if (!on_fallback) {
-            fallback_ir = fallback->second(options.bytes);
-            program = &fallback_ir;
-            on_fallback = true;
-        }
+        fallback_ir = fallback->second(options.bytes);
+        program = &fallback_ir;
+        source = Source::Fallback;
     }
 }
 
@@ -171,15 +386,46 @@ Communicator::runComposed(const std::vector<const IrProgram *> &irs,
 {
     if (irs.empty())
         throw RuntimeError("runComposed: empty program list");
+
+    // One fault timeline spans the whole composition: timestamps are
+    // relative to the composition's start, each kernel sees the
+    // schedule rebased by the time already elapsed, and fired events
+    // are consumed so they do not re-fire in later kernels.
+    FaultSchedule working = topology_.faultSchedule();
+    sortByTimestamp(working);
+    double elapsed_us = 0.0;
+
     RunResult total;
     for (const IrProgram *ir : irs) {
-        RunResult step = runProgram(*ir, options);
+        FaultSchedule local;
+        local.events.reserve(working.events.size());
+        for (const FaultEvent &event : working.events) {
+            FaultEvent rebased = event;
+            rebased.atUs = std::max(0.0, event.atUs - elapsed_us);
+            local.events.push_back(rebased);
+        }
+        RunResult step = runAttempt(*ir, options, &local);
         total.timeUs += step.timeUs;
+        total.totalTimeUs += step.timeUs;
         total.stats.messages += step.stats.messages;
         total.stats.wireBytes += step.stats.wireBytes;
+        total.stats.faultsSeen += step.stats.faultsSeen;
+        total.faultsSeen += step.stats.faultsSeen;
         if (!total.algorithm.empty())
             total.algorithm += "+";
         total.algorithm += ir->name;
+        // `local` preserves `working`'s order 1:1, so the fired
+        // indices consume directly.
+        consumeFired(working, step.stats.firedFaults);
+        elapsed_us += step.timeUs;
+        if (step.stats.aborted) {
+            // The chain stops at the failing kernel; the caller gets
+            // its report and the partial aggregate.
+            total.stats.aborted = true;
+            total.stats.abortReason = step.stats.abortReason;
+            total.stats.blockedLinks = step.stats.blockedLinks;
+            break;
+        }
     }
     return total;
 }

@@ -7,6 +7,22 @@
  * (NCCL-model) implementation otherwise. Also provides the composed
  * multi-kernel execution path used by the paper's baselines (one
  * kernel launch per collective, no cross-kernel pipelining).
+ *
+ * Self-healing (DESIGN.md "Self-healing"): every run feeds a
+ * LinkHealthMonitor from the fired fault events and the watchdog's
+ * blocked-link attribution. When a link's error score quarantines
+ * it, the communicator stops selecting algorithm windows that cross
+ * it and — when a replanner is registered — recompiles the
+ * collective through the normal compiler pipeline (verifier
+ * included) against Topology::degraded() with the quarantined links
+ * removed, caching the result per (collective, dead-link-set).
+ * Aborts with only transient evidence (stalls/degrades below the
+ * quarantine threshold) retry the same algorithm after a
+ * deterministic bounded exponential backoff instead of immediately
+ * abandoning it. Recovery is progress-aware: only programs that
+ * mutate their input (in-place reductions) pay for a DataStore
+ * snapshot and rollback; copy-only collectives (allgather,
+ * broadcast, alltoall) are simply re-executed.
  */
 
 #ifndef MSCCLANG_RUNTIME_COMMUNICATOR_H_
@@ -14,10 +30,13 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "dsl/program.h"
 #include "ir/ir.h"
+#include "runtime/health.h"
 #include "runtime/interpreter.h"
 #include "topology/topology.h"
 
@@ -38,11 +57,14 @@ struct RunOptions
     double watchdogNoProgressUs = 0.0;
     /**
      * Total kernel attempts Communicator::run may make when the
-     * watchdog aborts: the first attempt uses the selected
-     * algorithm, every further one the registered fallback (the
-     * paper's NCCL role). Faults that already fired are treated as
-     * transient — consumed by the aborted attempt — so the retry
-     * replays only the not-yet-fired remainder of the schedule.
+     * watchdog aborts. After each abort the communicator picks the
+     * best remaining option: a registered window avoiding the
+     * quarantined links, a recompiled degraded-topology plan, a
+     * backoff retry of the same algorithm (transient evidence only),
+     * or the registered fallback (the paper's NCCL role). Faults
+     * that already fired are treated as transient — consumed by the
+     * aborted attempt — so the retry replays only the not-yet-fired
+     * remainder of the schedule.
      */
     int maxAttempts = 2;
 };
@@ -50,6 +72,7 @@ struct RunOptions
 /** Result of one collective invocation. */
 struct RunResult
 {
+    /** Duration of the final (successful) kernel attempt. */
     double timeUs = 0.0;
     std::string algorithm;
     ExecStats stats;
@@ -57,20 +80,41 @@ struct RunResult
     int attempts = 1;
     /** Fault events that activated across all attempts. */
     int faultsSeen = 0;
-    /** True when the run only completed via the fallback after an
-     *  abort — the degradation record the caller can alert on. */
+    /** True when the run needed more than one attempt — the
+     *  degradation record the caller can alert on. */
     bool degraded = false;
+    /** True when the successful attempt ran a recompiled
+     *  degraded-topology plan rather than a registered algorithm or
+     *  the blind fallback. */
+    bool recoveredViaReplan = false;
+    /** Links quarantined by the health monitor when the run
+     *  returned (sorted). */
+    std::vector<Link> quarantinedLinks;
+    /** Total backoff charged before transient retries, microsec. */
+    double backoffUs = 0.0;
+    /** Sum of all attempts' kernel durations plus backoff — the
+     *  recovery latency a caller actually experienced. */
+    double totalTimeUs = 0.0;
+    /** True if an aborted attempt forced a DataStore rollback
+     *  (in-place reductions only; copy-only collectives re-execute
+     *  without one — progress-aware recovery). */
+    bool rolledBack = false;
 };
 
 /** The NCCL-API-compatible communicator over a simulated machine. */
 class Communicator
 {
   public:
-    explicit Communicator(const Topology &topology)
-        : topology_(topology) {}
+    explicit Communicator(const Topology &topology,
+                          HealthOptions health_options = {})
+        : topology_(topology), health_(topology, health_options) {}
 
     const Topology &topology() const { return topology_; }
     DataStore &store() { return store_; }
+
+    /** The link-health monitor state fed by this communicator. */
+    LinkHealthMonitor &health() { return health_; }
+    const LinkHealthMonitor &health() const { return health_; }
 
     /**
      * Registers @p ir for its collective, active for input sizes in
@@ -85,10 +129,15 @@ class Communicator
      * registered. For the contiguous tiling registerTuned emits this
      * degenerates to the unique containing window; for hand-stacked
      * overlaps it means "the most specific (highest lower bound),
-     * freshest registration".
+     * freshest registration". Windows whose program crosses a
+     * quarantined link are skipped entirely until the link heals.
      */
     void registerAlgorithm(IrProgram ir, std::uint64_t min_bytes,
                            std::uint64_t max_bytes);
+
+    /** Removes every registered window of @p collective (the tuner's
+     *  retune hook clears before re-registering). */
+    void clearAlgorithms(const std::string &collective);
 
     /**
      * Registers the fallback used when no algorithm window matches —
@@ -100,15 +149,48 @@ class Communicator
         std::function<IrProgram(std::uint64_t bytes)> factory);
 
     /**
+     * Registers the degraded-topology replanner for @p collective:
+     * given the machine with the quarantined links removed, return a
+     * fresh DSL program (e.g. a ring re-formed over the surviving
+     * links), or null if no plan exists. The communicator compiles
+     * it through the normal pipeline with the verifier's
+     * postcondition check enabled and caches the compiled IR keyed
+     * by (collective, sorted dead-link set), so repeated runs under
+     * the same quarantine pay compilation once.
+     */
+    void registerReplanner(
+        const std::string &collective,
+        std::function<std::unique_ptr<Program>(const Topology &degraded,
+                                               std::uint64_t bytes)>
+            factory);
+
+    /** Degraded-topology compilations performed so far (cache
+     *  misses; tests assert the cache works by watching this). */
+    int replanCompiles() const { return replanCompiles_; }
+
+    /**
+     * Installs the hook invoked whenever the quarantined-link set
+     * changes (grows on fresh evidence, shrinks when links start
+     * probing). The tuner uses it to invalidate and re-tune its
+     * selection windows against the degraded machine.
+     */
+    void setRetuneHook(std::function<void(const std::vector<Link> &)> hook)
+    {
+        retuneHook_ = std::move(hook);
+    }
+
+    /**
      * Runs the named collective, selecting among registered
-     * algorithms / fallback (see registerAlgorithm for the window
-     * resolution rule). When the topology carries a fault schedule
-     * and the watchdog aborts an attempt, retries with the
-     * registered fallback up to options.maxAttempts total attempts;
-     * in data mode the store is rolled back to its pre-launch
-     * snapshot before each retry, so a completed run always starts
-     * from defined buffers. The result records the degradation
-     * (attempts, faultsSeen, degraded, the algorithm actually used).
+     * algorithms / replan cache / fallback (see registerAlgorithm
+     * for the window resolution rule). When the topology carries a
+     * fault schedule and the watchdog aborts an attempt, recovers up
+     * to options.maxAttempts total attempts (see RunOptions); for
+     * attempts whose program mutates its input in data mode the
+     * store is rolled back to its pre-launch snapshot before each
+     * retry, so a completed run always starts from defined buffers.
+     * The result records the recovery (attempts, faultsSeen,
+     * degraded, recoveredViaReplan, quarantinedLinks, backoffUs, the
+     * algorithm actually used).
      * @throws RuntimeError if nothing matches, or if the final
      * attempt still aborts (the message carries the blocked-set
      * report).
@@ -120,7 +202,7 @@ class Communicator
      * Runs a specific program (one cooperative kernel launch). No
      * retry: a watchdog abort is returned in result.stats.aborted,
      * and in data mode the store keeps whatever the executed prefix
-     * wrote.
+     * wrote. Does not feed the health monitor.
      */
     RunResult runProgram(const IrProgram &ir, const RunOptions &options);
 
@@ -130,6 +212,14 @@ class Communicator
      * execution model of collectives composed from a vendor library
      * (paper §7.2's "NCCL Hierarchical" baseline and §7.3's
      * hand-written Two-Step).
+     *
+     * The topology's fault schedule spans the whole composition:
+     * timestamps are relative to the composition's start, each
+     * kernel sees the schedule rebased by the time already elapsed,
+     * and an event fired by one kernel is consumed — it does not
+     * re-fire in later kernels. An abort stops the chain: the result
+     * carries stats.aborted with the failing kernel's report, and
+     * the kernels after it never launch.
      */
     RunResult runComposed(const std::vector<const IrProgram *> &irs,
                           const RunOptions &options);
@@ -140,21 +230,49 @@ class Communicator
         IrProgram ir;
         std::uint64_t minBytes;
         std::uint64_t maxBytes;
+        /** programLinks(ir), cached for quarantine filtering. */
+        std::vector<Link> links;
     };
 
     /** One kernel attempt with an explicit fault script override. */
     RunResult runAttempt(const IrProgram &ir, const RunOptions &options,
                          const FaultSchedule *faults);
 
-    /** The window winning at @p bytes, or null (see registerAlgorithm). */
+    /** The window winning at @p bytes among those avoiding the
+     *  current quarantine, or null (see registerAlgorithm). */
     const Registered *selectWindow(const std::string &collective,
                                    std::uint64_t bytes) const;
 
+    /**
+     * The compiled degraded-topology plan for the current
+     * quarantine, from cache or a fresh compile+verify; null when no
+     * replanner is registered, the replanner finds no plan, or the
+     * plan fails to compile/verify. The returned pointer stays valid
+     * for the communicator's lifetime (map-backed cache).
+     */
+    const IrProgram *replanProgram(const std::string &collective,
+                                   const std::vector<Link> &quarantine,
+                                   std::uint64_t bytes);
+
+    /** Fires the retune hook if the quarantine set changed. */
+    void syncQuarantine();
+
     const Topology &topology_;
     DataStore store_;
+    LinkHealthMonitor health_;
     std::vector<Registered> algorithms_;
     std::map<std::string, std::function<IrProgram(std::uint64_t)>>
         fallbacks_;
+    std::map<std::string,
+             std::function<std::unique_ptr<Program>(const Topology &,
+                                                    std::uint64_t)>>
+        replanners_;
+    /** Compiled repair plans keyed "collective|3->4,5->6". */
+    std::map<std::string, IrProgram> replanCache_;
+    int replanCompiles_ = 0;
+    std::function<void(const std::vector<Link> &)> retuneHook_;
+    /** Quarantine set at the last syncQuarantine(). */
+    std::vector<Link> lastQuarantine_;
 };
 
 } // namespace mscclang

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Link-health tracking for the self-healing runtime. The monitor
+ * keeps a per-link exponential-decay error score fed by two signals:
+ * fired fault events (attributed from the faulted capacity resource
+ * to every link routed over it) and the watchdog's blocked-thread-
+ * block report (the interpreter attributes each blocked thread block
+ * to the connection's link it was waiting on). Links whose score
+ * crosses the quarantine threshold enter a quarantine state machine:
+ *
+ *   Healthy --score >= threshold--> Quarantined
+ *   Quarantined --holdRuns successful runs--> Probing
+ *   Probing --used by a successful run--> Healthy (score reset)
+ *   Probing --implicated again--> Quarantined (hold doubled, bounded)
+ *
+ * Quarantined links are excluded from planning (Topology::degraded)
+ * and invalidate selection windows whose algorithms cross them;
+ * Probing links are admitted again so a healthy link that was only
+ * transiently implicated finds its way back without operator action.
+ *
+ * For aborts whose evidence is transient (stalls, degrades — no
+ * link has crossed the threshold yet) the monitor hands out a
+ * deterministic bounded exponential backoff with seeded-RNG jitter,
+ * so retries of a stalled link spread out before the link is finally
+ * declared dead. Determinism: identical run sequences on identical
+ * seeds produce bit-identical backoffs, scores, and state flips.
+ */
+
+#ifndef MSCCLANG_RUNTIME_HEALTH_H_
+#define MSCCLANG_RUNTIME_HEALTH_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "ir/ir.h"
+#include "topology/topology.h"
+
+namespace mscclang {
+
+/** Tuning knobs of the link-health policy. */
+struct HealthOptions
+{
+    /** Score multiplier applied at every run start (exponential
+     *  decay: old evidence fades as healthy runs accumulate). */
+    double decayPerRun = 0.5;
+    /** Score at which a link is quarantined. */
+    double quarantineThreshold = 1.0;
+    /** Score added per fired fault, by kind. LinkDown lands above
+     *  the threshold on its own — a hard failure is conclusive. */
+    double linkDownWeight = 2.0;
+    double stallWeight = 0.4;
+    double degradeWeight = 0.2;
+    /** Score added to each link the watchdog found a thread block
+     *  blocked on. */
+    double blockedWeight = 0.5;
+    /** Successful runs a quarantined link sits out before probing. */
+    int probeAfterRuns = 2;
+    /** Cap on the doubling quarantine hold of a repeat offender. */
+    int maxProbeHold = 16;
+    /** Bounded exponential backoff for transient-stall retries. */
+    double backoffBaseUs = 50.0;
+    double backoffMaxUs = 2000.0;
+    /** Backoff retries before an abort is treated as conclusive
+     *  even without a fault crossing the threshold. */
+    int maxTransientRetries = 2;
+    /** Seed of the jitter RNG (deterministic per monitor). */
+    std::uint64_t seed = 0x5ca1ab1eULL;
+};
+
+/** Quarantine state of one link. */
+enum class LinkState {
+    Healthy,     ///< available for planning
+    Quarantined, ///< excluded from planning, sitting out its hold
+    Probing,     ///< re-admitted; next successful use heals it
+};
+
+/** Returns a short human-readable name ("healthy", ...). */
+const char *linkStateName(LinkState state);
+
+/** Per-link error scores, quarantine, and backoff policy. */
+class LinkHealthMonitor
+{
+  public:
+    explicit LinkHealthMonitor(const Topology &topology,
+                               HealthOptions options = {});
+
+    const HealthOptions &options() const { return options_; }
+
+    /** Decays all scores; call once at every collective launch. */
+    void beginRun();
+
+    /** Ingests one fired fault event (resource -> links). */
+    void noteFault(const FaultEvent &event);
+
+    /** Ingests the watchdog's blocked-link attribution. */
+    void noteBlocked(const std::vector<Link> &links);
+
+    /**
+     * Records a completed run over @p links_used: advances the
+     * quarantine clocks of every quarantined link, heals probing
+     * links the run actually exercised, and resets the transient
+     * backoff streak.
+     */
+    void noteSuccess(const std::vector<Link> &links_used);
+
+    /** Links currently excluded from planning (sorted). Probing
+     *  links are NOT in this set — that is what probing means. */
+    std::vector<Link> quarantined() const;
+
+    LinkState state(const Link &link) const;
+    double score(const Link &link) const;
+
+    /**
+     * The next transient-retry backoff: bounded exponential in the
+     * per-monitor retry streak, plus up to 25% seeded jitter.
+     * Advances both the streak and the RNG.
+     */
+    double nextBackoffUs();
+
+    /** Consecutive transient backoffs taken since the last success. */
+    int backoffsTaken() const { return backoffs_; }
+
+    /** True once the transient-retry budget is spent, so the next
+     *  abort must be treated as conclusive. */
+    bool transientBudgetSpent() const
+    {
+        return backoffs_ >= options_.maxTransientRetries;
+    }
+
+  private:
+    struct Entry
+    {
+        double score = 0.0;
+        LinkState state = LinkState::Healthy;
+        /** Hold length (successful runs) of the current/last
+         *  quarantine; doubles on repeat offenses, bounded. */
+        int holdRuns = 0;
+        /** Successful runs left before Quarantined -> Probing. */
+        int runsLeft = 0;
+    };
+
+    void addScore(const Link &link, double weight);
+
+    const Topology &topology_;
+    HealthOptions options_;
+    std::map<Link, Entry> entries_;
+    Rng rng_;
+    int backoffs_ = 0;
+};
+
+/**
+ * Every directed link @p ir communicates over (sorted, deduplicated)
+ * — the send and receive peers of its thread blocks. Used to
+ * invalidate selection windows crossing quarantined links and to
+ * decide which probing links a successful run has exercised.
+ */
+std::vector<Link> programLinks(const IrProgram &ir);
+
+} // namespace mscclang
+
+#endif // MSCCLANG_RUNTIME_HEALTH_H_

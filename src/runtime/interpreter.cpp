@@ -595,7 +595,38 @@ struct IrExecution::Impl
         aborted = true;
         stats.aborted = true;
         stats.abortReason = why + ":\n" + blockedReport();
+        stats.blockedLinks = blockedLinks();
         finishAll();
+    }
+
+    /**
+     * Attributes every unfinished thread block to the connection's
+     * link it is waiting on (the same conditions blockedReport
+     * prints, minus the dependency-only waits, which have no link).
+     */
+    std::vector<Link>
+    blockedLinks() const
+    {
+        std::vector<Link> links;
+        for (const TbState &tb : tbs) {
+            if (tb.finished || tb.numSteps == 0)
+                continue;
+            const IrInstruction &instr = tb.tb->steps[tb.step];
+            if (tb.busy) {
+                if (irOpSends(instr.op) && tb.tb->sendPeer >= 0)
+                    links.push_back(Link{ tb.rank, tb.tb->sendPeer });
+            } else if (irOpReceives(instr.op) && tb.recvConn >= 0 &&
+                       conns[tb.recvConn].count == 0) {
+                links.push_back(Link{ tb.tb->recvPeer, tb.rank });
+            } else if (irOpSends(instr.op) && tb.sendConn >= 0 &&
+                       conns[tb.sendConn].occupied >= proto.slots) {
+                links.push_back(Link{ tb.rank, tb.tb->sendPeer });
+            }
+        }
+        std::sort(links.begin(), links.end());
+        links.erase(std::unique(links.begin(), links.end()),
+                    links.end());
+        return links;
     }
 
     /** The runtime twin of the verifier's deadlock report. */

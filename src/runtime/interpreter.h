@@ -154,6 +154,15 @@ struct ExecStats
     int faultsSeen = 0;
     /** Indices into the armed FaultSchedule of the fired events. */
     std::vector<int> firedFaults;
+    /**
+     * Directed links the blocked thread blocks were waiting on when
+     * the watchdog aborted (sorted, deduplicated; empty unless
+     * aborted): a thread block stuck in a send (in flight or FIFO
+     * full) implicates rank -> sendPeer, one starved of data
+     * implicates recvPeer -> rank. This is the attribution the
+     * LinkHealthMonitor's error scores are fed from.
+     */
+    std::vector<Link> blockedLinks;
 
     double durationUs() const
     {

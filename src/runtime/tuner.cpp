@@ -8,11 +8,30 @@
 
 #include "common/error.h"
 #include "common/strings.h"
+#include "runtime/health.h"
 #include "runtime/interpreter.h"
 
 namespace mscclang {
 
 namespace {
+
+/** True if @p ir communicates over any of @p quarantine (sorted). */
+bool
+linksCross(const IrProgram &ir, const std::vector<Link> &quarantine)
+{
+    std::vector<Link> links = programLinks(ir); // sorted
+    auto il = links.begin();
+    auto iq = quarantine.begin();
+    while (il != links.end() && iq != quarantine.end()) {
+        if (*il == *iq)
+            return true;
+        if (*il < *iq)
+            ++il;
+        else
+            ++iq;
+    }
+    return false;
+}
 
 /** True when two programs are indistinguishable to the simulator
  *  (identical up to their display names). */
@@ -173,6 +192,43 @@ registerTuned(Communicator &comm,
         comm.registerAlgorithm(candidates[window.candidate],
                                window.minBytes, window.maxBytes);
     }
+}
+
+void
+registerTuned(Communicator &comm,
+              const std::vector<IrProgram> &candidates,
+              const std::vector<TunedWindow> &windows,
+              const TuneOptions &options)
+{
+    registerTuned(comm, candidates, windows);
+    // Quarantine-aware re-tuning: when the health monitor changes
+    // the quarantined-link set, the tuned windows were measured on a
+    // machine that no longer exists. Drop them and re-tune the
+    // surviving candidates against the degraded topology. The hook
+    // captures the candidates by value so it outlives the caller's
+    // vectors; the communicator reference must outlive the hook,
+    // which it does by construction (the hook lives inside it).
+    comm.setRetuneHook([&comm, candidates,
+                        options](const std::vector<Link> &quarantine) {
+        std::vector<std::string> collectives;
+        std::vector<IrProgram> usable;
+        for (const IrProgram &candidate : candidates) {
+            collectives.push_back(candidate.collective);
+            if (!linksCross(candidate, quarantine))
+                usable.push_back(candidate);
+        }
+        std::sort(collectives.begin(), collectives.end());
+        collectives.erase(
+            std::unique(collectives.begin(), collectives.end()),
+            collectives.end());
+        for (const std::string &collective : collectives)
+            comm.clearAlgorithms(collective);
+        if (usable.empty())
+            return; // every candidate is dead: replan/fallback only
+        Topology degraded = comm.topology().degraded(quarantine);
+        registerTuned(comm, usable,
+                      tuneWindows(degraded, usable, options));
+    });
 }
 
 } // namespace mscclang

@@ -70,6 +70,20 @@ void registerTuned(Communicator &comm,
                    const std::vector<IrProgram> &candidates,
                    const std::vector<TunedWindow> &windows);
 
+/**
+ * As above, and additionally installs the communicator's retune
+ * hook: whenever the link-health monitor changes the quarantined
+ * set, the previously tuned windows (measured on the full machine)
+ * are dropped and the candidates that avoid the quarantined links
+ * are re-tuned against Topology::degraded() with the same
+ * @p options. When every candidate crosses a quarantined link the
+ * windows stay cleared and runs recover via replan or fallback.
+ */
+void registerTuned(Communicator &comm,
+                   const std::vector<IrProgram> &candidates,
+                   const std::vector<TunedWindow> &windows,
+                   const TuneOptions &options);
+
 } // namespace mscclang
 
 #endif // MSCCLANG_RUNTIME_TUNER_H_

@@ -109,6 +109,56 @@ faultKindName(FaultKind kind)
     return "?";
 }
 
+std::string
+linkName(const Link &link)
+{
+    return strprintf("%d->%d", link.src, link.dst);
+}
+
+std::vector<Link>
+Topology::linksUsingResource(ResourceId resource) const
+{
+    if (resource < 0 || resource >= numResources())
+        throw Error("Topology: unknown resource id");
+    std::vector<Link> links;
+    int ranks = numRanks();
+    for (int src = 0; src < ranks; src++) {
+        for (int dst = 0; dst < ranks; dst++) {
+            if (src == dst || !hasRoute_[routeIndex(src, dst)])
+                continue;
+            const Route &r = routes_[routeIndex(src, dst)];
+            for (ResourceId id : r.resources) {
+                if (id == resource) {
+                    links.push_back(Link{ src, dst });
+                    break;
+                }
+            }
+        }
+    }
+    return links;
+}
+
+Topology
+Topology::degraded(const std::vector<Link> &excluded_links) const
+{
+    Topology copy = *this;
+    copy.faults_ = FaultSchedule{};
+    for (const Link &link : excluded_links) {
+        if (link.src < 0 || link.src >= numRanks() || link.dst < 0 ||
+            link.dst >= numRanks()) {
+            throw Error(strprintf(
+                "Topology %s: degraded link %s out of range",
+                name_.c_str(), linkName(link).c_str()));
+        }
+        if (link.src == link.dst)
+            continue; // loopback is device-local, never a fabric link
+        int index = routeIndex(link.src, link.dst);
+        copy.hasRoute_[index] = false;
+        copy.routes_[index] = Route{};
+    }
+    return copy;
+}
+
 void
 Topology::setFaultSchedule(FaultSchedule schedule)
 {

@@ -52,6 +52,25 @@ enum class FaultKind {
 const char *faultKindName(FaultKind kind);
 
 /**
+ * A directed communication link between two ranks — the unit the
+ * self-healing runtime reasons about: health scores, quarantine, and
+ * degraded-topology replanning all key on (src, dst) pairs rather
+ * than on the shared capacity resources underneath (one dead NIC
+ * takes several links with it; linksUsingResource maps between the
+ * two vocabularies).
+ */
+struct Link
+{
+    int src = -1;
+    int dst = -1;
+
+    friend auto operator<=>(const Link &, const Link &) = default;
+};
+
+/** "3->4", the canonical spelling in reports and cache keys. */
+std::string linkName(const Link &link);
+
+/**
  * One scripted fault: at simulated time @p atUs (measured from the
  * start of the run), @p resource suffers @p kind. Fault activation
  * rides the deterministic event queue, so a schedule replays
@@ -197,6 +216,27 @@ class Topology
      */
     void setFaultSchedule(FaultSchedule schedule);
     const FaultSchedule &faultSchedule() const { return faults_; }
+
+    /**
+     * Every directed link whose route consumes @p resource (loopback
+     * routes excluded). This is how a fired fault on a shared
+     * capacity resource is attributed to the communication links it
+     * actually kills: a per-GPU egress fault implicates every link
+     * out of that GPU, a NIC fault every cross-node link through it,
+     * a DGX-1 point-to-point bundle exactly one link.
+     */
+    std::vector<Link> linksUsingResource(ResourceId resource) const;
+
+    /**
+     * A copy of this machine with the given directed links removed —
+     * the reduced topology the self-healing runtime recompiles
+     * collectives against after quarantining dead links. Loopback
+     * links are never removed. The copy carries no fault schedule
+     * (replanning and re-tuning must not replay the very faults that
+     * triggered them); resources and capacities are untouched, since
+     * the excluded links' routes are gone and nothing else changes.
+     */
+    Topology degraded(const std::vector<Link> &excluded_links) const;
 
   private:
     int routeIndex(int src, int dst) const

@@ -459,6 +459,138 @@ TEST(CommunicatorFaults, RunProgramReportsAbortWithoutRetry)
     EXPECT_EQ(result.attempts, 1);
 }
 
+TEST(CommunicatorComposed, FaultTimelineSpansComposition)
+{
+    // One fault timeline covers the whole composed sequence: an
+    // event timed inside the second kernel's window fires exactly
+    // once, in the second kernel, at the rebased timestamp — and a
+    // fired event never re-fires in later kernels.
+    ChaosHarness harness;
+    std::vector<const IrProgram *> irs{ &harness.primary,
+                                        &harness.primary };
+    RunOptions run;
+    run.bytes = 1 << 20;
+
+    Communicator healthy = harness.makeComm();
+    RunResult base = healthy.runComposed(irs, run);
+    double kernel_us = base.timeUs / 2.0;
+
+    // Inside kernel 2's window (after kernel 1 completes).
+    harness.topo.setFaultSchedule(FaultSchedule{
+        { makeFault(ringResource(harness.topo), FaultKind::Degrade,
+                    kernel_us * 1.3, 0.0, 0.02) } });
+    Communicator in_second = harness.makeComm();
+    RunResult hit = in_second.runComposed(irs, run);
+    EXPECT_FALSE(hit.stats.aborted);
+    EXPECT_EQ(hit.faultsSeen, 1);
+    EXPECT_GT(hit.timeUs, base.timeUs);
+
+    // Inside kernel 1's window: fires there, consumed, kernel 2
+    // runs clean — not once per kernel.
+    harness.topo.setFaultSchedule(FaultSchedule{
+        { makeFault(ringResource(harness.topo), FaultKind::Degrade,
+                    kernel_us * 0.3, 0.0, 0.02) } });
+    Communicator in_first = harness.makeComm();
+    RunResult once = in_first.runComposed(irs, run);
+    EXPECT_FALSE(once.stats.aborted);
+    EXPECT_EQ(once.faultsSeen, 1);
+
+    // Replay is deterministic.
+    Communicator again = harness.makeComm();
+    RunResult replay = again.runComposed(irs, run);
+    EXPECT_DOUBLE_EQ(replay.timeUs, once.timeUs);
+    EXPECT_EQ(replay.faultsSeen, once.faultsSeen);
+}
+
+TEST(CommunicatorComposed, AbortMidCompositionStopsTheChain)
+{
+    ChaosHarness harness;
+    std::vector<const IrProgram *> irs{ &harness.primary,
+                                        &harness.fallback };
+    RunOptions run;
+    run.bytes = 1 << 20;
+
+    Communicator healthy = harness.makeComm();
+    double first_us =
+        healthy.runProgram(harness.primary, run).timeUs;
+    run.watchdogNoProgressUs = first_us;
+
+    // Kernel 1 dies: the chain stops before kernel 2 ever launches.
+    harness.topo.setFaultSchedule(FaultSchedule{
+        { makeFault(ringResource(harness.topo), FaultKind::LinkDown,
+                    first_us * 0.3) } });
+    {
+        Communicator comm = harness.makeComm();
+        RunResult result = comm.runComposed(irs, run);
+        EXPECT_TRUE(result.stats.aborted);
+        EXPECT_EQ(result.algorithm, "ring-primary");
+        EXPECT_FALSE(result.stats.blockedLinks.empty());
+        EXPECT_NE(result.stats.abortReason.find("blocked at step"),
+                  std::string::npos);
+    }
+
+    // Kernel 2 dies: kernel 1's work is reported, the chain stops
+    // at the failing kernel.
+    harness.topo.setFaultSchedule(FaultSchedule{
+        { makeFault(ringResource(harness.topo), FaultKind::LinkDown,
+                    first_us * 1.3) } });
+    {
+        Communicator comm = harness.makeComm();
+        RunResult result = comm.runComposed(irs, run);
+        EXPECT_TRUE(result.stats.aborted);
+        EXPECT_EQ(result.algorithm, "ring-primary+ring-fallback");
+        EXPECT_GT(result.timeUs, first_us);
+    }
+}
+
+TEST(CommunicatorFaults, OverlappingFaultsConsumeInTimestampOrder)
+{
+    // A Degrade window containing a LinkDown on the same resource,
+    // with the two events listed in opposite orders in the user's
+    // schedule. The working schedule is timestamp-sorted before
+    // arming, so both spellings replay — and are consumed across
+    // retries — identically.
+    std::uint64_t bytes = 1 << 20;
+    double healthy_us;
+    {
+        ChaosHarness harness;
+        Communicator comm = harness.makeComm();
+        RunOptions run;
+        run.bytes = bytes;
+        healthy_us = comm.run("allreduce", run).timeUs;
+    }
+
+    auto run_with = [&](bool down_first) {
+        ChaosHarness harness;
+        FaultEvent degrade =
+            makeFault(ringResource(harness.topo), FaultKind::Degrade,
+                      healthy_us * 0.2, healthy_us * 4.0, 0.02);
+        FaultEvent down =
+            makeFault(ringResource(harness.topo), FaultKind::LinkDown,
+                      healthy_us * 0.5);
+        FaultSchedule schedule;
+        if (down_first)
+            schedule.events = { down, degrade };
+        else
+            schedule.events = { degrade, down };
+        harness.topo.setFaultSchedule(schedule);
+        Communicator comm = harness.makeComm();
+        RunOptions run;
+        run.bytes = bytes;
+        run.watchdogNoProgressUs = healthy_us;
+        return comm.run("allreduce", run);
+    };
+
+    RunResult a = run_with(true);
+    RunResult b = run_with(false);
+    EXPECT_EQ(a.attempts, 2);
+    EXPECT_EQ(a.attempts, b.attempts);
+    EXPECT_EQ(a.faultsSeen, b.faultsSeen);
+    EXPECT_EQ(a.algorithm, b.algorithm);
+    EXPECT_DOUBLE_EQ(a.timeUs, b.timeUs);
+    EXPECT_EQ(a.quarantinedLinks, b.quarantinedLinks);
+}
+
 TEST(CommunicatorWindows, ExactBoundaryIsInclusive)
 {
     Topology topo = makeGeneric(1, 4);

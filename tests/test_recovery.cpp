@@ -1,0 +1,590 @@
+/**
+ * @file
+ * Tests for the self-healing runtime: link-health scoring and the
+ * quarantine state machine, degraded-topology construction, ring
+ * reformation around dead links, the Communicator's replan path
+ * (verifier-checked recompilation, replan cache), progress-aware
+ * rollback, transient-stall backoff, and the tuner's quarantine
+ * retune hook — all bit-deterministic across runs and tuner thread
+ * counts.
+ */
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "collectives/collectives.h"
+#include "common/error.h"
+#include "compiler/compiler.h"
+#include "runtime/communicator.h"
+#include "runtime/health.h"
+#include "runtime/tuner.h"
+#include "test_util.h"
+
+namespace mscclang {
+namespace {
+
+using testing::fillInputs;
+
+FaultEvent
+makeFault(ResourceId resource, FaultKind kind, double at_us,
+          double duration_us = 0.0, double factor = 0.5)
+{
+    FaultEvent event;
+    event.resource = resource;
+    event.kind = kind;
+    event.atUs = at_us;
+    event.durationUs = duration_us;
+    event.factor = factor;
+    return event;
+}
+
+/** Resource id by exact name; fails the test when absent. */
+ResourceId
+resourceNamed(const Topology &topo, const std::string &name)
+{
+    for (ResourceId id = 0; id < topo.numResources(); id++) {
+        if (topo.resourceName(id) == name)
+            return id;
+    }
+    ADD_FAILURE() << "no resource named " << name;
+    return -1;
+}
+
+TEST(Health, FaultScoresQuarantineAndDecay)
+{
+    Topology topo = makeGeneric(2, 4);
+    LinkHealthMonitor monitor(topo);
+    ResourceId nic = resourceNamed(topo, "ib-send[0.3]");
+
+    // A NIC-send fault implicates exactly rank 3's cross-node links.
+    std::vector<Link> nic_links = topo.linksUsingResource(nic);
+    ASSERT_EQ(nic_links.size(), 4u);
+    EXPECT_EQ(nic_links.front(), (Link{ 3, 4 }));
+    EXPECT_EQ(nic_links.back(), (Link{ 3, 7 }));
+
+    // A Degrade alone stays below the threshold; LinkDown does not.
+    monitor.noteFault(makeFault(nic, FaultKind::Degrade, 1.0));
+    EXPECT_EQ(monitor.state(Link{ 3, 4 }), LinkState::Healthy);
+    monitor.noteFault(makeFault(nic, FaultKind::LinkDown, 2.0));
+    EXPECT_EQ(monitor.state(Link{ 3, 4 }), LinkState::Quarantined);
+    EXPECT_EQ(monitor.quarantined(), nic_links);
+    // Links on other resources are untouched.
+    EXPECT_EQ(monitor.state(Link{ 0, 1 }), LinkState::Healthy);
+
+    // Scores decay exponentially at run starts.
+    double before = monitor.score(Link{ 3, 4 });
+    monitor.beginRun();
+    EXPECT_DOUBLE_EQ(monitor.score(Link{ 3, 4 }),
+                     before * monitor.options().decayPerRun);
+}
+
+TEST(Health, QuarantineProbesAndHeals)
+{
+    Topology topo = makeGeneric(1, 4);
+    HealthOptions options;
+    options.probeAfterRuns = 2;
+    LinkHealthMonitor monitor(topo, options);
+
+    Link link{ 0, 1 };
+    monitor.noteBlocked({ link });
+    monitor.noteBlocked({ link }); // 2 x 0.5 crosses the threshold
+    ASSERT_EQ(monitor.state(link), LinkState::Quarantined);
+
+    // Two successful runs elsewhere move it to probing...
+    monitor.noteSuccess({});
+    EXPECT_EQ(monitor.state(link), LinkState::Quarantined);
+    monitor.noteSuccess({});
+    EXPECT_EQ(monitor.state(link), LinkState::Probing);
+    EXPECT_TRUE(monitor.quarantined().empty());
+
+    // ...and a successful run across it heals it completely.
+    monitor.noteSuccess({ link });
+    EXPECT_EQ(monitor.state(link), LinkState::Healthy);
+    EXPECT_DOUBLE_EQ(monitor.score(link), 0.0);
+}
+
+TEST(Health, FailedProbeDoublesTheHold)
+{
+    Topology topo = makeGeneric(1, 4);
+    HealthOptions options;
+    options.probeAfterRuns = 1;
+    LinkHealthMonitor monitor(topo, options);
+
+    Link link{ 0, 1 };
+    monitor.noteBlocked({ link });
+    monitor.noteBlocked({ link }); // 2 x 0.5 crosses the threshold
+    ASSERT_EQ(monitor.state(link), LinkState::Quarantined);
+    monitor.noteSuccess({});
+    ASSERT_EQ(monitor.state(link), LinkState::Probing);
+
+    // The probe is implicated again: quarantined for twice as long.
+    monitor.noteBlocked({ link });
+    EXPECT_EQ(monitor.state(link), LinkState::Quarantined);
+    monitor.noteSuccess({});
+    EXPECT_EQ(monitor.state(link), LinkState::Quarantined);
+    monitor.noteSuccess({});
+    EXPECT_EQ(monitor.state(link), LinkState::Probing);
+}
+
+TEST(Health, BackoffIsBoundedDeterministicAndResets)
+{
+    Topology topo = makeGeneric(1, 4);
+    LinkHealthMonitor a(topo), b(topo);
+    std::vector<double> seq_a, seq_b;
+    for (int i = 0; i < 8; i++) {
+        seq_a.push_back(a.nextBackoffUs());
+        seq_b.push_back(b.nextBackoffUs());
+    }
+    EXPECT_EQ(seq_a, seq_b); // same seed, bit-identical jitter
+    for (double us : seq_a) {
+        EXPECT_GT(us, 0.0);
+        EXPECT_LE(us, a.options().backoffMaxUs);
+    }
+    // Exponential growth until the cap.
+    EXPECT_GT(seq_a[1], seq_a[0]);
+    EXPECT_TRUE(a.transientBudgetSpent());
+    a.noteSuccess({});
+    EXPECT_EQ(a.backoffsTaken(), 0);
+    EXPECT_FALSE(a.transientBudgetSpent());
+}
+
+TEST(Recovery, DegradedTopologyDropsExactlyTheExcludedLinks)
+{
+    Topology topo = makeGeneric(2, 4);
+    ResourceId nic = resourceNamed(topo, "ib-send[0.3]");
+    Topology degraded = topo.degraded(topo.linksUsingResource(nic));
+
+    for (int dst = 4; dst < 8; dst++) {
+        EXPECT_FALSE(degraded.connected(3, dst));
+        EXPECT_TRUE(degraded.connected(dst, 3)); // reverse unaffected
+    }
+    EXPECT_TRUE(degraded.connected(3, 0));
+    EXPECT_TRUE(degraded.connected(0, 4));
+    EXPECT_EQ(degraded.numResources(), topo.numResources());
+    EXPECT_TRUE(degraded.faultSchedule().empty());
+
+    EXPECT_THROW(topo.degraded({ Link{ 0, 99 } }), Error);
+}
+
+TEST(Recovery, FindRingOrderRoutesAroundDeadLinks)
+{
+    Topology topo = makeGeneric(2, 4);
+    // The healthy machine is all-to-all: identity order wins.
+    std::vector<Rank> healthy = findRingOrder(topo);
+    EXPECT_EQ(healthy, (std::vector<Rank>{ 0, 1, 2, 3, 4, 5, 6, 7 }));
+
+    ResourceId nic = resourceNamed(topo, "ib-send[0.3]");
+    Topology degraded = topo.degraded(topo.linksUsingResource(nic));
+    std::vector<Rank> order = findRingOrder(degraded);
+    ASSERT_EQ(order.size(), 8u);
+    for (size_t i = 0; i < order.size(); i++) {
+        Rank from = order[i];
+        Rank to = order[(i + 1) % order.size()];
+        EXPECT_TRUE(degraded.connected(from, to))
+            << linkName(Link{ from, to });
+    }
+
+    // Cutting every link out of a rank makes a cycle impossible.
+    std::vector<Link> all_out;
+    for (int dst = 1; dst < 8; dst++)
+        all_out.push_back(Link{ 0, dst });
+    EXPECT_TRUE(findRingOrder(topo.degraded(all_out)).empty());
+}
+
+/**
+ * The acceptance scenario: a 2-node generic machine, primary ring in
+ * rank order, the NIC carrying rank 3's cross-node sends dies
+ * mid-kernel. The run must recover via a verifier-checked recompiled
+ * ring over the surviving links — not the registered fallback — with
+ * bit-correct buffers.
+ */
+struct ReplanHarness
+{
+    Topology topo = makeGeneric(2, 4);
+    IrProgram primary;
+    IrProgram fallback;
+
+    ReplanHarness()
+    {
+        primary = compileProgram(*makeRingAllReduce(8, 1, {})).ir;
+        primary.name = "ring-primary";
+        fallback = compileProgram(*makeRingAllReduce(8, 2, {})).ir;
+        fallback.name = "ring-fallback";
+    }
+
+    Communicator
+    makeComm() const
+    {
+        Communicator comm(topo);
+        IrProgram ir = primary;
+        comm.registerAlgorithm(
+            std::move(ir), 0,
+            std::numeric_limits<std::uint64_t>::max());
+        IrProgram fb = fallback;
+        comm.registerFallback("allreduce", [fb](std::uint64_t) {
+            return fb;
+        });
+        comm.registerReplanner(
+            "allreduce",
+            [](const Topology &degraded,
+               std::uint64_t) -> std::unique_ptr<Program> {
+                std::vector<Rank> order = findRingOrder(degraded);
+                if (order.empty())
+                    return nullptr;
+                return makeRingAllReduceOver(order, 1, {});
+            });
+        return comm;
+    }
+
+    double
+    healthyUs() const
+    {
+        Communicator comm = makeComm();
+        RunOptions run;
+        run.bytes = 1 << 20;
+        return comm.run("allreduce", run).timeUs;
+    }
+};
+
+TEST(Recovery, LinkDownRecoversViaReplanNotFallback)
+{
+    ReplanHarness harness;
+    std::uint64_t bytes = 1 << 20;
+    double healthy_us = harness.healthyUs();
+    harness.topo.setFaultSchedule(FaultSchedule{
+        { makeFault(resourceNamed(harness.topo, "ib-send[0.3]"),
+                    FaultKind::LinkDown, healthy_us * 0.3) } });
+
+    Communicator comm = harness.makeComm();
+    std::vector<std::vector<float>> inputs =
+        fillInputs(comm, harness.primary, bytes);
+    RunOptions run;
+    run.bytes = bytes;
+    run.dataMode = true;
+    run.watchdogNoProgressUs = healthy_us;
+    RunResult result = comm.run("allreduce", run);
+
+    EXPECT_EQ(result.attempts, 2);
+    EXPECT_TRUE(result.degraded);
+    EXPECT_TRUE(result.recoveredViaReplan);
+    EXPECT_EQ(result.algorithm, "ring_allreduce_reformed_ch1 (replan)");
+    EXPECT_FALSE(result.stats.aborted);
+    EXPECT_GE(result.faultsSeen, 1);
+    EXPECT_TRUE(result.rolledBack); // in-place allreduce mutates input
+    EXPECT_GT(result.totalTimeUs, result.timeUs);
+    ASSERT_EQ(result.quarantinedLinks.size(), 4u);
+    EXPECT_EQ(result.quarantinedLinks.front(), (Link{ 3, 4 }));
+    EXPECT_EQ(comm.replanCompiles(), 1);
+
+    // Bit-correct buffers despite the aborted in-place attempt.
+    auto program = makeRingAllReduce(8, 1, {});
+    std::vector<std::vector<float>> outputs(8);
+    for (int r = 0; r < 8; r++) {
+        outputs[r] = comm.store().buffer(r, BufferKind::Output,
+                                         harness.primary.inPlace);
+    }
+    EXPECT_EQ(compareToReference(program->collective(), inputs,
+                                 outputs, ReduceOp::Sum),
+              "");
+}
+
+TEST(Recovery, ReplanCacheHitsOnRepeatedRuns)
+{
+    ReplanHarness harness;
+    std::uint64_t bytes = 1 << 20;
+    double healthy_us = harness.healthyUs();
+    harness.topo.setFaultSchedule(FaultSchedule{
+        { makeFault(resourceNamed(harness.topo, "ib-send[0.3]"),
+                    FaultKind::LinkDown, healthy_us * 0.3) } });
+
+    Communicator comm = harness.makeComm();
+    RunOptions run;
+    run.bytes = bytes;
+    run.watchdogNoProgressUs = healthy_us;
+    RunResult first = comm.run("allreduce", run);
+    EXPECT_EQ(first.attempts, 2);
+    EXPECT_TRUE(first.recoveredViaReplan);
+    EXPECT_EQ(comm.replanCompiles(), 1);
+
+    // The fault was consumed, but the quarantine persists: the next
+    // run skips the primary window and goes straight to the cached
+    // repair plan — no second compile, no extra attempts.
+    RunResult second = comm.run("allreduce", run);
+    EXPECT_EQ(second.attempts, 1);
+    EXPECT_TRUE(second.recoveredViaReplan);
+    EXPECT_FALSE(second.degraded);
+    EXPECT_EQ(second.algorithm,
+              "ring_allreduce_reformed_ch1 (replan)");
+    EXPECT_EQ(comm.replanCompiles(), 1);
+}
+
+TEST(Recovery, RecoveryIsDeterministicAcrossRuns)
+{
+    ReplanHarness harness;
+    double healthy_us = harness.healthyUs();
+    harness.topo.setFaultSchedule(FaultSchedule{
+        { makeFault(resourceNamed(harness.topo, "ib-send[0.3]"),
+                    FaultKind::LinkDown, healthy_us * 0.3) } });
+    RunOptions run;
+    run.bytes = 1 << 20;
+    run.watchdogNoProgressUs = healthy_us;
+
+    Communicator first = harness.makeComm();
+    RunResult a = first.run("allreduce", run);
+    Communicator second = harness.makeComm();
+    RunResult b = second.run("allreduce", run);
+
+    EXPECT_EQ(a.attempts, b.attempts);
+    EXPECT_EQ(a.algorithm, b.algorithm);
+    EXPECT_EQ(a.faultsSeen, b.faultsSeen);
+    EXPECT_DOUBLE_EQ(a.timeUs, b.timeUs);
+    EXPECT_DOUBLE_EQ(a.totalTimeUs, b.totalTimeUs);
+    EXPECT_DOUBLE_EQ(a.backoffUs, b.backoffUs);
+    EXPECT_EQ(a.quarantinedLinks, b.quarantinedLinks);
+}
+
+TEST(Recovery, CopyOnlyCollectiveRetriesWithoutRollback)
+{
+    Topology topo = makeGeneric(1, 4);
+    IrProgram primary =
+        compileProgram(*makeRingAllGather(4, 1, {})).ir;
+    primary.name = "ag-primary";
+    ASSERT_FALSE(primary.mutatesInput());
+    IrProgram fb = compileProgram(*makeRingAllGather(4, 2, {})).ir;
+    fb.name = "ag-fallback";
+
+    std::uint64_t bytes = 1 << 20;
+    double healthy_us;
+    {
+        Communicator comm(topo);
+        RunOptions run;
+        run.bytes = bytes;
+        run.dataMode = true;
+        fillInputs(comm, primary, bytes);
+        healthy_us = comm.runProgram(primary, run).timeUs;
+    }
+    topo.setFaultSchedule(FaultSchedule{
+        { makeFault(topo.route(0, 1).resources.front(),
+                    FaultKind::LinkDown, healthy_us * 0.3) } });
+
+    Communicator comm(topo);
+    comm.registerAlgorithm(IrProgram(primary), 0,
+                           std::numeric_limits<std::uint64_t>::max());
+    comm.registerFallback("allgather",
+                          [fb](std::uint64_t) { return fb; });
+    std::vector<std::vector<float>> inputs =
+        fillInputs(comm, primary, bytes);
+    RunOptions run;
+    run.bytes = bytes;
+    run.dataMode = true;
+    run.watchdogNoProgressUs = healthy_us;
+    RunResult result = comm.run("allgather", run);
+
+    // Progress-aware recovery: no snapshot, no rollback — the
+    // copy-only retry just re-executes over the intact inputs.
+    EXPECT_EQ(result.attempts, 2);
+    EXPECT_FALSE(result.rolledBack);
+    EXPECT_EQ(result.algorithm, "ag-fallback (fallback)");
+
+    auto program = makeRingAllGather(4, 1, {});
+    std::vector<std::vector<float>> outputs(4);
+    for (int r = 0; r < 4; r++) {
+        outputs[r] = comm.store().buffer(r, BufferKind::Output,
+                                         primary.inPlace);
+    }
+    EXPECT_EQ(compareToReference(program->collective(), inputs,
+                                 outputs, ReduceOp::Sum),
+              "");
+}
+
+TEST(Recovery, TransientStallBacksOffAndKeepsThePlan)
+{
+    Topology topo = makeGeneric(1, 4);
+    IrProgram primary = compileProgram(*makeRingAllReduce(4, 1, {})).ir;
+    primary.name = "ring-primary";
+    IrProgram fb = compileProgram(*makeRingAllReduce(4, 2, {})).ir;
+    fb.name = "ring-fallback";
+
+    std::uint64_t bytes = 1 << 20;
+    double healthy_us;
+    {
+        Communicator comm(topo);
+        RunOptions run;
+        run.bytes = bytes;
+        healthy_us = comm.runProgram(primary, run).timeUs;
+    }
+    // A long stall wedges the kernel past the no-progress watchdog,
+    // but a stall is transient evidence: scores stay below the
+    // threshold, so the retry backs off and keeps the same plan.
+    topo.setFaultSchedule(FaultSchedule{
+        { makeFault(topo.route(0, 1).resources.front(),
+                    FaultKind::Stall, healthy_us * 0.3,
+                    healthy_us * 50.0) } });
+
+    Communicator comm(topo);
+    comm.registerAlgorithm(IrProgram(primary), 0,
+                           std::numeric_limits<std::uint64_t>::max());
+    comm.registerFallback("allreduce",
+                          [fb](std::uint64_t) { return fb; });
+    RunOptions run;
+    run.bytes = bytes;
+    run.watchdogNoProgressUs = healthy_us * 0.5;
+    RunResult result = comm.run("allreduce", run);
+
+    EXPECT_EQ(result.attempts, 2);
+    EXPECT_EQ(result.algorithm, "ring-primary"); // no fallback suffix
+    EXPECT_FALSE(result.recoveredViaReplan);
+    EXPECT_GT(result.backoffUs, 0.0);
+    EXPECT_GE(result.totalTimeUs, result.timeUs + result.backoffUs);
+    EXPECT_TRUE(result.quarantinedLinks.empty());
+}
+
+TEST(Recovery, RetunedWindowAvoidingQuarantineWinsOverReplan)
+{
+    Topology topo = makeGeneric(2, 4);
+    // Candidate A: the identity ring (crosses 3->4). Candidate B: a
+    // ring whose node crossings avoid rank 3's NIC entirely.
+    IrProgram cand_a = compileProgram(*makeRingAllReduce(8, 1, {})).ir;
+    cand_a.name = "ring-identity";
+    IrProgram cand_b =
+        compileProgram(*makeRingAllReduceOver(
+                           { 0, 1, 2, 4, 5, 6, 7, 3 }, 1, {}))
+            .ir;
+    cand_b.name = "ring-detour";
+
+    std::uint64_t bytes = 1 << 20;
+    double healthy_us;
+    {
+        Communicator comm(topo);
+        RunOptions run;
+        run.bytes = bytes;
+        healthy_us = comm.runProgram(cand_a, run).timeUs;
+    }
+
+    // Tune on the healthy machine (the realistic order: windows are
+    // built before anything fails), then arm the fault.
+    std::vector<IrProgram> candidates{ cand_a, cand_b };
+    TuneOptions tune;
+    tune.fromBytes = bytes;
+    tune.toBytes = bytes;
+    tune.threads = 1;
+    std::vector<TunedWindow> windows =
+        tuneWindows(topo, candidates, tune);
+    topo.setFaultSchedule(FaultSchedule{
+        { makeFault(resourceNamed(topo, "ib-send[0.3]"),
+                    FaultKind::LinkDown, healthy_us * 0.3) } });
+
+    auto make_comm = [&](int threads) {
+        auto comm = std::make_unique<Communicator>(topo);
+        TuneOptions retune = tune;
+        retune.threads = threads; // the hook re-tunes with these
+        registerTuned(*comm, candidates, windows, retune);
+        IrProgram fb = cand_a;
+        fb.name = "ring-fallback";
+        comm->registerFallback("allreduce",
+                               [fb](std::uint64_t) { return fb; });
+        return comm;
+    };
+
+    RunOptions run;
+    run.bytes = bytes;
+    run.watchdogNoProgressUs = healthy_us;
+
+    auto comm = make_comm(1);
+    RunResult result = comm->run("allreduce", run);
+    // The retune hook dropped the dead windows and re-tuned the
+    // surviving candidate on the degraded machine: recovery lands on
+    // a first-class window, not the replan path or the fallback.
+    EXPECT_EQ(result.attempts, 2);
+    EXPECT_EQ(result.algorithm, "ring-detour");
+    EXPECT_FALSE(result.recoveredViaReplan);
+    EXPECT_EQ(comm->replanCompiles(), 0);
+
+    // And the whole recovery is invariant to tuner thread counts.
+    auto comm4 = make_comm(4);
+    RunResult threaded = comm4->run("allreduce", run);
+    EXPECT_EQ(threaded.algorithm, result.algorithm);
+    EXPECT_EQ(threaded.attempts, result.attempts);
+    EXPECT_DOUBLE_EQ(threaded.timeUs, result.timeUs);
+    EXPECT_DOUBLE_EQ(threaded.totalTimeUs, result.totalTimeUs);
+}
+
+TEST(Recovery, ReplanFailureFallsBackBlind)
+{
+    // Cut every link out of rank 0: no Hamiltonian cycle survives,
+    // so the replanner returns null and recovery degrades to the
+    // registered fallback.
+    Topology topo = makeGeneric(1, 4);
+    IrProgram primary = compileProgram(*makeRingAllReduce(4, 1, {})).ir;
+    primary.name = "ring-primary";
+    IrProgram fb = compileProgram(*makeRingAllReduce(4, 2, {})).ir;
+    fb.name = "ring-fallback";
+
+    std::uint64_t bytes = 1 << 20;
+    double healthy_us;
+    {
+        Communicator comm(topo);
+        RunOptions run;
+        run.bytes = bytes;
+        healthy_us = comm.runProgram(primary, run).timeUs;
+    }
+    // nvlink-out[0] carries every link out of rank 0.
+    topo.setFaultSchedule(FaultSchedule{
+        { makeFault(resourceNamed(topo, "nvlink-out[0]"),
+                    FaultKind::LinkDown, healthy_us * 0.3) } });
+
+    Communicator comm(topo);
+    comm.registerAlgorithm(IrProgram(primary), 0,
+                           std::numeric_limits<std::uint64_t>::max());
+    comm.registerFallback("allreduce",
+                          [fb](std::uint64_t) { return fb; });
+    comm.registerReplanner(
+        "allreduce",
+        [](const Topology &degraded,
+           std::uint64_t) -> std::unique_ptr<Program> {
+            std::vector<Rank> order = findRingOrder(degraded);
+            if (order.empty())
+                return nullptr;
+            return makeRingAllReduceOver(order, 1, {});
+        });
+    RunOptions run;
+    run.bytes = bytes;
+    run.watchdogNoProgressUs = healthy_us;
+    RunResult result = comm.run("allreduce", run);
+
+    EXPECT_EQ(result.attempts, 2);
+    EXPECT_EQ(result.algorithm, "ring-fallback (fallback)");
+    EXPECT_FALSE(result.recoveredViaReplan);
+    EXPECT_EQ(comm.replanCompiles(), 0);
+}
+
+TEST(Recovery, ReformedRingVerifiesAndRunsCorrectly)
+{
+    // The reformed ring is a first-class program: it compiles with
+    // the verifier against the degraded machine and produces
+    // oracle-correct buffers on the full one.
+    Topology topo = makeGeneric(2, 4);
+    ResourceId nic = resourceNamed(topo, "ib-send[0.3]");
+    Topology degraded = topo.degraded(topo.linksUsingResource(nic));
+    std::vector<Rank> order = findRingOrder(degraded);
+    ASSERT_FALSE(order.empty());
+
+    CompileOptions copts;
+    copts.topology = &degraded;
+    EXPECT_EQ(testing::runAndCheck(topo,
+                                   *makeRingAllReduceOver(order, 1, {}),
+                                   1 << 18, copts),
+              "");
+    EXPECT_EQ(testing::runAndCheck(topo,
+                                   *makeRingAllGatherOver(order, 1, {}),
+                                   1 << 18, copts),
+              "");
+    // The identity ring does NOT verify against the degraded
+    // machine: its 3->4 edge is gone.
+    EXPECT_THROW(compileProgram(*makeRingAllReduce(8, 1, {}), copts),
+                 Error);
+}
+
+} // namespace
+} // namespace mscclang

@@ -3,14 +3,23 @@
  * Chaos driver: sweeps fault scenarios across registered algorithms
  * and prints a survival/latency matrix — does a candidate ride out a
  * degraded link, a transient stall, a hard link-down? Each cell runs
- * the algorithm under a scripted fault with the watchdog armed and a
- * ring fallback registered, and reports the completed latency, the
- * attempts it took, and whether the fallback had to finish the job.
+ * the algorithm under a scripted fault with the watchdog armed, a
+ * ring fallback registered, and the self-healing replanner wired up,
+ * and reports the completed latency, the attempts it took, and HOW
+ * the run recovered: on the primary, via a backoff retry, via a
+ * recompiled degraded-topology ring, or on the blind fallback.
+ *
+ * The sweep is deterministic: --seed fixes the health monitor's
+ * backoff jitter and the data-mode input fill, so two invocations
+ * with the same flags produce byte-identical output (the chaos CI
+ * gate diffs exactly this).
  *
  * Examples:
  *   mscclang_chaos
  *   mscclang_chaos --machine ndv4:2 --bytes 16MB
+ *   mscclang_chaos --machine generic:2:4 --resource "ib-send[0.3]"
  *   mscclang_chaos --machine dgx1 --at-frac 0.6 --data
+ *   mscclang_chaos --seed 42 --csv matrix.csv
  */
 
 #include <algorithm>
@@ -21,6 +30,7 @@
 
 #include "collectives/collectives.h"
 #include "common/error.h"
+#include "common/rng.h"
 #include "common/strings.h"
 #include "compiler/compiler.h"
 #include "runtime/communicator.h"
@@ -39,8 +49,13 @@ usage()
         "  --bytes <size>     input bytes per rank (default 4MB)\n"
         "  --at-frac <f>      fault activation as a fraction of the\n"
         "                     algorithm's healthy latency (default 0.3)\n"
-        "  --resource <id>    faulted resource id (default: first\n"
-        "                     resource of the 0 -> 1 route)\n"
+        "  --resource <id>    faulted resource, by id or by name\n"
+        "                     (default: first resource of the 0 -> 1\n"
+        "                     route)\n"
+        "  --seed <n>         seed for backoff jitter and data fill\n"
+        "                     (default 1; same seed, same output)\n"
+        "  --csv <path>       also write the matrix as CSV rows\n"
+        "                     ('-' for stdout)\n"
         "  --data             move real floats (slower, validates "
         "buffers)\n");
 }
@@ -59,6 +74,32 @@ struct Scenario
     double durationFrac; // Stall only, fraction of healthy latency
 };
 
+/** How a cell's run finished, for the matrix and the CSV. */
+const char *
+recoveryMode(const RunResult &result)
+{
+    if (result.recoveredViaReplan)
+        return "replan";
+    if (result.algorithm.find("(fallback)") != std::string::npos)
+        return "fallback";
+    if (result.degraded)
+        return "retry";
+    return "ok";
+}
+
+/** Short matrix tag of a recovery mode. */
+const char *
+modeTag(const std::string &mode)
+{
+    if (mode == "replan")
+        return "RP ";
+    if (mode == "fallback")
+        return "FB ";
+    if (mode == "retry")
+        return "rt ";
+    return "ok ";
+}
+
 } // namespace
 
 int
@@ -68,6 +109,9 @@ main(int argc, char **argv)
     std::uint64_t bytes = 4 << 20;
     double at_frac = 0.3;
     int resource = -1;
+    std::string resource_name;
+    std::uint64_t seed = 1;
+    std::string csv_path;
     bool data_mode = false;
     for (int i = 1; i < argc; i++) {
         std::string flag = argv[i];
@@ -80,7 +124,20 @@ main(int argc, char **argv)
             if (flag == "--machine") machine = value();
             else if (flag == "--bytes") bytes = parseBytes(value());
             else if (flag == "--at-frac") at_frac = std::stod(value());
-            else if (flag == "--resource") resource = std::stoi(value());
+            else if (flag == "--resource") {
+                std::string spec = value();
+                try {
+                    size_t used = 0;
+                    resource = std::stoi(spec, &used);
+                    if (used != spec.size())
+                        throw std::invalid_argument(spec);
+                } catch (const std::logic_error &) {
+                    resource_name = spec; // resolve by name later
+                }
+            }
+            else if (flag == "--seed")
+                seed = std::stoull(value());
+            else if (flag == "--csv") csv_path = value();
             else if (flag == "--data") data_mode = true;
             else if (flag == "--help" || flag == "-h") {
                 usage();
@@ -99,6 +156,17 @@ main(int argc, char **argv)
     try {
         Topology probe = parseTopology(machine);
         int ranks = probe.numRanks();
+        if (!resource_name.empty()) {
+            for (ResourceId id = 0; id < probe.numResources(); id++) {
+                if (probe.resourceName(id) == resource_name) {
+                    resource = id;
+                    break;
+                }
+            }
+            if (resource < 0)
+                throw Error("no resource named '" + resource_name +
+                            "' on " + probe.name());
+        }
         if (resource < 0) {
             const Route &first = probe.route(0, 1 % ranks);
             if (first.resources.empty())
@@ -140,14 +208,19 @@ main(int argc, char **argv)
         };
 
         std::printf("machine %s, %s per rank, fault on resource %d "
-                    "(%s) at %.0f%% of healthy latency\n",
+                    "(%s) at %.0f%% of healthy latency, seed %llu\n",
                     probe.name().c_str(), formatBytes(bytes).c_str(),
                     resource, probe.resourceName(resource).c_str(),
-                    at_frac * 100.0);
+                    at_frac * 100.0,
+                    static_cast<unsigned long long>(seed));
         std::printf("%-14s", "algorithm");
         for (const Scenario &s : scenarios)
             std::printf(" %16s", s.label.c_str());
         std::printf("\n");
+
+        std::string csv = "machine,algorithm,scenario,seed,mode,"
+                          "attempts,faults,time_us,total_time_us,"
+                          "backoff_us,quarantined\n";
 
         for (const Candidate &candidate : candidates) {
             std::printf("%-14s", candidate.label.c_str());
@@ -166,32 +239,80 @@ main(int argc, char **argv)
                     topo.setFaultSchedule(
                         FaultSchedule{ { event } });
                 }
-                Communicator comm(topo);
+                HealthOptions health;
+                health.seed = seed;
+                Communicator comm(topo, health);
                 comm.registerAlgorithm(candidate.ir, 0,
                     std::numeric_limits<std::uint64_t>::max());
                 comm.registerFallback("allreduce",
                     [&](std::uint64_t) { return fallback_ir; });
+                comm.registerReplanner("allreduce",
+                    [&fb](const Topology &degraded, std::uint64_t)
+                        -> std::unique_ptr<Program> {
+                        std::vector<Rank> order =
+                            findRingOrder(degraded);
+                        if (order.empty())
+                            return nullptr;
+                        return makeRingAllReduceOver(order, 1, fb);
+                    });
                 RunOptions run;
                 run.bytes = bytes;
                 run.dataMode = data_mode;
                 run.watchdogNoProgressUs =
                     std::max(200.0, healthy_us);
+                if (data_mode) {
+                    comm.store().configure(candidate.ir, bytes);
+                    Rng fill(seed);
+                    for (int r = 0; r < ranks; r++) {
+                        for (float &v : comm.store().input(r))
+                            v = fill.nextSignedFloat();
+                    }
+                }
+                std::string mode;
+                RunResult result;
                 try {
-                    RunResult result = comm.run("allreduce", run);
+                    result = comm.run("allreduce", run);
                     if (scenario.label == "healthy")
                         healthy_us = result.timeUs;
+                    mode = recoveryMode(result);
                     std::printf(" %11.1fus %s", result.timeUs,
-                                result.degraded ? "FB "
-                                                : "ok ");
+                                modeTag(mode));
                 } catch (const RuntimeError &) {
+                    mode = "failed";
                     std::printf(" %14s", "FAILED ");
                 }
+                csv += strprintf(
+                    "%s,%s,%s,%llu,%s,%d,%d,%.3f,%.3f,%.3f,%s\n",
+                    machine.c_str(), candidate.label.c_str(),
+                    scenario.label.c_str(),
+                    static_cast<unsigned long long>(seed),
+                    mode.c_str(), result.attempts, result.faultsSeen,
+                    result.timeUs, result.totalTimeUs,
+                    result.backoffUs,
+                    result.quarantinedLinks.empty()
+                        ? "-"
+                        : linkName(result.quarantinedLinks.front())
+                              .c_str());
             }
             std::printf("\n");
         }
         std::printf("\nok: completed on the selected algorithm; "
-                    "FB: watchdog aborted, fallback finished;\n"
+                    "rt: backoff retry on the same plan;\n"
+                    "RP: recovered via degraded-topology replan; "
+                    "FB: the blind fallback finished;\n"
                     "FAILED: no attempt survived the fault.\n");
+
+        if (!csv_path.empty()) {
+            if (csv_path == "-") {
+                std::fputs(csv.c_str(), stdout);
+            } else {
+                std::FILE *out = std::fopen(csv_path.c_str(), "w");
+                if (out == nullptr)
+                    throw Error("cannot write " + csv_path);
+                std::fputs(csv.c_str(), out);
+                std::fclose(out);
+            }
+        }
         return 0;
     } catch (const std::exception &error) {
         std::fprintf(stderr, "error: %s\n", error.what());

@@ -7,19 +7,55 @@
 # registered as the "sanitize" ctest configuration (ctest -C sanitize)
 # next to the existing "perf" configuration.
 #
-# Usage: tools/run_sanitized.sh [ctest -R regex]
+# With --chaos-sweep, additionally builds the mscclang_chaos driver in
+# the sanitized tree and runs a small deterministic fault-matrix sweep
+# twice per machine, diffing the CSV output: any nondeterminism in the
+# self-healing path (replan, backoff, quarantine) fails the run. This
+# is the `ctest -C chaos` CI gate's heavy half.
+#
+# Usage: tools/run_sanitized.sh [--chaos-sweep] [ctest -R regex]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build-asan}"
-FILTER="${1:-Faults|Watchdog|Communicator|Interpreter|EventQueue|Flow}"
+
+CHAOS_SWEEP=0
+if [[ "${1:-}" == "--chaos-sweep" ]]; then
+    CHAOS_SWEEP=1
+    shift
+fi
+FILTER="${1:-Faults|Watchdog|Communicator|Interpreter|EventQueue|Flow|Recovery|Health}"
 
 cmake -B "$BUILD_DIR" -S . -DMSCCLANG_SANITIZE=ON \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" --target test_faults test_interpreter \
-    test_sim test_races -j"$(nproc)"
+    test_sim test_races test_recovery -j"$(nproc)"
 
 export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
 ctest --test-dir "$BUILD_DIR" -R "$FILTER" --output-on-failure \
     -j"$(nproc)"
+
+if [[ "$CHAOS_SWEEP" == "1" ]]; then
+    cmake --build "$BUILD_DIR" --target mscclang_chaos -j"$(nproc)"
+    CHAOS="$BUILD_DIR/tools/mscclang_chaos"
+    TMP="$(mktemp -d)"
+    trap 'rm -rf "$TMP"' EXIT
+    # One single-node sweep (fallback recovery: no ring survives a
+    # per-GPU egress fault) and one two-node NIC sweep (replan
+    # recovery: the ring re-forms around the dead NIC), each run
+    # twice with the same seed and diffed for bit-identical output.
+    sweep() {
+        local name="$1"
+        shift
+        echo "chaos sweep: $name"
+        "$CHAOS" "$@" --seed 7 --csv "$TMP/$name.1.csv" > /dev/null
+        "$CHAOS" "$@" --seed 7 --csv "$TMP/$name.2.csv" > /dev/null
+        diff "$TMP/$name.1.csv" "$TMP/$name.2.csv" \
+            || { echo "chaos sweep '$name' is nondeterministic"; exit 1; }
+    }
+    sweep generic-node --machine generic:1:4 --bytes 1MB --data
+    sweep generic-nic --machine generic:2:4 --bytes 1MB \
+        --resource 'ib-send[0.3]' --data
+    echo "chaos sweeps deterministic"
+fi
