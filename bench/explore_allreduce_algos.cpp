@@ -14,7 +14,7 @@
 #include "collectives/classic.h"
 #include "collectives/collectives.h"
 #include "bench_util.h"
-#include "compiler/compiler.h"
+#include "compiler/plan_cache.h"
 
 using namespace mscclang;
 using namespace mscclang::bench;
@@ -40,17 +40,17 @@ main(int argc, char **argv)
     };
     std::vector<Algo> algos;
     algos.push_back({ "Ring ch4 r8 LL128",
-                      compileProgram(*makeRingAllReduce(8, 4, ll128))
+                      compileProgramCached(*makeRingAllReduce(8, 4, ll128))
                           .ir });
     algos.push_back({ "AllPairs r4 LL",
-                      compileProgram(*makeAllPairsAllReduce(8, ll))
+                      compileProgramCached(*makeAllPairsAllReduce(8, ll))
                           .ir });
     algos.push_back(
         { "Tree r4 LL",
-          compileProgram(*makeDoubleBinaryTreeAllReduce(8, ll)).ir });
+          compileProgramCached(*makeDoubleBinaryTreeAllReduce(8, ll)).ir });
     algos.push_back(
         { "Rabenseifner r4 LL",
-          compileProgram(*makeRabenseifnerAllReduce(8, ll)).ir });
+          compileProgramCached(*makeRabenseifnerAllReduce(8, ll)).ir });
 
     std::printf("# AllReduce algorithm exploration, 1x8 A100 "
                 "(absolute us; every program statically verified)\n");

@@ -5,7 +5,7 @@
 #include "collectives/collectives.h"
 #include "common/error.h"
 #include "common/strings.h"
-#include "compiler/compiler.h"
+#include "compiler/plan_cache.h"
 
 namespace mscclang {
 
@@ -58,7 +58,7 @@ ncclAllReduceIr(const Topology &topology, std::uint64_t bytes)
         config.protocol = proto;
         auto prog = makeRingAllReduce(R, 1, config);
         CompileOptions copts;
-        Compiled out = compileProgram(*prog, copts);
+        Compiled out = compileProgramCached(*prog, copts);
         out.ir.name = strprintf("nccl_ring_%s", protocolName(proto));
         return out.ir;
     }
@@ -80,7 +80,7 @@ ncclAllReduceIr(const Topology &topology, std::uint64_t bytes)
         buildRingReduceScatter(prog, ring, g * R, 1, g);
         buildRingAllGather(prog, ring, g * R, 1, g);
     }
-    Compiled out = compileProgram(prog);
+    Compiled out = compileProgramCached(prog);
     return out.ir;
 }
 
@@ -90,7 +90,7 @@ ncclAllToAllIr(const Topology &topology, std::uint64_t bytes)
     AlgoConfig config;
     config.protocol = ncclProtocolFor(bytes, topology.numRanks());
     auto prog = makeNaiveAllToAll(topology.numRanks(), config);
-    Compiled out = compileProgram(*prog);
+    Compiled out = compileProgramCached(*prog);
     out.ir.name = strprintf("nccl_alltoall_%s",
                             protocolName(config.protocol));
     return out.ir;
@@ -127,7 +127,7 @@ ncclAllToAllKernels(const Topology &topology, std::uint64_t bytes,
                     .copy(dst, BufferKind::Output, src);
             }
         }
-        kernels.push_back(compileProgram(prog, copts).ir);
+        kernels.push_back(compileProgramCached(prog, copts).ir);
     }
     return kernels;
 }
@@ -170,25 +170,25 @@ composedHierarchicalAllReduce(const Topology &topology,
     Program p1(phaseCollective("allreduce", R, chunks, true), options);
     for (int n = 0; n < N; n++)
         buildRingReduceScatter(p1, intra_ranks(n), 0, N);
-    kernels.push_back(compileProgram(p1, copts).ir);
+    kernels.push_back(compileProgramCached(p1, copts).ir);
 
     options.name = "nccl_inter_reducescatter";
     Program p2(phaseCollective("allreduce", R, chunks, true), options);
     for (int g = 0; g < G; g++)
         buildRingReduceScatter(p2, cross_ranks(g), g * N, 1);
-    kernels.push_back(compileProgram(p2, copts).ir);
+    kernels.push_back(compileProgramCached(p2, copts).ir);
 
     options.name = "nccl_inter_allgather";
     Program p3(phaseCollective("allreduce", R, chunks, true), options);
     for (int g = 0; g < G; g++)
         buildRingAllGather(p3, cross_ranks(g), g * N, 1);
-    kernels.push_back(compileProgram(p3, copts).ir);
+    kernels.push_back(compileProgramCached(p3, copts).ir);
 
     options.name = "nccl_intra_allgather";
     Program p4(phaseCollective("allreduce", R, chunks, true), options);
     for (int n = 0; n < N; n++)
         buildRingAllGather(p4, intra_ranks(n), 0, N);
-    kernels.push_back(compileProgram(p4, copts).ir);
+    kernels.push_back(compileProgramCached(p4, copts).ir);
 
     return kernels;
 }
@@ -233,7 +233,7 @@ cudaTwoStepAllToAll(const Topology &topology, std::uint64_t bytes)
             }
         }
     }
-    kernels.push_back(compileProgram(stage, copts).ir);
+    kernels.push_back(compileProgramCached(stage, copts).ir);
 
     // Kernel 2: the aggregated IB exchange. Its program declares the
     // scratch state kernel 1 left behind.
@@ -264,7 +264,7 @@ cudaTwoStepAllToAll(const Topology &topology, std::uint64_t bytes)
             }
         }
     }
-    kernels.push_back(compileProgram(exchange, copts).ir);
+    kernels.push_back(compileProgramCached(exchange, copts).ir);
     return kernels;
 }
 
@@ -276,7 +276,7 @@ naiveAllToNextIr(const Topology &topology, std::uint64_t bytes)
     config.protocol = Protocol::Simple;
     auto prog = makeNaiveAllToNext(topology.numNodes(),
                                    topology.gpusPerNode(), config);
-    Compiled out = compileProgram(*prog);
+    Compiled out = compileProgramCached(*prog);
     out.ir.name = "cuda_naive_alltonext";
     return out.ir;
 }

@@ -1,7 +1,6 @@
 #include "compiler/chunk_dag.h"
 
 #include <algorithm>
-#include <map>
 #include <tuple>
 
 #include "common/strings.h"
@@ -69,13 +68,30 @@ ChunkDag::ChunkDag(const Program &program)
         return key;
     };
 
-    std::map<LocationKey, std::vector<Access>> history;
-    std::map<std::pair<int, int>, DepKind> edge_set;
+    // Access history per (rank, buffer) location, stored densely:
+    // history[rank * 3 + buffer][chunkIndex]. Lookup-only, so the
+    // switch from an ordered map changes nothing observable.
+    std::vector<std::vector<std::vector<Access>>> history(
+        3 * static_cast<size_t>(program.numRanks()));
+    auto history_of = [&](const LocationKey &key) -> std::vector<Access> & {
+        std::vector<std::vector<Access>> &buf =
+            history[static_cast<size_t>(std::get<0>(key)) * 3 +
+                    static_cast<size_t>(std::get<1>(key))];
+        int index = std::get<2>(key);
+        if (index >= static_cast<int>(buf.size()))
+            buf.resize(index + 1);
+        return buf[index];
+    };
+
+    // Edges deduplicated per source op; the per-op lists are small, so
+    // a linear membership scan beats a global ordered set.
+    std::vector<std::vector<std::pair<int, DepKind>>> edges_by_from(
+        numOps_);
 
     for (const TraceOp &op : ops) {
         forEachAccess(op, [&](LocationKey key, bool is_write) {
             key = canonical(key);
-            std::vector<Access> &accesses = history[key];
+            std::vector<Access> &accesses = history_of(key);
             for (const Access &prev : accesses) {
                 if (prev.op == op.id)
                     continue;
@@ -88,20 +104,34 @@ ChunkDag::ChunkDag(const Program &program)
                     kind = DepKind::True;
                 else
                     continue; // read-read: no dependence
-                auto [it, inserted] = edge_set.emplace(
-                    std::make_pair(prev.op, op.id), kind);
-                // A true dependence subsumes false ones on the pair.
-                if (!inserted && kind == DepKind::True)
+                std::vector<std::pair<int, DepKind>> &out =
+                    edges_by_from[prev.op];
+                auto it = std::find_if(
+                    out.begin(), out.end(),
+                    [&](const auto &e) { return e.first == op.id; });
+                if (it == out.end()) {
+                    out.push_back({ op.id, kind });
+                } else if (kind == DepKind::True) {
+                    // A true dependence subsumes false ones.
                     it->second = DepKind::True;
+                }
             }
             accesses.push_back(Access{ op.id, is_write });
         });
     }
 
-    for (const auto &[pair, kind] : edge_set) {
-        edges_.push_back(ChunkDep{ pair.first, pair.second, kind });
-        succs_[pair.first].push_back(pair.second);
-        preds_[pair.second].push_back(pair.first);
+    // Emit in (from, to) order, matching the old ordered-set sweep.
+    for (int from = 0; from < numOps_; from++) {
+        std::vector<std::pair<int, DepKind>> &out = edges_by_from[from];
+        std::sort(out.begin(), out.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first < b.first;
+                  });
+        for (const auto &[to, kind] : out) {
+            edges_.push_back(ChunkDep{ from, to, kind });
+            succs_[from].push_back(to);
+            preds_[to].push_back(from);
+        }
     }
 
     // Ops are already in a topological order (trace order).

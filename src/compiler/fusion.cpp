@@ -12,6 +12,9 @@
  * path through the Instruction DAG is fused.
  */
 
+#include <algorithm>
+#include <vector>
+
 #include "common/error.h"
 #include "compiler/instr_graph.h"
 
@@ -54,8 +57,14 @@ canFuseSend(const InstrGraph &graph, const InstrNode &recv,
     // The send's only predecessor must be the receive; otherwise
     // executing it at the receive's position could run ahead of a
     // dependence.
-    std::vector<int> preds = graph.livePreds(send.id);
-    return preds.size() == 1 && preds[0] == recv.id;
+    int live_preds = 0;
+    bool only_recv = true;
+    graph.forEachLivePred(send.id, [&](int from) {
+        live_preds++;
+        if (from != recv.id)
+            only_recv = false;
+    });
+    return live_preds == 1 && only_recv;
 }
 
 /** Fuses @p send into @p recv, which becomes @p fused_op. */
@@ -76,13 +85,18 @@ fuseSendInto(InstrGraph &graph, int recv_id, int send_id, IrOp fused_op)
 
 /**
  * One pass combining a receive-like opcode with a dependent send.
- * Returns the number of rewrites performed.
+ * @p candidates lists the ids to consider, in ascending order; nodes
+ * whose opcode no longer matches are skipped. Rewritten receive ids
+ * are appended to @p rewritten when non-null. Returns the number of
+ * rewrites performed.
  */
 int
-fuseRecvSendPass(InstrGraph &graph, IrOp recv_op, IrOp fused_op)
+fuseRecvSendPass(InstrGraph &graph, const std::vector<int> &candidates,
+                 IrOp recv_op, IrOp fused_op,
+                 std::vector<int> *rewritten)
 {
     int rewrites = 0;
-    for (int id = 0; id < graph.numNodes(); id++) {
+    for (int id : candidates) {
         InstrNode &recv = graph.node(id);
         if (!recv.live || recv.op != recv_op)
             continue;
@@ -102,6 +116,8 @@ fuseRecvSendPass(InstrGraph &graph, IrOp recv_op, IrOp fused_op)
         if (best >= 0) {
             fuseSendInto(graph, id, best, fused_op);
             rewrites++;
+            if (rewritten)
+                rewritten->push_back(id);
         }
     }
     return rewrites;
@@ -139,10 +155,10 @@ writeCovers(const InstrNode &writer, const InstrNode &node)
  * is later overwritten does not need the store (paper §4.3).
  */
 int
-fuseRrsPass(InstrGraph &graph)
+fuseRrsPass(InstrGraph &graph, const std::vector<int> &candidates)
 {
     int rewrites = 0;
-    for (int id = 0; id < graph.numNodes(); id++) {
+    for (int id : candidates) {
         InstrNode &node = graph.node(id);
         if (!node.live || node.op != IrOp::RecvReduceCopySend)
             continue;
@@ -175,12 +191,49 @@ fuseInstructions(InstrGraph &graph)
 {
     // rdepth is used to break ties between candidate sends.
     graph.computeDepths();
+
+    // One scan seeds every pass's worklist. The rcs pass cannot
+    // create RecvReduceCopy nodes and neither recv/send pass kills
+    // anything but Send nodes, so the initial scan stays valid for
+    // the rrcs pass. The rrs pass additionally considers the nodes
+    // the rrcs pass just rewrote into RecvReduceCopySend.
+    std::vector<int> recvs;
+    std::vector<int> rrcs;
+    std::vector<int> rrcss;
+    for (int id = 0; id < graph.numNodes(); id++) {
+        const InstrNode &node = graph.node(id);
+        if (!node.live)
+            continue;
+        switch (node.op) {
+        case IrOp::Recv:
+            recvs.push_back(id);
+            break;
+        case IrOp::RecvReduceCopy:
+            rrcs.push_back(id);
+            break;
+        case IrOp::RecvReduceCopySend:
+            rrcss.push_back(id);
+            break;
+        default:
+            break;
+        }
+    }
+
     FusionStats stats;
-    stats.rcs = fuseRecvSendPass(graph, IrOp::Recv, IrOp::RecvCopySend);
-    stats.rrcs = fuseRecvSendPass(graph, IrOp::RecvReduceCopy,
-                                  IrOp::RecvReduceCopySend);
-    stats.rrs = fuseRrsPass(graph);
-    graph.computeDepths();
+    stats.rcs = fuseRecvSendPass(graph, recvs, IrOp::Recv,
+                                 IrOp::RecvCopySend, nullptr);
+    std::vector<int> new_rrcss;
+    stats.rrcs = fuseRecvSendPass(graph, rrcs, IrOp::RecvReduceCopy,
+                                  IrOp::RecvReduceCopySend, &new_rrcss);
+    // rrs candidates must be visited in ascending id order: rewriting
+    // an rrcs into an rrs removes its destination write, which changes
+    // the covering-overwriter answer for a later candidate.
+    rrcss.insert(rrcss.end(), new_rrcss.begin(), new_rrcss.end());
+    std::sort(rrcss.begin(), rrcss.end());
+    stats.rrs = fuseRrsPass(graph, rrcss);
+    // No trailing computeDepths: scheduling recomputes depths before
+    // using them, and fusion's own tie-breaks only need the pre-pass
+    // values.
     return stats;
 }
 

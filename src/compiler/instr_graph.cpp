@@ -1,8 +1,6 @@
 #include "compiler/instr_graph.h"
 
 #include <algorithm>
-#include <deque>
-#include <map>
 
 #include "common/error.h"
 #include "common/strings.h"
@@ -56,6 +54,18 @@ InstrGraph::addEdge(int from, int to, DepKind kind)
     edges_.push_back(InstrEdge{ from, to, kind });
     succs_[from].push_back(idx);
     preds_[to].push_back(idx);
+}
+
+int
+InstrGraph::countLivePreds(int id) const
+{
+    int count = 0;
+    for (int edge_idx : preds_[id]) {
+        int from = edges_[edge_idx].from;
+        if (nodes_[from].live && from != id)
+            count++;
+    }
+    return count;
 }
 
 std::vector<int>
@@ -120,51 +130,45 @@ void
 InstrGraph::computeDepths()
 {
     // Kahn's algorithm over live nodes with processing + comm edges.
+    // depth/rdepth are max-folds, so edge visitation order does not
+    // affect the result and the unsorted forEachLive* walks suffice.
     int n = numNodes();
     std::vector<int> indeg(n, 0);
     auto for_each_succ = [&](int id, auto &&fn) {
-        for (int other : liveSuccs(id))
-            fn(other);
+        forEachLiveSucc(id, fn);
         const InstrNode &node = nodes_[id];
         if (node.commSucc >= 0 && nodes_[node.commSucc].live)
             fn(node.commSucc);
-    };
-    auto for_each_pred = [&](int id, auto &&fn) {
-        for (int other : livePreds(id))
-            fn(other);
-        const InstrNode &node = nodes_[id];
-        if (node.commPred >= 0 && nodes_[node.commPred].live)
-            fn(node.commPred);
     };
 
     for (int id = 0; id < n; id++) {
         if (!nodes_[id].live)
             continue;
-        for_each_pred(id, [&](int) { indeg[id]++; });
+        indeg[id] = countLivePreds(id);
+        const InstrNode &node = nodes_[id];
+        if (node.commPred >= 0 && nodes_[node.commPred].live)
+            indeg[id]++;
         nodes_[id].depth = 0;
         nodes_[id].rdepth = 0;
     }
 
-    std::deque<int> ready;
-    int visited = 0;
+    std::vector<int> topo;
+    topo.reserve(n);
     for (int id = 0; id < n; id++) {
         if (nodes_[id].live && indeg[id] == 0)
-            ready.push_back(id);
+            topo.push_back(id);
     }
-    std::vector<int> topo;
-    while (!ready.empty()) {
-        int id = ready.front();
-        ready.pop_front();
-        topo.push_back(id);
-        visited++;
+    // The ready "queue" is the unprocessed tail of topo itself.
+    for (size_t head = 0; head < topo.size(); head++) {
+        int id = topo[head];
         for_each_succ(id, [&](int succ) {
             nodes_[succ].depth =
                 std::max(nodes_[succ].depth, nodes_[id].depth + 1);
             if (--indeg[succ] == 0)
-                ready.push_back(succ);
+                topo.push_back(succ);
         });
     }
-    if (visited != numLive())
+    if (static_cast<int>(topo.size()) != numLive())
         throw CompileError("instruction DAG contains a cycle");
 
     for (auto it = topo.rbegin(); it != topo.rend(); ++it) {

@@ -103,6 +103,39 @@ class InstrGraph
     std::vector<int> livePreds(int id) const;
     std::vector<int> liveSuccs(int id) const;
 
+    /** Number of live predecessors, without allocating. */
+    int countLivePreds(int id) const;
+
+    /**
+     * Visits every live predecessor/successor node id exactly once,
+     * without allocating. addEdge deduplicates edge records per
+     * (from, to) pair, so each live neighbor appears behind at most
+     * one edge record; iteration follows edge insertion order, which
+     * is only safe for consumers whose result is order-independent
+     * (counts, max-folds, pushes into a totally ordered heap).
+     */
+    template <typename Fn>
+    void
+    forEachLivePred(int id, Fn &&fn) const
+    {
+        for (int edge_idx : preds_[id]) {
+            int from = edges_[edge_idx].from;
+            if (nodes_[from].live && from != id)
+                fn(from);
+        }
+    }
+
+    template <typename Fn>
+    void
+    forEachLiveSucc(int id, Fn &&fn) const
+    {
+        for (int edge_idx : succs_[id]) {
+            int to = edges_[edge_idx].to;
+            if (nodes_[to].live && to != id)
+                fn(to);
+        }
+    }
+
     /**
      * Rewires every edge endpoint at @p from to @p to and marks
      * @p from dead. Used by fusion; self-edges are dropped.

@@ -6,8 +6,7 @@
  * precision plus communication edges between matched send/recv pairs.
  */
 
-#include <map>
-#include <tuple>
+#include <vector>
 
 #include "common/error.h"
 #include "compiler/instr_graph.h"
@@ -15,8 +14,6 @@
 namespace mscclang {
 
 namespace {
-
-using LocationKey = std::tuple<Rank, BufferKind, int>;
 
 struct RangeAccess
 {
@@ -29,7 +26,10 @@ class LoweringContext
 {
   public:
     LoweringContext(InstrGraph &graph, bool in_place)
-        : graph_(graph), inPlace_(in_place) {}
+        : graph_(graph), inPlace_(in_place),
+          history_(3 * graph.numRanks())
+    {
+    }
 
     BufferSlice
     canonical(BufferSlice slice) const
@@ -94,8 +94,8 @@ class LoweringContext
     {
         FracInterval range = splitFraction(split_idx, split_count);
         for (int k = 0; k < slice.count; k++) {
-            LocationKey key{ slice.rank, slice.buffer, slice.index + k };
-            std::vector<RangeAccess> &accesses = history_[key];
+            std::vector<RangeAccess> &accesses =
+                historyOf(slice.rank, slice.buffer, slice.index + k);
             std::vector<FracInterval> uncovered{ range };
             for (auto it = accesses.rbegin();
                  it != accesses.rend() && !uncovered.empty(); ++it) {
@@ -127,9 +127,26 @@ class LoweringContext
         }
     }
 
+    /**
+     * Access history per (rank, buffer) location, stored densely:
+     * history_[rank * 3 + buffer][chunkIndex]. The history is only
+     * ever looked up point-wise, never iterated, so the switch from
+     * an ordered map changes no edge order.
+     */
+    std::vector<RangeAccess> &
+    historyOf(Rank rank, BufferKind buffer, int index)
+    {
+        std::vector<std::vector<RangeAccess>> &buf =
+            history_[static_cast<size_t>(rank) * 3 +
+                     static_cast<size_t>(buffer)];
+        if (index >= static_cast<int>(buf.size()))
+            buf.resize(index + 1);
+        return buf[index];
+    }
+
     InstrGraph &graph_;
     bool inPlace_;
-    std::map<LocationKey, std::vector<RangeAccess>> history_;
+    std::vector<std::vector<std::vector<RangeAccess>>> history_;
 };
 
 } // namespace

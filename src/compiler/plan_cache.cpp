@@ -1,0 +1,317 @@
+#include "compiler/plan_cache.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace mscclang {
+
+namespace {
+
+/** Incremental FNV-1a, the same constants the tests' golden hashes
+ *  use. Every scalar is folded byte-for-byte so the fingerprint is
+ *  stable across runs of one build (it is not a cross-version
+ *  exchange format; the on-disk spill revalidates entries anyway). */
+struct Fnv
+{
+    std::uint64_t h = 1469598103934665603ull;
+
+    void bytes(const void *data, std::size_t n)
+    {
+        const unsigned char *p = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < n; i++) {
+            h ^= p[i];
+            h *= 1099511628211ull;
+        }
+    }
+    void u64(std::uint64_t v) { bytes(&v, sizeof v); }
+    void i(int v) { u64(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(v))); }
+    void b(bool v) { u64(v ? 1 : 0); }
+    void d(double v)
+    {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof bits);
+        u64(bits);
+    }
+    void str(const std::string &s)
+    {
+        u64(s.size());
+        bytes(s.data(), s.size());
+    }
+    void slice(const BufferSlice &s)
+    {
+        i(s.rank);
+        i(static_cast<int>(s.buffer));
+        i(s.index);
+        i(s.count);
+    }
+};
+
+std::string
+planFileName(const char *dir, std::uint64_t key)
+{
+    return strprintf("%s/plan-%016llx.xml", dir,
+                     static_cast<unsigned long long>(key));
+}
+
+/** Stats fields recoverable from an IR alone (disk hits). */
+CompileStats
+statsFromIr(const IrProgram &ir, const Program &program)
+{
+    CompileStats stats;
+    stats.traceOps = static_cast<int>(program.ops().size());
+    stats.channels = ir.numChannels();
+    stats.maxThreadBlocks = ir.maxThreadBlocks();
+    stats.totalInstructions = ir.totalInstructions();
+    return stats;
+}
+
+} // namespace
+
+std::uint64_t
+fingerprintProgram(const Program &program)
+{
+    Fnv f;
+    const ProgramOptions &opts = program.options();
+    f.str(opts.name);
+    f.i(static_cast<int>(opts.protocol));
+    f.i(opts.instances);
+    f.i(static_cast<int>(opts.reduceOp));
+
+    const Collective &coll = program.collective();
+    f.str(coll.name());
+    f.i(coll.numRanks());
+    f.i(coll.chunkFactor());
+    f.b(coll.inPlace());
+    f.d(coll.outputScale());
+    for (Rank rank = 0; rank < coll.numRanks(); rank++) {
+        f.i(coll.inputChunkCount(rank));
+        int outputs = coll.outputChunkCount(rank);
+        f.i(outputs);
+        // The postcondition defines the collective; CustomCollective
+        // instances with identical shapes but different expectations
+        // must not collide.
+        for (int index = 0; index < outputs; index++) {
+            std::optional<ChunkValue> expect =
+                coll.expectedOutput(rank, index);
+            if (!expect.has_value() || !expect->initialized()) {
+                f.i(-1);
+                continue;
+            }
+            const std::vector<InputChunkId> &parts = expect->parts();
+            f.u64(parts.size());
+            for (const InputChunkId &part : parts) {
+                f.i(part.rank);
+                f.i(part.index);
+            }
+        }
+    }
+
+    f.u64(program.ops().size());
+    for (const TraceOp &op : program.ops()) {
+        f.i(static_cast<int>(op.kind));
+        f.slice(op.src);
+        f.slice(op.dst);
+        f.i(op.channel);
+        f.i(op.parFactor);
+    }
+    return f.h;
+}
+
+std::uint64_t
+fingerprintTopology(const Topology &topology)
+{
+    Fnv f;
+    f.str(topology.name());
+    f.i(topology.numNodes());
+    f.i(topology.gpusPerNode());
+
+    const MachineParams &p = topology.params();
+    f.d(p.nvlinkGpuBwGBps);
+    f.d(p.tbNvlinkBwGBps);
+    f.d(p.ibNicBwGBps);
+    f.d(p.nvlinkLatencyUs);
+    f.d(p.ibLatencyUs);
+    f.d(p.ibPerMessageUs);
+    f.d(p.ibQpPenaltyUs);
+    f.d(p.kernelLaunchUs);
+    f.d(p.localCopyBwGBps);
+    f.d(p.tbReduceBwGBps);
+    f.d(p.tbCopyBwGBps);
+    f.d(p.instrOverheadUs);
+    f.d(p.protocolAlphaScale);
+
+    f.i(topology.numResources());
+    for (int r = 0; r < topology.numResources(); r++) {
+        f.str(topology.resourceName(r));
+        f.d(topology.resourceCapacityGBps(r));
+    }
+
+    // Connectivity and routes; the fault schedule is a runtime
+    // concern and deliberately not part of the compile key.
+    int ranks = topology.numRanks();
+    for (int src = 0; src < ranks; src++) {
+        for (int dst = 0; dst < ranks; dst++) {
+            bool linked = topology.connected(src, dst);
+            f.b(linked);
+            if (!linked)
+                continue;
+            const Route &route = topology.route(src, dst);
+            f.i(static_cast<int>(route.type));
+            f.u64(route.resources.size());
+            for (ResourceId res : route.resources)
+                f.i(res);
+            f.d(route.extraLatencyUs);
+        }
+    }
+    return f.h;
+}
+
+std::uint64_t
+planCacheKey(const Program &program, const CompileOptions &options)
+{
+    Fnv f;
+    f.u64(fingerprintProgram(program));
+    f.b(options.fuse);
+    f.b(options.verify);
+    f.i(options.maxThreadBlocks);
+    f.i(options.verifySlots);
+    f.b(options.topology != nullptr);
+    if (options.topology != nullptr)
+        f.u64(fingerprintTopology(*options.topology));
+    return f.h;
+}
+
+PlanCache::PlanCache(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity)
+{
+}
+
+PlanCache &
+PlanCache::global()
+{
+    static PlanCache cache;
+    return cache;
+}
+
+bool
+PlanCache::lookup(std::uint64_t key, Compiled *out)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+        misses_++;
+        return false;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second.lruPos);
+    hits_++;
+    *out = it->second.plan;
+    return true;
+}
+
+void
+PlanCache::insert(std::uint64_t key, const Compiled &plan)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (entries_.count(key) > 0)
+        return; // a concurrent compile of the same key won
+    lru_.push_front(key);
+    entries_.emplace(key, Entry{ plan, lru_.begin() });
+    while (entries_.size() > capacity_) {
+        entries_.erase(lru_.back());
+        lru_.pop_back();
+    }
+}
+
+Compiled
+PlanCache::compile(const Program &program, const CompileOptions &options)
+{
+    std::uint64_t key = planCacheKey(program, options);
+    Compiled plan;
+    if (lookup(key, &plan))
+        return plan;
+
+    // Try the on-disk spill before paying for a compile. Any parse
+    // failure or shape mismatch (stale file, torn write, wrong
+    // build) falls through to a fresh compile that overwrites it.
+    const char *dir = std::getenv("MSCCLANG_PLAN_CACHE_DIR");
+    if (dir != nullptr && dir[0] != '\0') {
+        std::ifstream in(planFileName(dir, key));
+        if (in) {
+            std::ostringstream text;
+            text << in.rdbuf();
+            try {
+                IrProgram ir = IrProgram::fromXml(text.str());
+                if (ir.numRanks == program.numRanks() &&
+                    ir.collective == program.collective().name()) {
+                    plan.ir = std::move(ir);
+                    plan.stats = statsFromIr(plan.ir, program);
+                    {
+                        std::lock_guard<std::mutex> lock(mutex_);
+                        diskHits_++;
+                    }
+                    insert(key, plan);
+                    return plan;
+                }
+            } catch (const Error &) {
+                // corrupt entry: recompile below and overwrite
+            }
+        }
+    }
+
+    plan = compileProgram(program, options);
+    insert(key, plan);
+    if (dir != nullptr && dir[0] != '\0') {
+        std::ofstream out(planFileName(dir, key),
+                          std::ios::binary | std::ios::trunc);
+        if (out)
+            out << plan.ir.toXml();
+    }
+    return plan;
+}
+
+std::size_t
+PlanCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+std::size_t
+PlanCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+std::size_t
+PlanCache::diskHits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return diskHits_;
+}
+
+void
+PlanCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    lru_.clear();
+    hits_ = 0;
+    misses_ = 0;
+    diskHits_ = 0;
+}
+
+Compiled
+compileProgramCached(const Program &program, const CompileOptions &options)
+{
+    return PlanCache::global().compile(program, options);
+}
+
+} // namespace mscclang

@@ -1,10 +1,11 @@
 #include "compiler/schedule.h"
 
 #include <algorithm>
-#include <map>
+#include <cstdint>
+#include <limits>
 #include <queue>
-#include <set>
 #include <tuple>
+#include <unordered_map>
 
 #include "common/error.h"
 #include "common/strings.h"
@@ -12,6 +13,29 @@
 namespace mscclang {
 
 namespace {
+
+/**
+ * Packed integer keys for the scheduler's hash maps and heap
+ * priorities. Ranks and node ids get 21 bits each (the scheduler
+ * rejects graphs at that size), channels get up to 22 bits.
+ */
+constexpr int kFieldBits = 21;
+constexpr std::uint64_t kFieldMask = (1ull << kFieldBits) - 1;
+
+/** (channel, peer) ownership key; peer must be >= 0. */
+std::uint64_t
+ownerKey(int channel, Rank peer)
+{
+    return (std::uint64_t(channel) << kFieldBits) | std::uint64_t(peer);
+}
+
+/** (src, dst, channel*2 + role) FIFO gate key. */
+std::uint64_t
+gateKey(Rank src, Rank dst, std::uint64_t chan_role)
+{
+    return (std::uint64_t(src) << 43) | (std::uint64_t(dst) << 22) |
+        chan_role;
+}
 
 /**
  * Union-find over communication edges. An edge is identified by the
@@ -62,10 +86,10 @@ class PairingRegistry
     compatible(Rank rank, int channel, Rank send_peer,
                Rank recv_peer) const
     {
-        auto send_it = bySend_.find(Key{ rank, channel, send_peer });
+        auto send_it = bySend_.find(key(rank, channel, send_peer));
         if (send_it != bySend_.end() && send_it->second != recv_peer)
             return false;
-        auto recv_it = byRecv_.find(Key{ rank, channel, recv_peer });
+        auto recv_it = byRecv_.find(key(rank, channel, recv_peer));
         if (recv_it != byRecv_.end() && recv_it->second != send_peer)
             return false;
         return true;
@@ -74,14 +98,20 @@ class PairingRegistry
     void
     insert(Rank rank, int channel, Rank send_peer, Rank recv_peer)
     {
-        bySend_[Key{ rank, channel, send_peer }] = recv_peer;
-        byRecv_[Key{ rank, channel, recv_peer }] = send_peer;
+        bySend_[key(rank, channel, send_peer)] = recv_peer;
+        byRecv_[key(rank, channel, recv_peer)] = send_peer;
     }
 
   private:
-    using Key = std::tuple<Rank, int, Rank>;
-    std::map<Key, Rank> bySend_;
-    std::map<Key, Rank> byRecv_;
+    static std::uint64_t
+    key(Rank rank, int channel, Rank peer)
+    {
+        return (std::uint64_t(channel) << 42) |
+            (std::uint64_t(rank) << kFieldBits) | std::uint64_t(peer);
+    }
+
+    std::unordered_map<std::uint64_t, Rank> bySend_;
+    std::unordered_map<std::uint64_t, Rank> byRecv_;
 };
 
 /** All per-chain facts needed to pick its channel. */
@@ -91,7 +121,7 @@ struct Chain
     int directive = -1;
     int splitIdx = 0;
     int splitCount = 1;
-    std::set<int> opIds;
+    std::vector<int> opIds; // deduplicated, unordered
     int minNode = 0;
 };
 
@@ -116,22 +146,34 @@ assignChannels(InstrGraph &graph)
 {
     int n = graph.numNodes();
     ChainFinder chains(n);
+    int max_op_id = -1;
     for (int id = 0; id < n; id++) {
         const InstrNode &node = graph.node(id);
         if (!node.live)
             continue;
+        max_op_id = std::max(max_op_id, node.opId);
         // A fused instruction links its incoming edge (keyed by this
         // node) with its outgoing edge (keyed by its comm successor).
         if (node.commPred >= 0 && node.commSucc >= 0)
             chains.unite(id, node.commSucc);
     }
 
-    std::map<int, Chain> by_root;
+    std::vector<Chain> chain_store;
+    std::unordered_map<int, int> by_root; // root -> chain_store index
+    auto add_op = [](std::vector<int> &ops, int op) {
+        if (std::find(ops.begin(), ops.end(), op) == ops.end())
+            ops.push_back(op);
+    };
     for (int id = 0; id < n; id++) {
         const InstrNode &node = graph.node(id);
         if (!node.live || node.commPred < 0)
             continue; // not a receiving edge endpoint
-        Chain &chain = by_root[chains.find(id)];
+        auto [it, fresh] =
+            by_root.try_emplace(chains.find(id),
+                                static_cast<int>(chain_store.size()));
+        if (fresh)
+            chain_store.emplace_back();
+        Chain &chain = chain_store[it->second];
         if (chain.recvNodes.empty()) {
             chain.splitIdx = node.splitIdx;
             chain.splitCount = node.splitCount;
@@ -156,12 +198,13 @@ assignChannels(InstrGraph &graph)
             }
             chain.directive = directive;
         }
-        chain.opIds.insert(node.opId);
-        chain.opIds.insert(sender.opId);
+        add_op(chain.opIds, node.opId);
+        add_op(chain.opIds, sender.opId);
     }
 
     std::vector<Chain *> ordered;
-    for (auto &[root, chain] : by_root)
+    ordered.reserve(chain_store.size());
+    for (Chain &chain : chain_store)
         ordered.push_back(&chain);
     std::sort(ordered.begin(), ordered.end(),
               [](const Chain *a, const Chain *b) {
@@ -171,13 +214,16 @@ assignChannels(InstrGraph &graph)
     PairingRegistry pairings;
     // Channels already used by some instance of an op: sibling
     // instances of a parallelized op must not share a channel.
-    std::map<int, std::set<int>> op_channels;
+    // Indexed densely by opId + 1 (opId -1 maps to slot 0).
+    std::vector<std::vector<int>> op_channels(max_op_id + 2);
 
     auto conflicts = [&](const Chain &chain, int channel) {
         for (int op_id : chain.opIds) {
-            auto it = op_channels.find(op_id);
-            if (it != op_channels.end() && it->second.count(channel))
+            const std::vector<int> &used = op_channels[op_id + 1];
+            if (std::find(used.begin(), used.end(), channel) !=
+                used.end()) {
                 return true;
+            }
         }
         for (int recv_id : chain.recvNodes) {
             const InstrNode &node = graph.node(recv_id);
@@ -193,8 +239,9 @@ assignChannels(InstrGraph &graph)
     };
 
     auto commit = [&](Chain &chain, int channel) {
+        // conflicts() already ruled the channel absent for every op.
         for (int op_id : chain.opIds)
-            op_channels[op_id].insert(channel);
+            op_channels[op_id + 1].push_back(channel);
         for (int recv_id : chain.recvNodes) {
             InstrNode &node = graph.node(recv_id);
             node.channel = channel;
@@ -246,9 +293,9 @@ struct TbState
 struct RankTbs
 {
     std::vector<TbState> tbs;
-    /** Connection ownership: (channel, peer) -> tb index. */
-    std::map<std::pair<int, Rank>, int> sendOwner;
-    std::map<std::pair<int, Rank>, int> recvOwner;
+    /** Connection ownership: ownerKey(channel, peer) -> tb index. */
+    std::unordered_map<std::uint64_t, int> sendOwner;
+    std::unordered_map<std::uint64_t, int> recvOwner;
 };
 
 std::vector<RankTbs>
@@ -267,122 +314,129 @@ createThreadBlocks(InstrGraph &graph, const ScheduleOptions &options,
     };
     std::vector<RankTbs> ranks(graph.numRanks());
 
-    // Pass 1: fused instructions force (channel, sendPeer, recvPeer)
-    // tuples.
-    std::vector<std::set<std::tuple<int, Rank, Rank>>> fused_keys(
+    // One scan feeds both passes and the local-work check below.
+    std::vector<std::vector<std::tuple<int, Rank, Rank>>> fused_keys(
         graph.numRanks());
+    std::vector<char> has_local(graph.numRanks(), 0);
     for (const InstrNode &node : graph.nodes()) {
         if (!node.live)
             continue;
         if (node.sends() && node.receives()) {
-            fused_keys[node.rank].insert(
+            fused_keys[node.rank].push_back(
                 { node.channel, node.sendPeer, node.recvPeer });
+        } else if (!node.sends() && !node.receives()) {
+            has_local[node.rank] = 1;
         }
     }
+
+    // Pass 1: fused instructions force (channel, sendPeer, recvPeer)
+    // tuples.
     for (int r = 0; r < graph.numRanks(); r++) {
-        for (const auto &[channel, send_peer, recv_peer] : fused_keys[r]) {
+        std::vector<std::tuple<int, Rank, Rank>> &keys = fused_keys[r];
+        std::sort(keys.begin(), keys.end());
+        keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+        for (const auto &[channel, send_peer, recv_peer] : keys) {
             TbState tb;
             tb.key = TbKey{ channel, send_peer, recv_peer };
             int idx = static_cast<int>(ranks[r].tbs.size());
-            auto send_key = std::make_pair(channel, send_peer);
-            auto recv_key = std::make_pair(channel, recv_peer);
-            if (ranks[r].sendOwner.count(send_key) ||
-                ranks[r].recvOwner.count(recv_key)) {
+            if (ranks[r].sendOwner.count(ownerKey(channel, send_peer)) ||
+                ranks[r].recvOwner.count(ownerKey(channel, recv_peer))) {
                 throw CompileError(strprintf(
                     "rank %d channel %d: connection claimed by two "
                     "thread blocks", r, channel));
             }
-            ranks[r].sendOwner[send_key] = idx;
-            ranks[r].recvOwner[recv_key] = idx;
+            ranks[r].sendOwner[ownerKey(channel, send_peer)] = idx;
+            ranks[r].recvOwner[ownerKey(channel, recv_peer)] = idx;
             ranks[r].tbs.push_back(std::move(tb));
         }
     }
 
     // Pass 2: unowned plain connections, paired send+recv per channel
-    // where possible to conserve thread blocks.
-    std::vector<std::map<int, std::vector<Rank>>> loose_sends(
+    // where possible to conserve thread blocks. Collected as flat
+    // (channel, peer) lists per rank; sorting them groups by channel
+    // with peers ascending, matching the per-channel sorted sweep the
+    // set/map version performed.
+    std::vector<std::vector<std::pair<int, Rank>>> loose_sends(
         graph.numRanks());
-    std::vector<std::map<int, std::vector<Rank>>> loose_recvs(
+    std::vector<std::vector<std::pair<int, Rank>>> loose_recvs(
         graph.numRanks());
     for (const InstrNode &node : graph.nodes()) {
         if (!node.live)
             continue;
         if (node.sends() &&
             !ranks[node.rank].sendOwner.count(
-                { node.channel, node.sendPeer })) {
-            loose_sends[node.rank][node.channel].push_back(node.sendPeer);
-            ranks[node.rank].sendOwner[{ node.channel, node.sendPeer }] =
+                ownerKey(node.channel, node.sendPeer))) {
+            loose_sends[node.rank].push_back(
+                { node.channel, node.sendPeer });
+            ranks[node.rank].sendOwner[ownerKey(node.channel,
+                                                node.sendPeer)] =
                 -1; // placeholder to dedupe
         }
         if (node.receives() &&
             !ranks[node.rank].recvOwner.count(
-                { node.channel, node.recvPeer })) {
-            loose_recvs[node.rank][node.channel].push_back(node.recvPeer);
-            ranks[node.rank].recvOwner[{ node.channel, node.recvPeer }] =
-                -1;
+                ownerKey(node.channel, node.recvPeer))) {
+            loose_recvs[node.rank].push_back(
+                { node.channel, node.recvPeer });
+            ranks[node.rank].recvOwner[ownerKey(node.channel,
+                                                node.recvPeer)] = -1;
         }
     }
     for (int r = 0; r < graph.numRanks(); r++) {
-        for (auto &[channel, sends] : loose_sends[r]) {
-            std::sort(sends.begin(), sends.end());
-            auto recvs_it = loose_recvs[r].find(channel);
-            std::vector<Rank> recvs;
-            if (recvs_it != loose_recvs[r].end())
-                recvs = recvs_it->second;
-            std::sort(recvs.begin(), recvs.end());
+        std::vector<std::pair<int, Rank>> &sends = loose_sends[r];
+        std::vector<std::pair<int, Rank>> &recvs = loose_recvs[r];
+        std::sort(sends.begin(), sends.end());
+        std::sort(recvs.begin(), recvs.end());
+        for (size_t i = 0; i < sends.size();) {
+            int channel = sends[i].first;
+            // Receive peers still loose on this channel, ascending.
+            std::vector<Rank> rpeers;
+            auto lo = std::lower_bound(
+                recvs.begin(), recvs.end(),
+                std::make_pair(channel, std::numeric_limits<Rank>::min()));
+            for (auto it = lo; it != recvs.end() && it->first == channel;
+                 ++it) {
+                rpeers.push_back(it->second);
+            }
             // Prefer symmetric pairing: send to p with recv from p.
-            for (size_t i = 0; i < sends.size(); i++) {
-                Rank send_peer = sends[i];
+            for (; i < sends.size() && sends[i].first == channel; i++) {
+                Rank send_peer = sends[i].second;
                 Rank recv_peer = -1;
                 if (may_pair(r, send_peer)) {
-                    auto same = std::find(recvs.begin(), recvs.end(),
+                    auto same = std::find(rpeers.begin(), rpeers.end(),
                                           send_peer);
-                    if (same != recvs.end()) {
+                    if (same != rpeers.end()) {
                         recv_peer = *same;
-                        recvs.erase(same);
+                        rpeers.erase(same);
                     } else {
                         auto other = std::find_if(
-                            recvs.begin(), recvs.end(),
+                            rpeers.begin(), rpeers.end(),
                             [&](Rank q) { return may_pair(r, q); });
-                        if (other != recvs.end()) {
+                        if (other != rpeers.end()) {
                             recv_peer = *other;
-                            recvs.erase(other);
+                            rpeers.erase(other);
                         }
                     }
                 }
                 TbState tb;
                 tb.key = TbKey{ channel, send_peer, recv_peer };
                 int idx = static_cast<int>(ranks[r].tbs.size());
-                ranks[r].sendOwner[{ channel, send_peer }] = idx;
+                ranks[r].sendOwner[ownerKey(channel, send_peer)] = idx;
                 if (recv_peer >= 0)
-                    ranks[r].recvOwner[{ channel, recv_peer }] = idx;
+                    ranks[r].recvOwner[ownerKey(channel, recv_peer)] = idx;
                 ranks[r].tbs.push_back(std::move(tb));
             }
-            if (recvs_it != loose_recvs[r].end())
-                recvs_it->second = recvs; // leftovers
         }
-        auto recvs_map = loose_recvs[r];
-        for (auto &[channel, recvs] : recvs_map) {
-            for (Rank recv_peer : recvs) {
-                if (ranks[r].recvOwner[{ channel, recv_peer }] != -1)
-                    continue; // already paired above
-                TbState tb;
-                tb.key = TbKey{ channel, -1, recv_peer };
-                int idx = static_cast<int>(ranks[r].tbs.size());
-                ranks[r].recvOwner[{ channel, recv_peer }] = idx;
-                ranks[r].tbs.push_back(std::move(tb));
-            }
+        for (const auto &[channel, recv_peer] : recvs) {
+            if (ranks[r].recvOwner[ownerKey(channel, recv_peer)] != -1)
+                continue; // already paired above
+            TbState tb;
+            tb.key = TbKey{ channel, -1, recv_peer };
+            int idx = static_cast<int>(ranks[r].tbs.size());
+            ranks[r].recvOwner[ownerKey(channel, recv_peer)] = idx;
+            ranks[r].tbs.push_back(std::move(tb));
         }
         // A rank with only local work still needs one thread block.
-        bool has_local = false;
-        for (const InstrNode &node : graph.nodes()) {
-            if (node.live && node.rank == r && !node.sends() &&
-                !node.receives()) {
-                has_local = true;
-                break;
-            }
-        }
-        if (ranks[r].tbs.empty() && has_local) {
+        if (ranks[r].tbs.empty() && has_local[r]) {
             TbState tb;
             tb.key = TbKey{ 0, -1, -1 };
             ranks[r].tbs.push_back(std::move(tb));
@@ -398,12 +452,12 @@ createThreadBlocks(InstrGraph &graph, const ScheduleOptions &options,
             TbState &tb = ranks[r].tbs[i];
             tb.id = static_cast<int>(i);
             if (tb.key.sendPeer >= 0) {
-                ranks[r].sendOwner[{ tb.key.channel, tb.key.sendPeer }] =
-                    tb.id;
+                ranks[r].sendOwner[ownerKey(tb.key.channel,
+                                            tb.key.sendPeer)] = tb.id;
             }
             if (tb.key.recvPeer >= 0) {
-                ranks[r].recvOwner[{ tb.key.channel, tb.key.recvPeer }] =
-                    tb.id;
+                ranks[r].recvOwner[ownerKey(tb.key.channel,
+                                            tb.key.recvPeer)] = tb.id;
             }
         }
     }
@@ -411,64 +465,69 @@ createThreadBlocks(InstrGraph &graph, const ScheduleOptions &options,
 }
 
 /**
- * FIFO gate identity. Each connection (src, dst, channel) has two
+ * FIFO gate and slot-accounting plan for the second scheduling sweep,
+ * all in dense ids. Each connection (src, dst, channel) has two
  * ordered gate lists — one for its send-side instructions and one for
- * its receive-side instructions — distinguished by the role bit in
- * the last tuple element.
+ * its receive-side instructions — plus one plain connection id used
+ * to count outstanding sends.
  */
-using ConnKey = std::tuple<Rank, Rank, int>;
-
-ConnKey
-sendGateOf(const InstrNode &node)
+struct GatePlan
 {
-    return ConnKey{ node.rank, node.sendPeer, node.channel * 2 };
-}
-
-ConnKey
-recvGateOf(const InstrNode &node)
-{
-    return ConnKey{ node.recvPeer, node.rank, node.channel * 2 + 1 };
-}
+    /** Per node: gate its send/recv half must take turns on (-1 none). */
+    std::vector<int> sendGate, recvGate;
+    /** Per node: plain connection id of its send/recv half (-1 none). */
+    std::vector<int> sendConn, recvConn;
+    /** Per gate: required order of node ids. */
+    std::vector<std::vector<int>> gateOrder;
+    int numConns = 0;
+};
 
 /**
  * One heap-driven topological sweep over the live instruction graph
  * in priority order: lower depth first (instructions enabled
  * earlier), then higher rdepth (more downstream dependencies), then
- * id for determinism (paper §5.2, steps 1 and 3). @p conn_order holds
- * per-gate required orders; a node whose gate list exists must wait
- * for its turn in that list.
+ * id for determinism (paper §5.2, steps 1 and 3). @p plan, when
+ * non-null, holds per-gate required orders; a node with a gate must
+ * wait for its turn in that gate's list.
  */
 std::vector<int>
-topoSweep(InstrGraph &graph,
-          const std::map<ConnKey, std::vector<int>> &conn_order,
-          int slots = 0)
+topoSweep(InstrGraph &graph, const GatePlan *plan, int slots = 0)
 {
-    std::vector<int> remaining(graph.numNodes(), 0);
+    int n = graph.numNodes();
+    if (n >= (1 << kFieldBits))
+        throw CompileError("scheduler: instruction graph too large");
+
+    std::vector<int> remaining(n, 0);
     for (const InstrNode &node : graph.nodes()) {
         if (!node.live)
             continue;
-        remaining[node.id] =
-            static_cast<int>(graph.livePreds(node.id).size());
+        remaining[node.id] = graph.countLivePreds(node.id);
         if (node.commPred >= 0)
             remaining[node.id]++;
     }
 
-    auto worse = [&](int a, int b) {
-        const InstrNode &na = graph.node(a);
-        const InstrNode &nb = graph.node(b);
-        return std::tuple(na.depth, -na.rdepth, a) >
-            std::tuple(nb.depth, -nb.rdepth, b);
+    // Priority (depth asc, rdepth desc, id asc) packed into one word
+    // so the heap compares integers instead of node-field tuples.
+    auto prio = [&](int id) {
+        const InstrNode &node = graph.node(id);
+        return (std::uint64_t(node.depth) << (2 * kFieldBits)) |
+            ((kFieldMask - std::uint64_t(node.rdepth)) << kFieldBits) |
+            std::uint64_t(id);
     };
-    std::priority_queue<int, std::vector<int>, decltype(worse)> heap(
-        worse);
+    std::priority_queue<std::uint64_t, std::vector<std::uint64_t>,
+                        std::greater<std::uint64_t>>
+        heap;
     for (const InstrNode &node : graph.nodes()) {
         if (node.live && remaining[node.id] == 0)
-            heap.push(node.id);
+            heap.push(prio(node.id));
     }
 
-    // Per-connection progress and nodes blocked on their FIFO turn.
-    std::map<ConnKey, size_t> conn_pos;
-    std::map<ConnKey, std::set<int>> conn_blocked;
+    // Per-gate progress; a node out of turn parks on the gate that
+    // blocked it (it can wait on at most one at a time) and is woken
+    // when that gate reaches it.
+    int num_gates = plan ? static_cast<int>(plan->gateOrder.size()) : 0;
+    std::vector<size_t> gate_pos(num_gates, 0);
+    std::vector<int> parked_gate(n, -1);
 
     // Slot accounting (paper §6.1: the compiler must not emit
     // schedules with more than s outstanding sends). The emitted
@@ -476,45 +535,29 @@ topoSweep(InstrGraph &graph,
     // than `slots` of its connection's sends are unreceived at this
     // point of the order, so the runtime can always follow the
     // schedule without wedging on FIFO backpressure.
-    using PlainConn = std::tuple<Rank, Rank, int>;
-    std::map<PlainConn, int> outstanding;
-    std::map<PlainConn, std::set<int>> slot_blocked;
-    auto plain_send_conn = [](const InstrNode &node) {
-        return PlainConn{ node.rank, node.sendPeer, node.channel };
-    };
-    auto plain_recv_conn = [](const InstrNode &node) {
-        return PlainConn{ node.recvPeer, node.rank, node.channel };
-    };
-
-    auto fifo_conns_of = [&](const InstrNode &node,
-                             std::vector<ConnKey> &out) {
-        out.clear();
-        if (conn_order.empty())
-            return;
-        if (node.sends())
-            out.push_back(sendGateOf(node));
-        if (node.receives())
-            out.push_back(recvGateOf(node));
-    };
+    int num_conns = plan ? plan->numConns : 0;
+    std::vector<int> outstanding(num_conns, 0);
+    std::vector<std::vector<int>> slot_blocked(num_conns);
 
     std::vector<int> order;
-    std::vector<ConnKey> conns;
+    order.reserve(graph.numLive());
     while (!heap.empty()) {
-        int id = heap.top();
+        int id = static_cast<int>(heap.top() & kFieldMask);
         heap.pop();
         const InstrNode &node = graph.node(id);
+        int gates[2] = { plan ? plan->sendGate[id] : -1,
+                         plan ? plan->recvGate[id] : -1 };
 
         // FIFO gate: the node must be next in line on each of its
-        // connections.
+        // connections (send side checked first).
         bool gated = false;
-        fifo_conns_of(node, conns);
-        for (const ConnKey &conn : conns) {
-            auto it = conn_order.find(conn);
-            if (it == conn_order.end())
+        for (int g : gates) {
+            if (g < 0)
                 continue;
-            size_t pos = conn_pos[conn];
-            if (pos < it->second.size() && it->second[pos] != id) {
-                conn_blocked[conn].insert(id);
+            size_t pos = gate_pos[g];
+            const std::vector<int> &seq = plan->gateOrder[g];
+            if (pos < seq.size() && seq[pos] != id) {
+                parked_gate[id] = g;
                 gated = true;
                 break;
             }
@@ -524,52 +567,48 @@ topoSweep(InstrGraph &graph,
 
         // Slot gate: sending with all FIFO slots full would wedge.
         if (slots > 0 && node.sends()) {
-            PlainConn conn = plain_send_conn(node);
-            if (outstanding[conn] >= slots) {
-                slot_blocked[conn].insert(id);
+            int conn = plan ? plan->sendConn[id] : -1;
+            if (conn >= 0 && outstanding[conn] >= slots) {
+                slot_blocked[conn].push_back(id);
                 continue;
             }
         }
 
-        if (slots > 0) {
-            if (node.sends())
-                outstanding[plain_send_conn(node)]++;
-            if (node.receives()) {
-                PlainConn conn = plain_recv_conn(node);
+        if (slots > 0 && plan) {
+            if (node.sends() && plan->sendConn[id] >= 0)
+                outstanding[plan->sendConn[id]]++;
+            if (node.receives() && plan->recvConn[id] >= 0) {
+                int conn = plan->recvConn[id];
                 outstanding[conn]--;
-                std::set<int> &blocked = slot_blocked[conn];
-                if (!blocked.empty()) {
-                    // Wake the highest-priority blocked sender.
-                    for (int waiter : blocked)
-                        heap.push(waiter);
-                    blocked.clear();
-                }
+                // Wake every blocked sender; the heap re-ranks them.
+                for (int waiter : slot_blocked[conn])
+                    heap.push(prio(waiter));
+                slot_blocked[conn].clear();
             }
         }
 
         order.push_back(id);
-        for (const ConnKey &conn : conns) {
-            if (!conn_order.count(conn))
+        for (int g : gates) {
+            if (g < 0)
                 continue;
-            size_t pos = ++conn_pos[conn];
-            const std::vector<int> &seq = conn_order.at(conn);
+            size_t pos = ++gate_pos[g];
+            const std::vector<int> &seq = plan->gateOrder[g];
             if (pos < seq.size()) {
-                std::set<int> &blocked = conn_blocked[conn];
-                auto next = blocked.find(seq[pos]);
-                if (next != blocked.end()) {
-                    heap.push(*next);
-                    blocked.erase(next);
+                int next = seq[pos];
+                if (parked_gate[next] == g) {
+                    parked_gate[next] = -1;
+                    heap.push(prio(next));
                 }
             }
         }
 
-        for (int succ : graph.liveSuccs(id)) {
+        graph.forEachLiveSucc(id, [&](int succ) {
             if (--remaining[succ] == 0)
-                heap.push(succ);
-        }
+                heap.push(prio(succ));
+        });
         if (node.commSucc >= 0 && graph.node(node.commSucc).live) {
             if (--remaining[node.commSucc] == 0)
-                heap.push(node.commSucc);
+                heap.push(prio(node.commSucc));
         }
     }
 
@@ -592,34 +631,65 @@ assignInstructions(InstrGraph &graph, std::vector<RankTbs> &ranks,
     // Pass 1: unconstrained priority order; it fixes, for every
     // connection, the order in which sends (and therefore their
     // matched FIFO receives, paper §6.1) will happen.
-    std::vector<int> ideal =
-        topoSweep(graph, std::map<ConnKey, std::vector<int>>{});
+    std::vector<int> ideal = topoSweep(graph, nullptr);
 
-    std::map<ConnKey, std::vector<int>> gates;
+    int n = graph.numNodes();
+    GatePlan plan;
+    plan.sendGate.assign(n, -1);
+    plan.recvGate.assign(n, -1);
+    plan.sendConn.assign(n, -1);
+    plan.recvConn.assign(n, -1);
+    std::unordered_map<std::uint64_t, int> gate_ids;
+    std::unordered_map<std::uint64_t, int> conn_ids;
+    auto gate_of = [&](std::uint64_t key) {
+        auto [it, fresh] =
+            gate_ids.try_emplace(key,
+                                 static_cast<int>(plan.gateOrder.size()));
+        if (fresh)
+            plan.gateOrder.emplace_back();
+        return it->second;
+    };
     for (int id : ideal) {
         const InstrNode &node = graph.node(id);
-        if (node.sends()) {
-            gates[sendGateOf(node)].push_back(id);
-            const InstrNode &recv = graph.node(node.commSucc);
-            gates[recvGateOf(recv)].push_back(recv.id);
-        }
+        if (!node.sends())
+            continue;
+        auto [conn_it, fresh] = conn_ids.try_emplace(
+            gateKey(node.rank, node.sendPeer,
+                    std::uint64_t(node.channel)),
+            plan.numConns);
+        if (fresh)
+            plan.numConns++;
+        int conn = conn_it->second;
+        int sg = gate_of(gateKey(node.rank, node.sendPeer,
+                                 std::uint64_t(node.channel) * 2));
+        plan.gateOrder[sg].push_back(id);
+        plan.sendGate[id] = sg;
+        plan.sendConn[id] = conn;
+        const InstrNode &recv = graph.node(node.commSucc);
+        int rg = gate_of(gateKey(recv.recvPeer, recv.rank,
+                                 std::uint64_t(recv.channel) * 2 + 1));
+        plan.gateOrder[rg].push_back(recv.id);
+        plan.recvGate[recv.id] = rg;
+        plan.recvConn[recv.id] = conn;
     }
 
     // Pass 2: the same priority sweep, now honoring FIFO turns on
     // both ends of every connection so the k-th receive always pairs
     // with the k-th send.
-    std::vector<int> order = topoSweep(graph, gates, slots);
+    std::vector<int> order = topoSweep(graph, &plan, slots);
 
     long sequence = 0;
     auto tb_of_comm = [&](const InstrNode &node) -> TbState & {
         RankTbs &rank = ranks[node.rank];
         if (node.sends()) {
-            auto it = rank.sendOwner.find({ node.channel, node.sendPeer });
+            auto it = rank.sendOwner.find(
+                ownerKey(node.channel, node.sendPeer));
             if (it == rank.sendOwner.end())
                 throw CompileError("scheduler: unowned send connection");
             return rank.tbs[it->second];
         }
-        auto it = rank.recvOwner.find({ node.channel, node.recvPeer });
+        auto it =
+            rank.recvOwner.find(ownerKey(node.channel, node.recvPeer));
         if (it == rank.recvOwner.end())
             throw CompileError("scheduler: unowned recv connection");
         return rank.tbs[it->second];

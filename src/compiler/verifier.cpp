@@ -1,9 +1,15 @@
 #include "compiler/verifier.h"
 
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
 #include <deque>
 #include <map>
+#include <mutex>
 #include <optional>
+#include <thread>
 #include <tuple>
+#include <unordered_map>
 #include <vector>
 
 #include "common/error.h"
@@ -112,7 +118,20 @@ struct MessagePart
 
 using Message = std::vector<MessagePart>;
 
-using ConnKey = std::tuple<int, int, int>; // src, dst, channel
+/**
+ * Connection identity (src, dst, channel) packed into one integer so
+ * the per-step queue lookups hash a word instead of comparing tuples.
+ * Fields are packed most-significant-first, so sorting packed keys
+ * reproduces tuple order for the deadlock report.
+ */
+using ConnKey = std::uint64_t;
+
+ConnKey
+connKeyOf(int src, int dst, int channel)
+{
+    return (std::uint64_t(src) << 43) | (std::uint64_t(dst) << 22) |
+        std::uint64_t(channel);
+}
 
 /** Abstract machine state for one verification run. */
 class AbstractMachine
@@ -157,14 +176,21 @@ class AbstractMachine
         }
         std::string blocked = blockedReport();
         if (!blocked.empty()) {
-            std::string conns;
+            // Report undelivered connections in (src, dst, channel)
+            // order; packed keys sort the same way as the tuples did.
+            std::vector<std::pair<ConnKey, size_t>> undelivered;
             for (const auto &[key, queue] : connections_) {
-                if (!queue.empty()) {
-                    conns += strprintf(
-                        "  conn %d -> %d ch %d: %zu undelivered\n",
-                        std::get<0>(key), std::get<1>(key),
-                        std::get<2>(key), queue.size());
-                }
+                if (!queue.empty())
+                    undelivered.push_back({ key, queue.size() });
+            }
+            std::sort(undelivered.begin(), undelivered.end());
+            std::string conns;
+            for (const auto &[key, count] : undelivered) {
+                conns += strprintf(
+                    "  conn %d -> %d ch %d: %zu undelivered\n",
+                    static_cast<int>(key >> 43),
+                    static_cast<int>((key >> 22) & 0x1FFFFF),
+                    static_cast<int>(key & 0x3FFFFF), count);
             }
             throw VerificationError("deadlock detected:\n" + blocked +
                                     conns);
@@ -194,18 +220,6 @@ class AbstractMachine
           case BufferKind::Scratch: return bufs.scratch;
         }
         throw VerificationError("bad buffer kind");
-    }
-
-    /** Per-chunk fraction parts of an instruction operand. */
-    std::vector<std::pair<int, FracInterval>>
-    partsOf(const IrInstruction &instr) const
-    {
-        std::vector<std::pair<int, FracInterval>> parts;
-        FracInterval range =
-            splitFraction(instr.splitIdx, instr.splitCount);
-        for (int k = 0; k < instr.count; k++)
-            parts.emplace_back(k, range);
-        return parts;
     }
 
     ChunkValue
@@ -283,38 +297,43 @@ class AbstractMachine
                 "rank %d tb %d: %s without a send peer", gpu.rank,
                 tb.id, irOpName(instr.op)));
 
-        ConnKey in_conn{ tb.recvPeer, gpu.rank, tb.channel };
-        ConnKey out_conn{ gpu.rank, tb.sendPeer, tb.channel };
-
-        if (receives &&
-            (!connections_.count(in_conn) ||
-             connections_[in_conn].empty())) {
-            return false; // waiting for data
+        std::deque<Message> *inbox = nullptr;
+        if (receives) {
+            auto it = connections_.find(
+                connKeyOf(tb.recvPeer, gpu.rank, tb.channel));
+            if (it == connections_.end() || it->second.empty())
+                return false; // waiting for data
+            inbox = &it->second;
         }
-        if (sends &&
-            static_cast<int>(connections_[out_conn].size()) >=
-                options_.slots) {
-            return false; // waiting for a FIFO slot
+        std::deque<Message> *outbox = nullptr;
+        if (sends) {
+            outbox = &connections_[connKeyOf(gpu.rank, tb.sendPeer,
+                                             tb.channel)];
+            if (static_cast<int>(outbox->size()) >= options_.slots)
+                return false; // waiting for a FIFO slot
         }
 
-        // The instruction can execute; compute its effect.
-        auto parts = partsOf(instr);
+        // The instruction can execute; compute its effect. Every part
+        // k covers chunk instr.*Off + k over the same byte fraction.
+        FracInterval range =
+            splitFraction(instr.splitIdx, instr.splitCount);
+        size_t count = static_cast<size_t>(instr.count);
 
         Message incoming;
         if (receives) {
-            incoming = connections_[in_conn].front();
-            connections_[in_conn].pop_front();
+            incoming = std::move(inbox->front());
+            inbox->pop_front();
             // Shape check: FIFO pairing must deliver exactly the
             // fractions this receive expects.
-            if (incoming.size() != parts.size()) {
+            if (incoming.size() != count) {
                 throw VerificationError(strprintf(
                     "rank %d tb %d step %d: FIFO mismatch (message has "
                     "%zu parts, receive expects %zu)", gpu.rank, tb.id,
-                    cursor, incoming.size(), parts.size()));
+                    cursor, incoming.size(), count));
             }
-            for (size_t i = 0; i < parts.size(); i++) {
-                if (incoming[i].chunkRel != parts[i].first ||
-                    !(incoming[i].range == parts[i].second)) {
+            for (size_t i = 0; i < count; i++) {
+                if (incoming[i].chunkRel != static_cast<int>(i) ||
+                    !(incoming[i].range == range)) {
                     throw VerificationError(strprintf(
                         "rank %d tb %d step %d: FIFO mismatch (part %zu "
                         "shape differs from the matched send)",
@@ -324,11 +343,13 @@ class AbstractMachine
         }
 
         Message outgoing;
+        if (sends)
+            outgoing.reserve(count);
         switch (instr.op) {
           case IrOp::Nop:
             break;
           case IrOp::Send:
-            for (auto &[rel, range] : parts) {
+            for (int rel = 0; rel < instr.count; rel++) {
                 ChunkValue value = readPart(
                     gpu.rank, instr.srcBuf, instr.srcOff + rel, range,
                     "send");
@@ -336,14 +357,14 @@ class AbstractMachine
             }
             break;
           case IrOp::Recv:
-            for (size_t i = 0; i < parts.size(); i++) {
+            for (size_t i = 0; i < count; i++) {
                 writePart(gpu.rank, instr.dstBuf,
-                          instr.dstOff + parts[i].first,
-                          parts[i].second, incoming[i].value, "recv");
+                          instr.dstOff + static_cast<int>(i),
+                          range, incoming[i].value, "recv");
             }
             break;
           case IrOp::Copy:
-            for (auto &[rel, range] : parts) {
+            for (int rel = 0; rel < instr.count; rel++) {
                 ChunkValue value = readPart(
                     gpu.rank, instr.srcBuf, instr.srcOff + rel, range,
                     "copy");
@@ -352,7 +373,7 @@ class AbstractMachine
             }
             break;
           case IrOp::Reduce:
-            for (auto &[rel, range] : parts) {
+            for (int rel = 0; rel < instr.count; rel++) {
                 ChunkValue a = readPart(gpu.rank, instr.srcBuf,
                                         instr.srcOff + rel, range,
                                         "reduce");
@@ -366,8 +387,8 @@ class AbstractMachine
           case IrOp::RecvReduceCopy:
           case IrOp::RecvReduceSend:
           case IrOp::RecvReduceCopySend:
-            for (size_t i = 0; i < parts.size(); i++) {
-                auto &[rel, range] = parts[i];
+            for (size_t i = 0; i < count; i++) {
+                int rel = static_cast<int>(i);
                 ChunkValue local = readPart(
                     gpu.rank, instr.srcBuf, instr.srcOff + rel, range,
                     irOpName(instr.op));
@@ -385,8 +406,8 @@ class AbstractMachine
             }
             break;
           case IrOp::RecvCopySend:
-            for (size_t i = 0; i < parts.size(); i++) {
-                auto &[rel, range] = parts[i];
+            for (size_t i = 0; i < count; i++) {
+                int rel = static_cast<int>(i);
                 writePart(gpu.rank, instr.dstBuf, instr.dstOff + rel,
                           range, incoming[i].value, "rcs");
                 outgoing.push_back(
@@ -396,7 +417,7 @@ class AbstractMachine
         }
 
         if (sends)
-            connections_[out_conn].push_back(std::move(outgoing));
+            outbox->push_back(std::move(outgoing));
 
         cursor++;
         return true;
@@ -414,15 +435,15 @@ class AbstractMachine
                 const IrInstruction &instr = tb.steps[cursor];
                 std::string reason = "dependency";
                 if (irOpReceives(instr.op)) {
-                    ConnKey in{ tb.recvPeer, gpu.rank, tb.channel };
-                    auto it = connections_.find(in);
+                    auto it = connections_.find(
+                        connKeyOf(tb.recvPeer, gpu.rank, tb.channel));
                     size_t inbox =
                         it == connections_.end() ? 0 : it->second.size();
                     reason = strprintf("data from %d (inbox=%zu) or "
                                        "dependency", tb.recvPeer, inbox);
                 } else if (irOpSends(instr.op)) {
-                    ConnKey out{ gpu.rank, tb.sendPeer, tb.channel };
-                    auto it = connections_.find(out);
+                    auto it = connections_.find(
+                        connKeyOf(gpu.rank, tb.sendPeer, tb.channel));
                     size_t queued =
                         it == connections_.end() ? 0 : it->second.size();
                     reason = strprintf("FIFO slot to %d (queued=%zu) or "
@@ -475,7 +496,7 @@ class AbstractMachine
     VerifyOptions options_;
     std::vector<RankBuffers> buffers_;
     std::vector<std::vector<int>> cursors_;
-    std::map<ConnKey, std::deque<Message>> connections_;
+    std::unordered_map<ConnKey, std::deque<Message>> connections_;
 };
 
 } // namespace
@@ -508,16 +529,34 @@ struct HbNode
 } // namespace
 
 void
-verifyRaceFree(const IrProgram &ir)
+verifyRaceFree(const IrProgram &ir, int threads)
 {
-    // Collect every instruction with a stable global index.
+    // Collect every instruction with a stable global index, addressed
+    // densely by (rank, tb, step).
     std::vector<HbNode> nodes;
-    std::map<std::tuple<Rank, int, int>, int> index;
+    int num_ranks = ir.numRanks;
     for (const IrGpu &gpu : ir.gpus) {
+        if (gpu.rank < 0)
+            throw VerificationError(
+                "race check: IR names a negative rank");
+        num_ranks = std::max(num_ranks, gpu.rank + 1);
+    }
+    std::vector<std::vector<int>> tb_base(num_ranks);
+    std::vector<std::vector<int>> tb_len(num_ranks);
+    for (const IrGpu &gpu : ir.gpus) {
+        std::vector<int> &base = tb_base[gpu.rank];
+        std::vector<int> &len = tb_len[gpu.rank];
         for (const IrThreadBlock &tb : gpu.threadBlocks) {
+            if (tb.id < 0)
+                throw VerificationError(
+                    "race check: IR names a negative thread block id");
+            if (tb.id >= static_cast<int>(base.size())) {
+                base.resize(tb.id + 1, -1);
+                len.resize(tb.id + 1, 0);
+            }
+            base[tb.id] = static_cast<int>(nodes.size());
+            len[tb.id] = static_cast<int>(tb.steps.size());
             for (size_t s = 0; s < tb.steps.size(); s++) {
-                index[{ gpu.rank, tb.id, static_cast<int>(s) }] =
-                    static_cast<int>(nodes.size());
                 nodes.push_back(HbNode{ gpu.rank, tb.id,
                                         static_cast<int>(s),
                                         &tb.steps[s], &tb });
@@ -525,6 +564,18 @@ verifyRaceFree(const IrProgram &ir)
         }
     }
     int n = static_cast<int>(nodes.size());
+    auto lookup = [&](Rank rank, int tb, int step) {
+        if (rank < 0 || rank >= num_ranks)
+            return -1;
+        const std::vector<int> &base = tb_base[rank];
+        if (tb < 0 || tb >= static_cast<int>(base.size()) ||
+            base[tb] < 0) {
+            return -1;
+        }
+        if (step < 0 || step >= tb_len[rank][tb])
+            return -1;
+        return base[tb] + step;
+    };
 
     // Happens-before edges.
     std::vector<std::vector<int>> succs(n);
@@ -537,47 +588,57 @@ verifyRaceFree(const IrProgram &ir)
     for (int i = 0; i < n; i++) {
         if (nodes[i].step + 1 < static_cast<int>(
                 nodes[i].block->steps.size())) {
-            add_edge(i, index.at({ nodes[i].rank, nodes[i].tb,
-                                   nodes[i].step + 1 }));
+            add_edge(i, lookup(nodes[i].rank, nodes[i].tb,
+                               nodes[i].step + 1));
         }
     }
     // (b) cross thread block dependencies
     for (int i = 0; i < n; i++) {
         for (const IrDep &dep : nodes[i].instr->deps) {
-            auto it = index.find({ nodes[i].rank, dep.tb, dep.step });
-            if (it == index.end())
+            int from = lookup(nodes[i].rank, dep.tb, dep.step);
+            if (from < 0)
                 throw VerificationError(
                     "race check: dependency on unknown instruction");
-            add_edge(it->second, i);
+            add_edge(from, i);
         }
     }
     // (c) communication edges: the k-th send on a connection
-    //     happens-before the k-th receive (FIFO pairing).
-    std::map<std::tuple<Rank, Rank, int>, std::vector<int>> conn_sends;
-    std::map<std::tuple<Rank, Rank, int>, std::vector<int>> conn_recvs;
+    //     happens-before the k-th receive (FIFO pairing). Every send
+    //     must have a matched receive and vice versa — an imbalance
+    //     would leave the surplus operations with no happens-before
+    //     edge and silently weaken the analysis, so it is rejected.
+    std::map<std::tuple<Rank, Rank, int>,
+             std::pair<std::vector<int>, std::vector<int>>>
+        conn_ends;
     for (int i = 0; i < n; i++) {
         if (irOpSends(nodes[i].instr->op)) {
-            conn_sends[{ nodes[i].rank, nodes[i].block->sendPeer,
-                         nodes[i].block->channel }].push_back(i);
+            conn_ends[{ nodes[i].rank, nodes[i].block->sendPeer,
+                        nodes[i].block->channel }]
+                .first.push_back(i);
         }
         if (irOpReceives(nodes[i].instr->op)) {
-            conn_recvs[{ nodes[i].block->recvPeer, nodes[i].rank,
-                         nodes[i].block->channel }].push_back(i);
+            conn_ends[{ nodes[i].block->recvPeer, nodes[i].rank,
+                        nodes[i].block->channel }]
+                .second.push_back(i);
         }
     }
-    for (const auto &[conn, sends] : conn_sends) {
-        auto it = conn_recvs.find(conn);
-        size_t matched =
-            it == conn_recvs.end() ? 0 : it->second.size();
-        for (size_t k = 0; k < sends.size() && k < matched; k++)
-            add_edge(sends[k], it->second[k]);
+    for (const auto &[conn, ends] : conn_ends) {
+        const std::vector<int> &sends = ends.first;
+        const std::vector<int> &recvs = ends.second;
+        if (sends.size() != recvs.size()) {
+            throw VerificationError(strprintf(
+                "race check: connection %d -> %d channel %d has %zu "
+                "sends but %zu receives; FIFO pairing requires equal "
+                "counts", std::get<0>(conn), std::get<1>(conn),
+                std::get<2>(conn), sends.size(), recvs.size()));
+        }
+        for (size_t k = 0; k < sends.size(); k++)
+            add_edge(sends[k], recvs[k]);
     }
 
-    // Ancestor reachability via bitsets in topological order.
-    size_t words = (static_cast<size_t>(n) + 63) / 64;
-    std::vector<std::uint64_t> ancestors(
-        static_cast<size_t>(n) * words, 0);
+    // Global topological order; also the cycle check.
     std::vector<int> order;
+    order.reserve(n);
     {
         std::vector<int> degree = indeg;
         std::vector<int> ready;
@@ -598,31 +659,25 @@ verifyRaceFree(const IrProgram &ir)
             throw VerificationError(
                 "race check: happens-before relation has a cycle");
     }
-    for (int v : order) {
-        for (int s : succs[v]) {
-            std::uint64_t *dst = &ancestors[s * words];
-            const std::uint64_t *src = &ancestors[v * words];
-            for (size_t w = 0; w < words; w++)
-                dst[w] |= src[w];
-            dst[static_cast<size_t>(v) / 64] |= 1ULL
-                << (static_cast<size_t>(v) % 64);
-        }
-    }
-    auto ordered = [&](int a, int b) {
-        return (ancestors[b * words + a / 64] >> (a % 64) & 1) != 0 ||
-            (ancestors[a * words + b / 64] >> (b % 64) & 1) != 0;
-    };
 
     // Conflicts: same (rank, buffer, chunk), overlapping fractions,
-    // at least one write.
-    struct Access
+    // at least one write. Both sides of a conflict always live on one
+    // rank, so accesses partition by rank and each rank is checked
+    // independently: same-thread-block pairs are ordered by program
+    // order outright, and reachability for the remaining pairs is
+    // computed with bitset columns restricted to that rank's conflict
+    // candidates, propagated over the full graph (happens-before
+    // paths cross ranks through communication edges). A rank without
+    // cross-thread-block conflict pairs costs nothing.
+    struct LocEntry
     {
+        int buffer; // canonical BufferKind as int
+        int chunk;
         int node;
         bool isWrite;
         FracInterval range;
     };
-    std::map<std::tuple<Rank, BufferKind, int>, std::vector<Access>>
-        accesses;
+    std::vector<std::vector<LocEntry>> rank_accesses(num_ranks);
     auto record = [&](int node, BufferKind buf, int off, bool write) {
         const IrInstruction &instr = *nodes[node].instr;
         FracInterval range =
@@ -631,8 +686,9 @@ verifyRaceFree(const IrProgram &ir)
         if (ir.inPlace && buf == BufferKind::Output)
             canonical = BufferKind::Input;
         for (int k = 0; k < instr.count; k++) {
-            accesses[{ nodes[node].rank, canonical, off + k }]
-                .push_back(Access{ node, write, range });
+            rank_accesses[nodes[node].rank].push_back(
+                LocEntry{ static_cast<int>(canonical), off + k, node,
+                          write, range });
         }
     };
     for (int i = 0; i < n; i++) {
@@ -646,27 +702,153 @@ verifyRaceFree(const IrProgram &ir)
         if (irOpWritesDst(instr.op))
             record(i, instr.dstBuf, instr.dstOff, true);
     }
-    for (const auto &[loc, list] : accesses) {
-        for (size_t a = 0; a < list.size(); a++) {
-            for (size_t b = a + 1; b < list.size(); b++) {
-                if (list[a].node == list[b].node)
-                    continue;
-                if (!list[a].isWrite && !list[b].isWrite)
-                    continue;
-                if (!list[a].range.overlaps(list[b].range))
-                    continue;
-                if (!ordered(list[a].node, list[b].node)) {
-                    const HbNode &na = nodes[list[a].node];
-                    const HbNode &nb = nodes[list[b].node];
-                    throw VerificationError(strprintf(
-                        "data race: rank %d tb %d step %d and tb %d "
-                        "step %d access %s[%d] unordered",
-                        na.rank, na.tb, na.step, nb.tb, nb.step,
-                        bufferKindName(std::get<1>(loc)),
-                        std::get<2>(loc)));
+
+    // Checks one rank; returns the first race error message in
+    // (buffer, chunk, first access, second access) order, or empty.
+    auto check_rank = [&](int r) -> std::string {
+        std::vector<LocEntry> &entries = rank_accesses[r];
+        // Group by location, keeping node order within each group
+        // (entries were recorded in ascending node order).
+        std::stable_sort(entries.begin(), entries.end(),
+                         [](const LocEntry &a, const LocEntry &b) {
+                             return std::tie(a.buffer, a.chunk) <
+                                 std::tie(b.buffer, b.chunk);
+                         });
+        struct Pair
+        {
+            int a, b;
+            int buffer, chunk;
+        };
+        std::vector<Pair> pairs;
+        std::vector<int> cols(n, -1);
+        std::vector<int> cand;
+        for (size_t lo = 0; lo < entries.size();) {
+            size_t hi = lo;
+            while (hi < entries.size() &&
+                   entries[hi].buffer == entries[lo].buffer &&
+                   entries[hi].chunk == entries[lo].chunk) {
+                hi++;
+            }
+            for (size_t a = lo; a < hi; a++) {
+                for (size_t b = a + 1; b < hi; b++) {
+                    if (entries[a].node == entries[b].node)
+                        continue;
+                    if (!entries[a].isWrite && !entries[b].isWrite)
+                        continue;
+                    if (!entries[a].range.overlaps(entries[b].range))
+                        continue;
+                    if (nodes[entries[a].node].tb ==
+                        nodes[entries[b].node].tb) {
+                        continue; // ordered by program order
+                    }
+                    pairs.push_back(Pair{ entries[a].node,
+                                          entries[b].node,
+                                          entries[a].buffer,
+                                          entries[a].chunk });
+                    for (int v : { entries[a].node, entries[b].node }) {
+                        if (cols[v] < 0) {
+                            cols[v] = static_cast<int>(cand.size());
+                            cand.push_back(v);
+                        }
+                    }
+                }
+            }
+            lo = hi;
+        }
+        if (pairs.empty())
+            return std::string();
+
+        // Ancestor bits restricted to this rank's candidate columns,
+        // propagated over the whole graph in topological order.
+        size_t words = (cand.size() + 63) / 64;
+        std::vector<std::uint64_t> anc(
+            static_cast<size_t>(n) * words, 0);
+        for (int v : order) {
+            const std::uint64_t *src = &anc[v * words];
+            int vcol = cols[v];
+            for (int s : succs[v]) {
+                std::uint64_t *dst = &anc[s * words];
+                for (size_t w = 0; w < words; w++)
+                    dst[w] |= src[w];
+                if (vcol >= 0) {
+                    dst[static_cast<size_t>(vcol) / 64] |= 1ULL
+                        << (static_cast<size_t>(vcol) % 64);
                 }
             }
         }
+        auto bit = [&](int of, int ancestor) {
+            int col = cols[ancestor];
+            return (anc[static_cast<size_t>(of) * words +
+                        static_cast<size_t>(col) / 64] >>
+                        (static_cast<size_t>(col) % 64) &
+                    1) != 0;
+        };
+        for (const Pair &pair : pairs) {
+            if (bit(pair.b, pair.a) || bit(pair.a, pair.b))
+                continue;
+            const HbNode &na = nodes[pair.a];
+            const HbNode &nb = nodes[pair.b];
+            return strprintf(
+                "data race: rank %d tb %d step %d and tb %d "
+                "step %d access %s[%d] unordered",
+                na.rank, na.tb, na.step, nb.tb, nb.step,
+                bufferKindName(static_cast<BufferKind>(pair.buffer)),
+                pair.chunk);
+        }
+        return std::string();
+    };
+
+    std::vector<int> work;
+    for (int r = 0; r < num_ranks; r++) {
+        if (rank_accesses[r].size() > 1)
+            work.push_back(r);
+    }
+    std::vector<std::string> errors(num_ranks);
+    int resolved = threads;
+    if (resolved <= 0) {
+        resolved = static_cast<int>(std::min(
+            16u, std::max(1u, std::thread::hardware_concurrency())));
+    }
+    resolved = std::min<int>(resolved, static_cast<int>(work.size()));
+    // Small programs aren't worth the thread spawns.
+    if (n < 4096)
+        resolved = 1;
+
+    std::atomic<size_t> next{ 0 };
+    std::exception_ptr first_error;
+    std::mutex error_mu;
+    auto drain = [&]() {
+        for (;;) {
+            size_t w = next.fetch_add(1);
+            if (w >= work.size())
+                return;
+            try {
+                errors[work[w]] = check_rank(work[w]);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mu);
+                if (!first_error)
+                    first_error = std::current_exception();
+                return;
+            }
+        }
+    };
+    if (resolved > 1) {
+        std::vector<std::thread> pool;
+        pool.reserve(resolved);
+        for (int t = 0; t < resolved; t++)
+            pool.emplace_back(drain);
+        for (std::thread &t : pool)
+            t.join();
+    } else {
+        drain();
+    }
+    if (first_error)
+        std::rethrow_exception(first_error);
+    // Lowest rank wins, matching the serial whole-map sweep that
+    // visited locations in (rank, buffer, chunk) order.
+    for (int r = 0; r < num_ranks; r++) {
+        if (!errors[r].empty())
+            throw VerificationError(errors[r]);
     }
 }
 

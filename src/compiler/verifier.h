@@ -61,11 +61,20 @@ void verifyIr(const IrProgram &ir, const Collective &collective,
  * thread block dependencies, and FIFO-matched communication edges,
  * then demands every pair of conflicting accesses (same location,
  * overlapping byte fractions, at least one write) be ordered.
- * Quadratic in IR size; intended for tests and one-off validation of
- * hand-written IR rather than the hot compile path.
+ *
+ * Conflicting accesses always live on one rank, so reachability is
+ * computed per rank over only that rank's conflict candidates (bitset
+ * columns restricted to the candidate set, propagated over the full
+ * graph); ranks with no cross-thread-block conflict pairs are skipped
+ * outright, and the per-rank checks run on a small thread pool for
+ * large programs. Verdicts and error messages are identical to the
+ * serial whole-graph analysis for every thread count.
+ *
+ * @param threads worker count for the per-rank checks; 0 picks a
+ *        hardware-sized default, 1 forces the serial path.
  * @throws VerificationError naming the first unordered conflict.
  */
-void verifyRaceFree(const IrProgram &ir);
+void verifyRaceFree(const IrProgram &ir, int threads = 0);
 
 } // namespace mscclang
 

@@ -4,7 +4,7 @@
 
 #include "common/error.h"
 #include "common/strings.h"
-#include "compiler/compiler.h"
+#include "compiler/plan_cache.h"
 
 namespace mscclang {
 
@@ -156,10 +156,10 @@ Communicator::replanProgram(const std::string &collective,
     auto replanner = replanners_.find(collective);
     if (replanner == replanners_.end())
         return nullptr;
-    std::string key = collective + "|" + linkSetName(quarantine);
-    auto hit = replanCache_.find(key);
-    if (hit != replanCache_.end())
-        return &hit->second;
+    std::string memo_key = collective + "|" + linkSetName(quarantine);
+    auto memo = replanMemo_.find(memo_key);
+    if (memo != replanMemo_.end())
+        return &replanIr_.at(memo->second);
 
     Topology degraded = topology_.degraded(quarantine);
     std::unique_ptr<Program> plan;
@@ -174,18 +174,29 @@ Communicator::replanProgram(const std::string &collective,
     // The repair plan goes through the full pipeline: fusion, thread
     // block scheduling, and the verifier's postcondition + deadlock
     // checks against the degraded machine. A plan that does not
-    // verify is no plan at all.
+    // verify is no plan at all. Plans are content-addressed: a
+    // different dead-link set that degrades to the same traced
+    // program reuses the already-verified IR, and the process-wide
+    // PlanCache (plus its optional disk spill) answers repeats
+    // across communicators.
     CompileOptions copts;
     copts.verify = true;
     copts.topology = &degraded;
+    std::uint64_t content_key = planCacheKey(*plan, copts);
+    auto known = replanIr_.find(content_key);
+    if (known != replanIr_.end()) {
+        replanMemo_.emplace(memo_key, content_key);
+        return &known->second;
+    }
     IrProgram ir;
     try {
-        ir = compileProgram(*plan, copts).ir;
+        ir = compileProgramCached(*plan, copts).ir;
     } catch (const Error &) {
         return nullptr;
     }
     replanCompiles_++;
-    auto [pos, inserted] = replanCache_.emplace(key, std::move(ir));
+    auto [pos, inserted] = replanIr_.emplace(content_key, std::move(ir));
+    replanMemo_.emplace(memo_key, content_key);
     return &pos->second;
 }
 

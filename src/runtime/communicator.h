@@ -267,8 +267,15 @@ class Communicator
              std::function<std::unique_ptr<Program>(const Topology &,
                                                     std::uint64_t)>>
         replanners_;
-    /** Compiled repair plans keyed "collective|3->4,5->6". */
-    std::map<std::string, IrProgram> replanCache_;
+    /** (collective, dead-link set) "collective|3->4,5->6" → content
+     *  key of the plan that quarantine degraded to. Distinct link
+     *  sets often trace the same repair plan; memoizing through the
+     *  content key lets them share one compiled IR. */
+    std::map<std::string, std::uint64_t> replanMemo_;
+    /** Content key → compiled+verified repair plan. A node-based map
+     *  keeps the IrProgram pointers handed out by replanProgram()
+     *  stable while later replans insert. */
+    std::map<std::uint64_t, IrProgram> replanIr_;
     int replanCompiles_ = 0;
     std::function<void(const std::vector<Link> &)> retuneHook_;
     /** Quarantine set at the last syncQuarantine(). */

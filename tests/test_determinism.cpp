@@ -1,26 +1,34 @@
 /**
  * @file
- * Bit-exact determinism of the simulator. Simulated results — the
- * ExecStats fingerprint, the trace file content, and data-mode
- * buffer contents — must be identical on every run of the same
- * program: hot-path work (incremental max-min rates, pooled events,
- * dense interpreter plans, parallel tuner sweeps) is only allowed to
- * move wall-clock time, never simulated time. EXPERIMENTS.md states
- * this contract; these tests pin it across topologies, collectives,
- * and both execution modes.
+ * Bit-exact determinism of the simulator AND the compiler. Simulated
+ * results — the ExecStats fingerprint, the trace file content, and
+ * data-mode buffer contents — must be identical on every run of the
+ * same program: hot-path work (incremental max-min rates, pooled
+ * events, dense interpreter plans, parallel tuner sweeps) is only
+ * allowed to move wall-clock time, never simulated time. The same
+ * contract binds the compiler: data-structure and verifier overhauls
+ * may only move wall-clock time, never the emitted IR (instruction
+ * order, channel and thread-block assignment) or a verifier verdict,
+ * pinned here by golden FNV-1a hashes of the IR XML measured at the
+ * pre-overhaul compiler. EXPERIMENTS.md states both contracts.
  */
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <functional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "collectives/classic.h"
 #include "collectives/collectives.h"
+#include "common/error.h"
 #include "compiler/compiler.h"
+#include "compiler/verifier.h"
 #include "runtime/interpreter.h"
 #include "runtime/tuner.h"
 #include "topology/topology.h"
@@ -242,6 +250,216 @@ TEST(Determinism, TunerMemoizesDuplicateCandidates)
         tuneWindows(topo, candidates, tune);
     for (const TunedWindow &w : windows)
         EXPECT_NE(w.candidate, 2) << "duplicate displaced original";
+}
+
+// ------------------------------------------------------------------
+// Compiler determinism: the IR emitted for a fixed program is part of
+// the repo's contract. The hashes below were measured at the
+// pre-overhaul compiler; any divergence means instruction order,
+// channel assignment, or thread-block assignment changed.
+
+std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+struct GoldenProgram
+{
+    const char *name;
+    std::uint64_t xmlHash;
+    std::function<std::string()> compileXml;
+};
+
+std::vector<GoldenProgram>
+goldenPrograms()
+{
+    AlgoConfig i2;
+    i2.instances = 2;
+    AlgoConfig i4;
+    i4.instances = 4;
+    i4.protocol = Protocol::LL128;
+    AlgoConfig ll;
+    ll.protocol = Protocol::LL;
+    ll.instances = 2;
+    AlgoConfig plain;
+    auto xml = [](const Program &p, const CompileOptions &copts = {}) {
+        return compileProgram(p, copts).ir.toXml();
+    };
+    return {
+        { "ring_allreduce_8x2_i2", 0x75cca9cb1c069012ull,
+          [=] { return xml(*makeRingAllReduce(8, 2, i2)); } },
+        { "ring_allreduce_16x4_i4_ll128", 0x38abad495ed5569aull,
+          [=] { return xml(*makeRingAllReduce(16, 4, i4)); } },
+        { "ring_allreduce_oop_8x2", 0x1f2f8a7279bbe52cull,
+          [=] { return xml(*makeRingAllReduceOutOfPlace(8, 2, i2)); } },
+        { "allpairs_8_ll", 0x8f00059d8a9ebce5ull,
+          [=] { return xml(*makeAllPairsAllReduce(8, ll)); } },
+        { "hierarchical_2x4_i2", 0xf050070cec36d9b9ull,
+          [=] {
+              return xml(*makeHierarchicalAllReduce(2, 4, 2, plain));
+          } },
+        { "twostep_alltoall_2x4", 0x45fd89fa179dffa7ull,
+          [=] { return xml(*makeTwoStepAllToAll(2, 4, plain)); } },
+        { "naive_alltoall_8", 0xf3352f705b2aeb2eull,
+          [=] { return xml(*makeNaiveAllToAll(8, plain)); } },
+        { "alltonext_2x4", 0xc05b83444d2becf6ull,
+          [=] { return xml(*makeAllToNext(2, 4, plain)); } },
+        { "naive_alltonext_2x4", 0x705dbf06d0bb286aull,
+          [=] { return xml(*makeNaiveAllToNext(2, 4, plain)); } },
+        { "ring_allgather_8x2_i2", 0xa2b4b8c1d774e602ull,
+          [=] { return xml(*makeRingAllGather(8, 2, i2)); } },
+        { "dbt_allreduce_16_ll", 0x2ad83adb6e380f8full,
+          [=] { return xml(*makeDoubleBinaryTreeAllReduce(16, ll)); } },
+        { "rabenseifner_8", 0xffa1b3a08739c09eull,
+          [=] { return xml(*makeRabenseifnerAllReduce(8, plain)); } },
+        { "sccl122_allgather_dgx1", 0x3515935a2aea16adull,
+          [=] {
+              Topology dgx1 = makeDgx1();
+              CompileOptions copts;
+              copts.topology = &dgx1;
+              return xml(*makeSccl122AllGather(dgx1, plain), copts);
+          } },
+    };
+}
+
+TEST(Determinism, CompiledIrMatchesGoldenHashes)
+{
+    for (const GoldenProgram &gold : goldenPrograms()) {
+        SCOPED_TRACE(gold.name);
+        EXPECT_EQ(fnv1a(gold.compileXml()), gold.xmlHash);
+    }
+}
+
+TEST(Determinism, CompilingTwiceYieldsIdenticalIr)
+{
+    // Byte-equal XML means identical instruction order, channel, and
+    // thread-block assignment — stronger than hash equality.
+    for (const GoldenProgram &gold : goldenPrograms()) {
+        SCOPED_TRACE(gold.name);
+        EXPECT_EQ(gold.compileXml(), gold.compileXml());
+    }
+}
+
+TEST(Determinism, ConcurrentCompilesYieldIdenticalIr)
+{
+    // The compiler owns no global mutable state; racing full compiles
+    // of different programs must still reproduce every golden hash.
+    std::vector<GoldenProgram> golds = goldenPrograms();
+    std::vector<std::uint64_t> hashes(golds.size(), 0);
+    std::vector<std::thread> pool;
+    for (size_t i = 0; i < golds.size(); i++) {
+        pool.emplace_back([&, i] {
+            hashes[i] = fnv1a(golds[i].compileXml());
+        });
+    }
+    for (std::thread &t : pool)
+        t.join();
+    for (size_t i = 0; i < golds.size(); i++) {
+        SCOPED_TRACE(golds[i].name);
+        EXPECT_EQ(hashes[i], golds[i].xmlHash);
+    }
+}
+
+/** Two thread blocks writing output chunk 0 of rank 0, unordered. */
+IrProgram
+racyWriteWriteIr()
+{
+    IrProgram ir;
+    ir.numRanks = 1;
+    ir.gpus.resize(1);
+    ir.gpus[0].rank = 0;
+    ir.gpus[0].inputChunks = 2;
+    ir.gpus[0].outputChunks = 1;
+    for (int t = 0; t < 2; t++) {
+        IrThreadBlock tb;
+        tb.id = t;
+        IrInstruction copy;
+        copy.op = IrOp::Copy;
+        copy.srcBuf = BufferKind::Input;
+        copy.srcOff = t;
+        copy.dstBuf = BufferKind::Output;
+        copy.dstOff = 0;
+        tb.steps.push_back(copy);
+        ir.gpus[0].threadBlocks.push_back(tb);
+    }
+    return ir;
+}
+
+/** A scratch write racing a scratch read across thread blocks. */
+IrProgram
+racyReadWriteIr()
+{
+    IrProgram ir;
+    ir.numRanks = 1;
+    ir.gpus.resize(1);
+    ir.gpus[0].rank = 0;
+    ir.gpus[0].inputChunks = 1;
+    ir.gpus[0].outputChunks = 1;
+    ir.gpus[0].scratchChunks = 1;
+    IrThreadBlock tb0;
+    tb0.id = 0;
+    IrInstruction w;
+    w.op = IrOp::Copy;
+    w.srcBuf = BufferKind::Input;
+    w.dstBuf = BufferKind::Scratch;
+    tb0.steps.push_back(w);
+    ir.gpus[0].threadBlocks.push_back(tb0);
+    IrThreadBlock tb1;
+    tb1.id = 1;
+    IrInstruction r;
+    r.op = IrOp::Copy;
+    r.srcBuf = BufferKind::Scratch;
+    r.dstBuf = BufferKind::Output;
+    tb1.steps.push_back(r);
+    ir.gpus[0].threadBlocks.push_back(tb1);
+    return ir;
+}
+
+std::string
+raceVerdict(const IrProgram &ir, int threads)
+{
+    try {
+        verifyRaceFree(ir, threads);
+    } catch (const VerificationError &e) {
+        return e.what();
+    }
+    return "";
+}
+
+TEST(Determinism, RaceVerdictsMatchGoldenMessages)
+{
+    // Exact messages measured at the pre-overhaul whole-graph
+    // analysis; the partitioned parallel verifier must reproduce the
+    // same first error.
+    EXPECT_EQ(raceVerdict(racyWriteWriteIr(), 0),
+              "data race: rank 0 tb 0 step 0 and tb 1 step 0 "
+              "access o[0] unordered");
+    EXPECT_EQ(raceVerdict(racyReadWriteIr(), 0),
+              "data race: rank 0 tb 0 step 0 and tb 1 step 0 "
+              "access s[0] unordered");
+}
+
+TEST(Determinism, RaceVerdictsIndependentOfThreadCount)
+{
+    std::vector<IrProgram> cases = { racyWriteWriteIr(),
+                                     racyReadWriteIr() };
+    // A clean program too: every golden collective passes the race
+    // check at any worker count.
+    AlgoConfig i2;
+    i2.instances = 2;
+    cases.push_back(compileProgram(*makeRingAllReduce(8, 2, i2)).ir);
+    for (size_t i = 0; i < cases.size(); i++) {
+        SCOPED_TRACE(i);
+        std::string serial = raceVerdict(cases[i], 1);
+        for (int threads : { 2, 4, 8 })
+            EXPECT_EQ(raceVerdict(cases[i], threads), serial);
+    }
 }
 
 } // namespace

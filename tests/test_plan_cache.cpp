@@ -1,0 +1,356 @@
+/**
+ * @file
+ * The content-addressed plan cache: a warm hit must be byte-identical
+ * (same toXml()) to the cold compile for every collective the repo
+ * ships, keys must separate anything that can change the compiled
+ * plan (algorithm config via the trace, compile options, topology),
+ * and the on-disk spill must round-trip, reject corrupt or stale
+ * entries by recompiling, and never change observable results.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "collectives/classic.h"
+#include "collectives/collectives.h"
+#include "compiler/plan_cache.h"
+#include "topology/topology.h"
+
+namespace mscclang {
+namespace {
+
+struct Case
+{
+    const char *name;
+    std::function<std::unique_ptr<Program>()> make;
+    /** Null topology unless the algorithm is machine-specific. */
+    bool dgx1Topology = false;
+};
+
+const Topology &
+dgx1()
+{
+    static Topology topo = makeDgx1();
+    return topo;
+}
+
+/** Every collective family in src/collectives/. */
+std::vector<Case>
+allCollectives()
+{
+    AlgoConfig plain;
+    AlgoConfig i2;
+    i2.instances = 2;
+    AlgoConfig ll;
+    ll.protocol = Protocol::LL;
+    ll.instances = 2;
+    return {
+        { "ring_allreduce",
+          [=] { return makeRingAllReduce(8, 2, i2); } },
+        { "ring_allreduce_oop",
+          [=] { return makeRingAllReduceOutOfPlace(8, 2, i2); } },
+        { "allpairs_allreduce",
+          [=] { return makeAllPairsAllReduce(8, ll); } },
+        { "hierarchical_allreduce",
+          [=] { return makeHierarchicalAllReduce(2, 4, 2, plain); } },
+        { "twostep_alltoall",
+          [=] { return makeTwoStepAllToAll(2, 4, plain); } },
+        { "naive_alltoall",
+          [=] { return makeNaiveAllToAll(8, plain); } },
+        { "alltonext",
+          [=] { return makeAllToNext(2, 4, plain); } },
+        { "naive_alltonext",
+          [=] { return makeNaiveAllToNext(2, 4, plain); } },
+        { "ring_allgather",
+          [=] { return makeRingAllGather(8, 2, i2); } },
+        { "ring_allreduce_over",
+          [=] {
+              return makeRingAllReduceOver({ 0, 2, 1, 3 }, 1, plain);
+          } },
+        { "ring_allgather_over",
+          [=] {
+              return makeRingAllGatherOver({ 3, 1, 2, 0 }, 1, plain);
+          } },
+        { "sccl122_allgather",
+          [=] { return makeSccl122AllGather(dgx1(), plain); }, true },
+        { "dbt_allreduce",
+          [=] { return makeDoubleBinaryTreeAllReduce(16, ll); } },
+        { "rh_reducescatter",
+          [=] { return makeRecursiveHalvingReduceScatter(8, plain); } },
+        { "rd_allgather",
+          [=] { return makeRecursiveDoublingAllGather(8, plain); } },
+        { "rabenseifner_allreduce",
+          [=] { return makeRabenseifnerAllReduce(8, plain); } },
+        { "ring_broadcast",
+          [=] { return makeRingBroadcast(8, 0, 4, plain); } },
+        { "binomial_broadcast",
+          [=] { return makeBinomialBroadcast(8, 0, plain); } },
+        { "hierarchical_allgather",
+          [=] { return makeHierarchicalAllGather(2, 4, plain); } },
+    };
+}
+
+CompileOptions
+optionsFor(const Case &c)
+{
+    CompileOptions copts;
+    if (c.dgx1Topology)
+        copts.topology = &dgx1();
+    return copts;
+}
+
+/** RAII MSCCLANG_PLAN_CACHE_DIR pointing at a fresh temp dir. */
+class SpillDir
+{
+  public:
+    SpillDir()
+    {
+        path_ = testing::TempDir() + "mscclang_plan_cache_" +
+            std::to_string(::getpid());
+        std::filesystem::remove_all(path_);
+        std::filesystem::create_directories(path_);
+        ::setenv("MSCCLANG_PLAN_CACHE_DIR", path_.c_str(), 1);
+    }
+    ~SpillDir()
+    {
+        ::unsetenv("MSCCLANG_PLAN_CACHE_DIR");
+        std::filesystem::remove_all(path_);
+    }
+    const std::string &path() const { return path_; }
+
+    std::string
+    planFile(std::uint64_t key) const
+    {
+        char name[64];
+        std::snprintf(name, sizeof name, "plan-%016llx.xml",
+                      static_cast<unsigned long long>(key));
+        return path_ + "/" + name;
+    }
+
+  private:
+    std::string path_;
+};
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::string out((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    return out;
+}
+
+TEST(PlanCache, WarmHitIsByteIdenticalForEveryCollective)
+{
+    for (const Case &c : allCollectives()) {
+        SCOPED_TRACE(c.name);
+        CompileOptions copts = optionsFor(c);
+        std::string cold =
+            compileProgram(*c.make(), copts).ir.toXml();
+
+        PlanCache cache(64);
+        Compiled first = cache.compile(*c.make(), copts);
+        Compiled warm = cache.compile(*c.make(), copts);
+        EXPECT_EQ(cache.misses(), 1u);
+        EXPECT_EQ(cache.hits(), 1u);
+        EXPECT_EQ(warm.ir.toXml(), cold);
+        // Memory hits carry the full original stats.
+        EXPECT_EQ(warm.stats.totalInstructions,
+                  first.stats.totalInstructions);
+        EXPECT_EQ(warm.stats.instrsAfterFusion,
+                  first.stats.instrsAfterFusion);
+        EXPECT_EQ(warm.stats.channels, first.stats.channels);
+    }
+}
+
+TEST(PlanCache, HitReturnsAnIsolatedCopy)
+{
+    // baselines.cpp renames out.ir after compiling; a later hit must
+    // not observe the caller's mutation.
+    PlanCache cache(8);
+    AlgoConfig plain;
+    Compiled a = cache.compile(*makeNaiveAllToAll(4, plain));
+    std::string original_name = a.ir.name;
+    a.ir.name = "mutated_by_caller";
+    Compiled b = cache.compile(*makeNaiveAllToAll(4, plain));
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(b.ir.name, original_name);
+}
+
+TEST(PlanCache, KeySeparatesAlgoConfig)
+{
+    // AlgoConfig is baked into the trace, so differing configs must
+    // produce differing program fingerprints.
+    AlgoConfig plain;
+    AlgoConfig i2;
+    i2.instances = 2;
+    AlgoConfig ll;
+    ll.protocol = Protocol::LL;
+    CompileOptions copts;
+    std::uint64_t base =
+        planCacheKey(*makeRingAllReduce(8, 2, plain), copts);
+    EXPECT_NE(base, planCacheKey(*makeRingAllReduce(8, 2, i2), copts));
+    EXPECT_NE(base, planCacheKey(*makeRingAllReduce(8, 2, ll), copts));
+    EXPECT_NE(base, planCacheKey(*makeRingAllReduce(8, 4, plain), copts));
+    EXPECT_NE(base, planCacheKey(*makeRingAllReduce(16, 2, plain), copts));
+    EXPECT_NE(base,
+              planCacheKey(*makeRingAllGather(8, 2, plain), copts));
+}
+
+TEST(PlanCache, KeySeparatesCompileOptions)
+{
+    AlgoConfig plain;
+    auto prog = makeRingAllReduce(8, 2, plain);
+    CompileOptions base;
+    std::uint64_t key = planCacheKey(*prog, base);
+
+    CompileOptions no_fuse = base;
+    no_fuse.fuse = false;
+    EXPECT_NE(key, planCacheKey(*prog, no_fuse));
+
+    CompileOptions no_verify = base;
+    no_verify.verify = false;
+    EXPECT_NE(key, planCacheKey(*prog, no_verify));
+
+    CompileOptions tbs = base;
+    tbs.maxThreadBlocks = 7;
+    EXPECT_NE(key, planCacheKey(*prog, tbs));
+
+    CompileOptions slots = base;
+    slots.verifySlots = 1;
+    EXPECT_NE(key, planCacheKey(*prog, slots));
+}
+
+TEST(PlanCache, KeySeparatesTopology)
+{
+    AlgoConfig plain;
+    auto prog = makeRingAllReduce(8, 1, plain);
+    Topology ndv4 = makeNdv4(1);
+    Topology dgx2 = makeDgx2(1);
+
+    CompileOptions none;
+    CompileOptions with_ndv4;
+    with_ndv4.topology = &ndv4;
+    CompileOptions with_dgx2;
+    with_dgx2.topology = &dgx2;
+
+    std::uint64_t k_none = planCacheKey(*prog, none);
+    std::uint64_t k_ndv4 = planCacheKey(*prog, with_ndv4);
+    std::uint64_t k_dgx2 = planCacheKey(*prog, with_dgx2);
+    EXPECT_NE(k_none, k_ndv4);
+    EXPECT_NE(k_none, k_dgx2);
+    EXPECT_NE(k_ndv4, k_dgx2);
+
+    // A degraded machine (the replan path) must not collide with the
+    // healthy one.
+    EXPECT_NE(fingerprintTopology(ndv4),
+              fingerprintTopology(ndv4.degraded({ Link{ 0, 1 } })));
+}
+
+TEST(PlanCache, LruEvictsLeastRecentlyUsed)
+{
+    AlgoConfig plain;
+    PlanCache cache(1);
+    cache.compile(*makeNaiveAllToAll(2, plain));
+    cache.compile(*makeNaiveAllToAll(4, plain)); // evicts the 2-rank
+    cache.compile(*makeNaiveAllToAll(2, plain));
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), 3u);
+}
+
+TEST(PlanCache, DiskSpillRoundTripsAcrossCacheInstances)
+{
+    SpillDir dir;
+    AlgoConfig i2;
+    i2.instances = 2;
+    auto make = [&] { return makeRingAllReduce(8, 2, i2); };
+    CompileOptions copts;
+    std::uint64_t key = planCacheKey(*make(), copts);
+
+    PlanCache writer(8);
+    std::string cold = writer.compile(*make(), copts).ir.toXml();
+    ASSERT_TRUE(std::filesystem::exists(dir.planFile(key)));
+
+    // A fresh cache (new process, conceptually) loads from disk
+    // instead of compiling, byte-identically.
+    PlanCache reader(8);
+    Compiled warm = reader.compile(*make(), copts);
+    EXPECT_EQ(reader.diskHits(), 1u);
+    EXPECT_EQ(warm.ir.toXml(), cold);
+    // Disk hits reconstruct the IR-derivable stats.
+    EXPECT_GT(warm.stats.totalInstructions, 0);
+    EXPECT_GT(warm.stats.channels, 0);
+}
+
+TEST(PlanCache, CorruptDiskEntryFallsBackToFreshCompile)
+{
+    SpillDir dir;
+    AlgoConfig plain;
+    auto make = [&] { return makeNaiveAllToAll(4, plain); };
+    CompileOptions copts;
+    std::uint64_t key = planCacheKey(*make(), copts);
+    std::string cold = compileProgram(*make(), copts).ir.toXml();
+
+    {
+        std::ofstream out(dir.planFile(key));
+        out << "<mscclang-this-is-not-xml";
+    }
+    PlanCache cache(8);
+    Compiled got = cache.compile(*make(), copts);
+    EXPECT_EQ(cache.diskHits(), 0u);
+    EXPECT_EQ(got.ir.toXml(), cold);
+    // The corrupt entry was overwritten with a valid plan.
+    EXPECT_EQ(slurp(dir.planFile(key)), cold);
+}
+
+TEST(PlanCache, MismatchedDiskEntryFallsBackToFreshCompile)
+{
+    // A parseable file whose shape does not match the request (stale
+    // key collision, foreign file) must be ignored, not trusted.
+    SpillDir dir;
+    AlgoConfig plain;
+    auto make = [&] { return makeNaiveAllToAll(4, plain); };
+    CompileOptions copts;
+    std::uint64_t key = planCacheKey(*make(), copts);
+    std::string cold = compileProgram(*make(), copts).ir.toXml();
+
+    std::string other =
+        compileProgram(*makeRingAllGather(8, 2, plain)).ir.toXml();
+    {
+        std::ofstream out(dir.planFile(key));
+        out << other;
+    }
+    PlanCache cache(8);
+    Compiled got = cache.compile(*make(), copts);
+    EXPECT_EQ(cache.diskHits(), 0u);
+    EXPECT_EQ(got.ir.toXml(), cold);
+    EXPECT_EQ(slurp(dir.planFile(key)), cold);
+}
+
+TEST(PlanCache, GlobalEntryPointIsCoherent)
+{
+    AlgoConfig plain;
+    CompileOptions copts;
+    std::string a =
+        compileProgramCached(*makeNaiveAllToAll(2, plain), copts)
+            .ir.toXml();
+    std::string b =
+        compileProgramCached(*makeNaiveAllToAll(2, plain), copts)
+            .ir.toXml();
+    std::string cold =
+        compileProgram(*makeNaiveAllToAll(2, plain), copts).ir.toXml();
+    EXPECT_EQ(a, cold);
+    EXPECT_EQ(b, cold);
+}
+
+} // namespace
+} // namespace mscclang

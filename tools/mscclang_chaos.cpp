@@ -32,7 +32,7 @@
 #include "common/error.h"
 #include "common/rng.h"
 #include "common/strings.h"
-#include "compiler/compiler.h"
+#include "compiler/plan_cache.h"
 #include "runtime/communicator.h"
 
 using namespace mscclang;
@@ -184,19 +184,19 @@ main(int argc, char **argv)
         std::vector<Candidate> candidates;
         candidates.push_back(Candidate{
             "ring/LL",
-            compileProgram(*makeRingAllReduce(ranks, 1, ll)).ir });
+            compileProgramCached(*makeRingAllReduce(ranks, 1, ll)).ir });
         candidates.push_back(Candidate{
             "ring/Simple",
-            compileProgram(*makeRingAllReduce(ranks, 2, simple)).ir });
+            compileProgramCached(*makeRingAllReduce(ranks, 2, simple)).ir });
         candidates.push_back(Candidate{
             "allpairs/LL",
-            compileProgram(*makeAllPairsAllReduce(ranks, ll)).ir });
+            compileProgramCached(*makeAllPairsAllReduce(ranks, ll)).ir });
 
         AlgoConfig fb;
         fb.protocol = Protocol::Simple;
         fb.instances = 2;
         IrProgram fallback_ir =
-            compileProgram(*makeRingAllReduce(ranks, 1, fb)).ir;
+            compileProgramCached(*makeRingAllReduce(ranks, 1, fb)).ir;
         fallback_ir.name = "ring-fallback";
 
         const std::vector<Scenario> scenarios = {

@@ -1,16 +1,22 @@
 #!/usr/bin/env bash
-# Builds the Release benchmark binary and refreshes BENCH_sim.json at
-# the repo root — the tracked record of simulator hot-path throughput
-# and of the speedup versus the frozen seed baseline (EXPERIMENTS.md,
-# "Simulator throughput"). The benchmark reports the fastest of
-# several identical batches, which keeps the recorded numbers stable
-# on hosts with bursty co-tenant interference.
+# Builds the Release benchmark binaries and refreshes the tracked
+# perf records at the repo root:
+#   BENCH_sim.json      — simulator hot-path throughput
+#   BENCH_compile.json  — compiler cold/warm scaling + replan proxy
+# Both report speedups versus frozen seed baselines (EXPERIMENTS.md)
+# and take the fastest of several identical batches, which keeps the
+# recorded numbers stable on hosts with bursty co-tenant
+# interference.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build-release-bench}"
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD_DIR" --target sim_throughput -j"$(nproc)"
+cmake --build "$BUILD_DIR" --target sim_throughput compiler_scaling \
+    -j"$(nproc)"
 
 "$BUILD_DIR/bench/sim_throughput" --json BENCH_sim.json
 echo "wrote $(pwd)/BENCH_sim.json"
+
+"$BUILD_DIR/bench/compiler_scaling" --json BENCH_compile.json
+echo "wrote $(pwd)/BENCH_compile.json"

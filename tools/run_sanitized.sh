@@ -2,8 +2,10 @@
 # Builds the test suite in a separate tree with AddressSanitizer and
 # UBSan enabled (-DMSCCLANG_SANITIZE=ON) and runs the suites that
 # exercise the pooled hot paths hardest: the interpreter's send-op
-# arena and ring inboxes, the event queue's callback slots, and the
-# fault/watchdog abort paths that recycle both mid-kernel. Also
+# arena and ring inboxes, the event queue's callback slots, the
+# fault/watchdog abort paths that recycle both mid-kernel, and the
+# compiler's shared paths — the plan cache's locked LRU + disk spill
+# and the parallel race verifier's per-rank thread pool. Also
 # registered as the "sanitize" ctest configuration (ctest -C sanitize)
 # next to the existing "perf" configuration.
 #
@@ -24,12 +26,13 @@ if [[ "${1:-}" == "--chaos-sweep" ]]; then
     CHAOS_SWEEP=1
     shift
 fi
-FILTER="${1:-Faults|Watchdog|Communicator|Interpreter|EventQueue|Flow|Recovery|Health}"
+FILTER="${1:-Faults|Watchdog|Communicator|Interpreter|EventQueue|Flow|Recovery|Health|PlanCache|Determinism|Races}"
 
 cmake -B "$BUILD_DIR" -S . -DMSCCLANG_SANITIZE=ON \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" --target test_faults test_interpreter \
-    test_sim test_races test_recovery -j"$(nproc)"
+    test_sim test_races test_recovery test_plan_cache \
+    test_determinism -j"$(nproc)"
 
 export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
