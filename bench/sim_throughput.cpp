@@ -31,9 +31,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <limits>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "collectives/classic.h"
@@ -77,6 +81,125 @@ wallMs(std::chrono::steady_clock::time_point t0)
 {
     auto dt = std::chrono::steady_clock::now() - t0;
     return std::chrono::duration<double, std::milli>(dt).count();
+}
+
+/**
+ * Parses a comma-separated integer list for @p flag, rejecting (with
+ * a diagnostic on stderr and exit code 2) anything malformed or
+ * outside [@p lo, @p hi] — a bad list must never silently fall back
+ * to defaults, since the resulting BENCH_sim.json would claim a
+ * sweep that never ran.
+ */
+std::vector<int>
+parseIntList(const char *flag, const char *arg, int lo, int hi)
+{
+    std::vector<int> out;
+    std::string s(arg);
+    size_t pos = 0;
+    while (true) {
+        size_t comma = s.find(',', pos);
+        std::string tok = s.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        if (tok.empty() ||
+            tok.find_first_not_of("0123456789") != std::string::npos) {
+            std::fprintf(stderr,
+                         "sim_throughput: %s expects a comma-separated "
+                         "list of integers, got '%s'\n",
+                         flag, arg);
+            std::exit(2);
+        }
+        long v = std::strtol(tok.c_str(), nullptr, 10);
+        if (v < lo || v > hi) {
+            std::fprintf(stderr,
+                         "sim_throughput: %s value %ld out of range "
+                         "[%d, %d]\n",
+                         flag, v, lo, hi);
+            std::exit(2);
+        }
+        out.push_back(static_cast<int>(v));
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return out;
+}
+
+/**
+ * One scaling cell: repeated 1 MB timing-mode Ring AllReduce runs at
+ * a given simulation thread count (or with sharding disabled — the
+ * pre-sharding global-recompute engine). Returns the fastest pass
+ * wall-clock and the (identical-across-passes) simulated fingerprint.
+ */
+/**
+ * Flow-network churn cell: the subsystem microbench that isolates the
+ * component the sharded engine parallelizes. Every ring pair keeps
+ * @p lanes flows in flight; each completion immediately starts the
+ * next, with pair- and wave-staggered sizes so completions land on
+ * *distinct* timestamps — the irregular-traffic regime where the
+ * global engine recomputes every flow in the machine per update while
+ * the sharded engine touches one component. (Symmetric collectives
+ * coalesce same-instant completions into one update, which is why
+ * the full-stack cells above show a smaller gap.)
+ */
+double
+runChurnCell(const Topology &topo, int ranks, int threads,
+             bool sharded, int waves, int lanes, TimeNs *end_ns,
+             double *delivered)
+{
+    EventQueue events;
+    FlowNetwork net(topo, events);
+    net.enableSharding(sharded);
+    net.setThreads(threads);
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<int> left(ranks, waves);
+    std::function<void(int, int)> launch = [&](int pair, int wave) {
+        if (left[pair] == 0)
+            return;
+        left[pair]--;
+        double bytes = 1.0e5 + (pair * 7919 % 1000) * 37.0 +
+            (wave % 13) * 911.0;
+        const Route &route = topo.route(pair, (pair + 1) % ranks);
+        int next_wave = waves - left[pair];
+        net.startFlow(route.resources, 25.0, bytes,
+                      [&, pair, next_wave] { launch(pair, next_wave); });
+    };
+    for (int p = 0; p < ranks; p++)
+        for (int l = 0; l < lanes; l++)
+            launch(p, l);
+    events.run();
+    *end_ns = events.now();
+    *delivered = net.deliveredBytes();
+    return wallMs(t0);
+}
+
+double
+runScalingCell(const Topology &topo, const IrProgram &ir, int threads,
+               bool sharded, int passes, Fingerprint *fp)
+{
+    double best_ms = std::numeric_limits<double>::infinity();
+    for (int p = 0; p < passes; p++) {
+        auto t0 = std::chrono::steady_clock::now();
+        EventQueue events;
+        FlowNetwork network(topo, events);
+        network.setThreads(threads);
+        network.enableSharding(sharded);
+        ExecOptions exec;
+        exec.dataMode = false;
+        exec.bytesPerRank = 1ull << 20;
+        exec.maxTilesPerChunk = 16;
+        exec.launchOverheadUs = topo.params().kernelLaunchUs;
+        IrExecution run(topo, ir, events, network, exec, nullptr);
+        ExecStats stats;
+        run.start([&](const ExecStats &s) { stats = s; });
+        events.run();
+        best_ms = std::min(best_ms, wallMs(t0));
+        if (p == 0 && fp != nullptr) {
+            *fp = Fingerprint{};
+            fp->add(stats);
+        }
+    }
+    return best_ms;
 }
 
 /**
@@ -225,13 +348,45 @@ main(int argc, char **argv)
 {
     std::string json_path;
     int iters = 20;
+    // The scaling axes (documented defaults; overridden by --ranks /
+    // --threads, which *error* on malformed values rather than
+    // falling back here).
+    std::vector<int> scale_ranks = { 16, 64 };
+    std::vector<int> scale_threads = { 1, 2, 4, 8 };
     for (int i = 1; i < argc; i++) {
-        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
             json_path = argv[++i];
-        else if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc)
+        } else if (std::strcmp(argv[i], "--iters") == 0 &&
+                   i + 1 < argc) {
             iters = std::atoi(argv[++i]);
-        else if (std::strcmp(argv[i], "--fingerprint") == 0)
+        } else if (std::strcmp(argv[i], "--fingerprint") == 0) {
             return fingerprintBattery();
+        } else if (std::strcmp(argv[i], "--ranks") == 0 &&
+                   i + 1 < argc) {
+            scale_ranks = parseIntList("--ranks", argv[++i], 8, 512);
+            for (int r : scale_ranks) {
+                if (r % 8 != 0) {
+                    std::fprintf(stderr,
+                                 "sim_throughput: --ranks values must "
+                                 "be multiples of 8 (NDv4 nodes), got "
+                                 "%d\n",
+                                 r);
+                    return 2;
+                }
+            }
+        } else if (std::strcmp(argv[i], "--threads") == 0 &&
+                   i + 1 < argc) {
+            scale_threads =
+                parseIntList("--threads", argv[++i], 1, 64);
+        } else {
+            std::fprintf(stderr,
+                         "sim_throughput: unknown or incomplete "
+                         "argument '%s'\nusage: sim_throughput "
+                         "[--json PATH] [--iters N] [--fingerprint] "
+                         "[--ranks A,B,...] [--threads A,B,...]\n",
+                         argv[i]);
+            return 2;
+        }
     }
 
     Topology topo = makeNdv4(2); // 16 ranks
@@ -331,6 +486,108 @@ main(int argc, char **argv)
         std::printf(" (%d,%.17g)", w.candidate, w.timeUs);
     std::printf("\n");
 
+    // ---------------------------------------------------------------
+    // Workload 3: ranks x threads scaling of the sharded engine.
+    // Each rank count first measures the pre-sharding engine (global
+    // max-min recompute on every update: enableSharding(false),
+    // 1 thread) as the algorithmic baseline, then the sharded engine
+    // across the thread axis. Simulated fingerprints must be
+    // bit-identical across thread counts — the bench enforces it.
+    // Thread-axis wall-clock gains require real cores (host_cpus is
+    // recorded in the JSON); the sharding gain is algorithmic and
+    // shows on any host.
+    struct ScalingCell
+    {
+        int ranks;
+        int threads;
+        double ms;
+        Fingerprint fp;
+        double vsFirst;  // speedup vs this rank's first thread cell
+        double vsGlobal; // speedup vs the unsharded baseline
+        double churnMs;  // flow-network churn microbench
+        TimeNs churnEndNs;
+        double churnVsGlobal;
+    };
+    std::vector<ScalingCell> cells;
+    // Per rank count: (full-stack baseline ms, churn baseline ms).
+    std::vector<std::pair<int, std::pair<double, double>>> global_ms;
+    const int scale_passes = 3;
+    const int churn_waves = 200, churn_lanes = 4;
+    bool fp_mismatch = false;
+    std::printf("# scaling: Ring AllReduce 1MB (ch=4 r=8 LL128) + "
+                "flow-churn microbench, ranks x threads\n");
+    for (int ranks : scale_ranks) {
+        Topology stopo = makeNdv4(ranks / 8);
+        IrProgram sring =
+            compileProgram(*makeRingAllReduce(ranks, 4, cfg)).ir;
+        Fingerprint base_fp;
+        double base_ms = runScalingCell(stopo, sring, 1, false,
+                                        scale_passes, &base_fp);
+        TimeNs churn_base_end = 0;
+        double churn_base_delivered = 0.0;
+        double churn_base_ms =
+            runChurnCell(stopo, ranks, 1, false, churn_waves,
+                         churn_lanes, &churn_base_end,
+                         &churn_base_delivered);
+        global_ms.emplace_back(
+            ranks, std::make_pair(base_ms, churn_base_ms));
+        std::printf("ranks=%-3d global-recompute baseline: allreduce "
+                    "%.3f ms (endNs=%lld), churn %.3f ms "
+                    "(endNs=%lld)\n",
+                    ranks, base_ms,
+                    static_cast<long long>(base_fp.endNs),
+                    churn_base_ms,
+                    static_cast<long long>(churn_base_end));
+        Fingerprint ref;
+        TimeNs churn_ref_end = 0;
+        double churn_ref_delivered = 0.0;
+        double first_ms = 0.0;
+        for (size_t t = 0; t < scale_threads.size(); t++) {
+            ScalingCell cell;
+            cell.ranks = ranks;
+            cell.threads = scale_threads[t];
+            cell.ms = runScalingCell(stopo, sring, cell.threads, true,
+                                     scale_passes, &cell.fp);
+            double churn_delivered = 0.0;
+            cell.churnMs =
+                runChurnCell(stopo, ranks, cell.threads, true,
+                             churn_waves, churn_lanes,
+                             &cell.churnEndNs, &churn_delivered);
+            if (t == 0) {
+                ref = cell.fp;
+                first_ms = cell.ms;
+                churn_ref_end = cell.churnEndNs;
+                churn_ref_delivered = churn_delivered;
+            } else if (cell.fp.endNs != ref.endNs ||
+                       cell.fp.messages != ref.messages ||
+                       cell.fp.wireBytes != ref.wireBytes ||
+                       cell.churnEndNs != churn_ref_end ||
+                       churn_delivered != churn_ref_delivered) {
+                fp_mismatch = true;
+            }
+            cell.vsFirst = cell.ms > 0.0 ? first_ms / cell.ms : 0.0;
+            cell.vsGlobal = cell.ms > 0.0 ? base_ms / cell.ms : 0.0;
+            cell.churnVsGlobal = cell.churnMs > 0.0
+                ? churn_base_ms / cell.churnMs
+                : 0.0;
+            std::printf("ranks=%-3d threads=%-2d allreduce %.3f "
+                        "ms/run (vs-1t %.2fx, vs-global %.2fx)  "
+                        "churn %.3f ms (vs-global %.2fx)  "
+                        "endNs=%lld\n",
+                        cell.ranks, cell.threads, cell.ms,
+                        cell.vsFirst, cell.vsGlobal, cell.churnMs,
+                        cell.churnVsGlobal,
+                        static_cast<long long>(cell.fp.endNs));
+            cells.push_back(cell);
+        }
+    }
+    if (fp_mismatch) {
+        std::fprintf(stderr,
+                     "sim_throughput: FINGERPRINT MISMATCH across "
+                     "thread counts — determinism contract broken\n");
+        return 1;
+    }
+
     if (!json_path.empty()) {
         std::FILE *f = std::fopen(json_path.c_str(), "w");
         if (f == nullptr) {
@@ -359,14 +616,43 @@ main(int argc, char **argv)
             "  \"seed_baseline\": {\"allreduce16_ms_per_run\": %.4f, "
             "\"tuner_sweep_ms\": %.2f},\n"
             "  \"speedup_vs_seed\": {\"allreduce16\": %.2f, "
-            "\"tuner_sweep\": %.2f}\n"
-            "}\n",
+            "\"tuner_sweep\": %.2f},\n",
             runs_per_batch, ms_per_run, events_per_sec,
             static_cast<long long>(fp.endNs),
             static_cast<unsigned long long>(fp.messages),
             fp.wireBytes, tuner_ms, windows.size(),
             kSeedBaselineAllreduceMs, kSeedBaselineTunerMs,
             ar_speedup, tn_speedup);
+        unsigned hw = std::thread::hardware_concurrency();
+        std::fprintf(f, "  \"host_cpus\": %u,\n", hw > 0 ? hw : 1);
+        std::fprintf(f, "  \"global_recompute_baseline_ms\": {");
+        for (size_t i = 0; i < global_ms.size(); i++)
+            std::fprintf(f,
+                         "%s\"%d\": {\"allreduce\": %.4f, "
+                         "\"churn\": %.4f}",
+                         i > 0 ? ", " : "", global_ms[i].first,
+                         global_ms[i].second.first,
+                         global_ms[i].second.second);
+        std::fprintf(f, "},\n  \"scaling\": [\n");
+        for (size_t i = 0; i < cells.size(); i++) {
+            const ScalingCell &c = cells[i];
+            std::fprintf(f,
+                         "    {\"ranks\": %d, \"threads\": %d, "
+                         "\"ms_per_run\": %.4f, \"end_ns\": %lld, "
+                         "\"speedup_vs_1t\": %.2f, "
+                         "\"speedup_vs_global_recompute\": %.2f, "
+                         "\"churn_ms\": %.4f, "
+                         "\"churn_end_ns\": %lld, "
+                         "\"churn_speedup_vs_global_recompute\": "
+                         "%.2f}%s\n",
+                         c.ranks, c.threads, c.ms,
+                         static_cast<long long>(c.fp.endNs), c.vsFirst,
+                         c.vsGlobal, c.churnMs,
+                         static_cast<long long>(c.churnEndNs),
+                         c.churnVsGlobal,
+                         i + 1 < cells.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
         std::fclose(f);
         std::printf("wrote %s\n", json_path.c_str());
     }

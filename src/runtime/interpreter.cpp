@@ -1086,6 +1086,11 @@ runIr(const Topology &topology, const IrProgram &ir,
 {
     EventQueue events;
     FlowNetwork network(topology, events);
+    // The explicit knob is honored as-is (timings are bit-identical
+    // at any value). Callers that spawn simulations from their own
+    // worker threads — the tuner sweep — size simThreads from the
+    // process-wide SimThreadBudget instead of passing a raw request.
+    network.setThreads(options.simThreads);
     const FaultSchedule &faults =
         options.faults != nullptr ? *options.faults
                                   : topology.faultSchedule();

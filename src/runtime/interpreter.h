@@ -94,6 +94,16 @@ struct ExecOptions
      * here. Not owned; must outlive the run.
      */
     const FaultSchedule *faults = nullptr;
+    /**
+     * Worker threads for the flow network's shard batches (1 =
+     * serial). Simulated timings are bit-identical for every value —
+     * threads only change wall-clock speed. Honored as requested;
+     * callers that launch simulations from their own worker threads
+     * (the tuner sweep) size this from the process-wide
+     * SimThreadBudget so the composition cannot oversubscribe the
+     * machine.
+     */
+    int simThreads = 1;
 };
 
 /** Per-rank float buffers, persistent across composed kernels. */

@@ -10,6 +10,7 @@
 #include "common/strings.h"
 #include "runtime/health.h"
 #include "runtime/interpreter.h"
+#include "sim/worker_pool.h"
 
 namespace mscclang {
 
@@ -102,6 +103,40 @@ tuneWindows(const Topology &topology,
     // from it — is the same for any thread count.
     std::vector<double> time_us(unique.size() * sizes.size(), 0.0);
     size_t points = time_us.size();
+
+    // Lease real threads from the process-wide budget so the
+    // composition — sweep workers, each running a simulation that may
+    // itself be threaded — cannot oversubscribe the machine. Sweep
+    // workers get priority (coarser-grained parallelism pays better);
+    // leftover tokens are split evenly into per-simulation threads.
+    // The caller's thread always counts as one worker, so a depleted
+    // budget degrades to a fully serial sweep, never a stall — and
+    // the tuned windows are identical either way.
+    unsigned hw = std::thread::hardware_concurrency();
+    size_t want = options.threads > 0
+        ? static_cast<size_t>(options.threads)
+        : static_cast<size_t>(hw > 0 ? hw : 1);
+    want = std::min(want, points);
+    int per_sim = std::max(1, options.simThreads);
+    int extra_want = static_cast<int>(want) - 1 +
+        static_cast<int>(want) * (per_sim - 1);
+    struct BudgetLease
+    {
+        int granted;
+        explicit BudgetLease(int want_tokens)
+            : granted(SimThreadBudget::acquire(want_tokens))
+        {
+        }
+        ~BudgetLease() { SimThreadBudget::release(granted); }
+    } lease(extra_want);
+    size_t workers = std::min(
+        want, static_cast<size_t>(1 + lease.granted));
+    int sim_threads = std::min(
+        per_sim,
+        1 +
+            (lease.granted - static_cast<int>(workers) + 1) /
+                static_cast<int>(workers));
+
     auto simulate = [&](size_t point) {
         size_t u = point / sizes.size();
         size_t i = point % sizes.size();
@@ -109,15 +144,11 @@ tuneWindows(const Topology &topology,
         exec.bytesPerRank = sizes[i];
         exec.maxTilesPerChunk = options.maxTilesPerChunk;
         exec.launchOverheadUs = topology.params().kernelLaunchUs;
+        exec.simThreads = sim_threads;
         ExecStats stats = runIr(topology, *unique[u], exec);
         time_us[point] = stats.durationUs();
     };
 
-    unsigned hw = std::thread::hardware_concurrency();
-    size_t want = options.threads > 0
-        ? static_cast<size_t>(options.threads)
-        : static_cast<size_t>(hw > 0 ? hw : 1);
-    size_t workers = std::min(want, points);
     if (workers <= 1) {
         for (size_t p = 0; p < points; p++)
             simulate(p);
@@ -141,10 +172,13 @@ tuneWindows(const Topology &topology,
                 }
             }
         };
+        // The caller is one of the workers: only workers-1 threads
+        // are spawned, matching the budget lease's accounting.
         std::vector<std::thread> pool;
-        pool.reserve(workers);
-        for (size_t w = 0; w < workers; w++)
+        pool.reserve(workers - 1);
+        for (size_t w = 1; w < workers; w++)
             pool.emplace_back(drain);
+        drain();
         for (std::thread &worker : pool)
             worker.join();
         if (error)

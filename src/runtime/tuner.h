@@ -43,8 +43,16 @@ struct TuneOptions
      * (candidate, size) point is an independent simulation on the
      * immutable topology, and the winner merge runs serially over
      * the completed result matrix.
+     *
+     * Both this and simThreads are *requests*: the sweep leases the
+     * actual thread count from the process-wide SimThreadBudget, so
+     * sweep workers times per-simulation workers never exceeds the
+     * hardware concurrency (sweep workers get priority; leftover
+     * tokens become per-simulation threads).
      */
     int threads = 0;
+    /** Requested flow-network threads inside each simulation. */
+    int simThreads = 1;
 };
 
 /**

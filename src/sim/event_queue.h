@@ -15,6 +15,24 @@
  * compaction when tombstones dominate the heap). Live storage is
  * therefore bounded by the peak number of concurrently pending
  * events, no matter how many schedule/cancel cycles a long run does.
+ * A slot whose generation counter would wrap is retired with an
+ * error instead of silently recycling — a wrapped generation would
+ * let a stale EventId cancel an unrelated event (ABA).
+ *
+ * Sharded events (the parallel-simulation substrate, DESIGN.md §11):
+ * a producer that partitions its state into independent shards — the
+ * flow network's coupled-flow components — schedules *shard events*
+ * instead of callbacks. Shard events live in their own heap, ordered
+ * by the deterministic merge key (time, shard, sequence), and are
+ * drained in batches: when the earliest pending event is a shard
+ * event at time T, every shard event at exactly T is popped as one
+ * batch and handed to the installed batch runner, which may process
+ * the shards on a worker pool because same-instant shards are
+ * independent by construction (any cross-shard influence needs an
+ * ordinary serial event, and none can exist between equal
+ * timestamps). Ordinary events interleave with shard events by
+ * (time, sequence), so a serial event scheduled before a same-time
+ * shard event still runs first.
  */
 
 #ifndef MSCCLANG_SIM_EVENT_QUEUE_H_
@@ -42,11 +60,18 @@ usToNs(double us)
  */
 using EventId = std::uint64_t;
 
-/** The event queue. Single-threaded; callbacks may schedule more. */
+/**
+ * The event queue. The driving thread is single; parallelism happens
+ * only inside shard-event batches, under the batch runner's control.
+ * Callbacks may schedule more events.
+ */
 class EventQueue
 {
   public:
     using Callback = std::function<void()>;
+    /** Handles one batch of same-time shard events (shard ids). */
+    using ShardBatchRunner =
+        std::function<void(const std::vector<int> &)>;
 
     /** Current simulated time. */
     TimeNs now() const { return now_; }
@@ -60,13 +85,32 @@ class EventQueue
         return schedule(now_ + delay, std::move(cb));
     }
 
+    /**
+     * Schedules a shard event for @p shard at @p when. Requires a
+     * batch runner (setShardBatchRunner). The producer should keep at
+     * most one pending shard event per shard (cancel + reschedule to
+     * move it); the batch extraction assumes same-time shard events
+     * name distinct shards.
+     */
+    EventId scheduleShard(TimeNs when, int shard);
+
+    /** Installs the executor for shard-event batches. */
+    void setShardBatchRunner(ShardBatchRunner runner)
+    {
+        shardRunner_ = std::move(runner);
+    }
+
     /** Cancels a pending event; cancelling a fired event is a no-op. */
     void cancel(EventId id);
 
     /** True if no live events remain. */
     bool empty() const { return liveEvents_ == 0; }
 
-    /** Pops and runs the earliest event. Returns false when empty. */
+    /**
+     * Pops and runs the earliest event — or, when that event is a
+     * shard event, the whole batch of shard events sharing its
+     * timestamp. Returns false when empty.
+     */
     bool runOne();
 
     /** Runs until the queue is drained. Returns final time. */
@@ -74,6 +118,9 @@ class EventQueue
 
     /** Number of events executed so far (diagnostics). */
     std::uint64_t executed() const { return executed_; }
+
+    /** Shard-event batches executed so far (diagnostics). */
+    std::uint64_t shardBatches() const { return shardBatches_; }
 
     /**
      * Allocated callback-arena slots (diagnostics). Bounded by the
@@ -86,7 +133,10 @@ class EventQueue
      * Compaction keeps this within a constant factor of the live
      * event count.
      */
-    std::size_t heapEntries() const { return heap_.size(); }
+    std::size_t heapEntries() const
+    {
+        return heap_.size() + shardHeap_.size();
+    }
 
   private:
     /** POD heap entry; the callback lives in slots_[slot]. */
@@ -106,34 +156,70 @@ class EventQueue
         }
     };
 
+    /** Shard-heap entry, ordered by (when, shard, seq). */
+    struct ShardEntry
+    {
+        TimeNs when;
+        std::uint64_t seq;
+        std::uint32_t slot;
+        std::uint32_t gen;
+        int shard;
+
+        bool
+        operator>(const ShardEntry &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            if (shard != other.shard)
+                return shard > other.shard;
+            return seq > other.seq;
+        }
+    };
+
     /** One pooled callback slot. */
     struct Slot
     {
         Callback cb;
         std::uint32_t gen = 0;
         bool live = false;
+        /** Shard id for shard events, -1 for callback events. */
+        int shard = -1;
     };
 
-    bool dead(const Entry &entry) const
+    template <typename E>
+    bool
+    dead(const E &entry) const
     {
         const Slot &slot = slots_[entry.slot];
         return !slot.live || slot.gen != entry.gen;
     }
 
+    /** Allocates a slot (from the free list or fresh). */
+    std::uint32_t allocSlot();
+
     /** Frees a slot's callback storage and recycles the slot. */
     void releaseSlot(std::uint32_t index);
 
-    /** Drops dead entries when tombstones dominate the heap. */
-    void compact();
+    /** Drops dead entries when tombstones dominate a heap. */
+    void compactSerial();
+    void compactShard();
+
+    /** Discards dead entries at the top of each heap. */
+    void purgeTops();
 
     TimeNs now_ = 0;
     std::uint64_t nextSeq_ = 1;
     std::uint64_t executed_ = 0;
+    std::uint64_t shardBatches_ = 0;
     std::size_t liveEvents_ = 0;
     std::size_t deadInHeap_ = 0;
-    std::vector<Entry> heap_; // min-heap by (when, seq)
+    std::size_t deadInShardHeap_ = 0;
+    std::vector<Entry> heap_;           // min-heap by (when, seq)
+    std::vector<ShardEntry> shardHeap_; // min-heap by (when, shard, seq)
     std::vector<Slot> slots_;
     std::vector<std::uint32_t> freeSlots_;
+    std::vector<int> batchScratch_;
+    ShardBatchRunner shardRunner_;
 };
 
 } // namespace mscclang

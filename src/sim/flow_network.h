@@ -9,26 +9,40 @@
  * aggregation amortizes per-message latency (paid by the caller),
  * pipelining overlaps flows on disjoint resources.
  *
- * Hot-path layout: flows live in a start-ordered vector (completion
- * callbacks therefore fire in deterministic start order), per-
- * resource flow-membership counts are maintained incrementally so
- * the progressive-filling recomputation touches only resources that
- * actually carry flows, and all per-recompute scratch (remaining
- * capacities, usage counts, the unfrozen set) is reused across
- * updates instead of reallocated. The computed rates are exactly
- * those of the naive all-flows x all-resources formulation: min()
- * reductions are order-independent, and decrementing a resource's
- * usage count when a flow freezes yields the same per-round counts
- * as recounting from scratch.
+ * Sharded layout (DESIGN.md §11): active flows are partitioned into
+ * *shards* — the connected components of the flow/resource sharing
+ * graph, maintained incrementally. Each shard owns its member flows,
+ * the resources they draw from, a private settle clock, and its own
+ * coalesced update event in the EventQueue. A rate-relevant change
+ * (flow start or completion, fault capacity change) settles and
+ * recomputes only the shard it lands in; a flow whose route spans
+ * several shards merges them ("crossing the cut"), and a shard that
+ * lost flows is re-partitioned at its next update so independent
+ * components split apart again. Max-min progressive filling inside a
+ * shard is the exact algorithm the pre-sharding network ran globally,
+ * restricted to the shard — mathematically the same fixed point,
+ * since components share no resources.
+ *
+ * Parallel execution: same-instant shard updates arrive from the
+ * EventQueue as one batch. The batch's per-shard phase (settle,
+ * completion detection, recompute) runs on a SimWorkerPool — shards
+ * touch disjoint state, so any thread count computes bit-identical
+ * results — followed by a serial phase in deterministic (time,
+ * shard, seq) batch order that folds per-shard byte counts into the
+ * global totals, re-partitions, reschedules, and finally fires
+ * completion callbacks in shard-then-start order.
  */
 
 #ifndef MSCCLANG_SIM_FLOW_NETWORK_H_
 #define MSCCLANG_SIM_FLOW_NETWORK_H_
 
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "sim/event_queue.h"
+#include "sim/worker_pool.h"
 #include "topology/topology.h"
 
 namespace mscclang {
@@ -41,6 +55,23 @@ class FlowNetwork
 {
   public:
     FlowNetwork(const Topology &topology, EventQueue &events);
+    ~FlowNetwork();
+
+    /**
+     * Sets the worker-thread count for shard-batch processing
+     * (default 1 = inline on the driving thread). Simulated results
+     * are bit-identical for every value. Call before running; the
+     * pool is created lazily at the first parallel batch.
+     */
+    void setThreads(int threads);
+    int threads() const { return threads_; }
+
+    /**
+     * Disables component sharding: every flow joins one global shard,
+     * reproducing the pre-sharding engine's arithmetic exactly. The
+     * benchmark's baseline mode; also a debugging aid.
+     */
+    void enableSharding(bool on) { sharded_ = on; }
 
     /**
      * Starts a transfer of @p bytes across @p resources with a
@@ -78,7 +109,10 @@ class FlowNetwork
     /** Instantaneous rate of a flow in GB/s (0 if finished). */
     double currentRateGBps(FlowId id) const;
 
-    int activeFlows() const { return static_cast<int>(flows_.size()); }
+    int activeFlows() const { return activeFlows_; }
+
+    /** Live shards (diagnostics: the parallelism grain). */
+    int activeShards() const { return activeShards_; }
 
     /** Total bytes delivered so far (conservation checks in tests). */
     double deliveredBytes() const { return delivered_; }
@@ -99,46 +133,101 @@ class FlowNetwork
         double remaining = 0.0; // bytes
         double rateGBps = 0.0;
         std::function<void()> onDone;
+        bool live = false;
+        int nextFree = -1;
     };
 
-    /** Settles all flows' progress from lastUpdate_ to now. */
-    void settle();
+    /**
+     * One shard: a connected component of the flow/resource graph.
+     * All members are written either from the serial driving thread
+     * or from the single worker processing the shard in a batch's
+     * parallel phase — never both at once.
+     */
+    struct Shard
+    {
+        /** Member flows (arena indices) in ascending FlowId order —
+         *  the completion-callback order within the shard. */
+        std::vector<int> flows;
+        /** Resources owned by this shard (lazily swept). */
+        std::vector<ResourceId> touched;
+        EventId pendingEvent = 0;
+        TimeNs pendingAt = 0;
+        /** Private settle clock: progress is booked shard-locally. */
+        TimeNs lastSettled = 0;
+        bool live = false;
+        /** Lost flows since the last partition check. */
+        bool membershipDirty = false;
+        /** Parallel-phase outputs, folded in by the serial phase: */
+        double settledBytes = 0.0;
+        std::vector<std::function<void()>> done;
+        std::vector<int> doneFlows;
+        TimeNs nextDelayNs = -1;
+        bool starved = false;
+        /** Recompute scratch (kept warm per shard). */
+        std::vector<Flow *> unfrozen;
+    };
+
+    int allocFlow();
+    void freeFlow(int index);
+    int allocShard();
+    void freeShard(int shard);
+
+    /** Books progress since the shard's last settle (shard-local). */
+    void settleShard(Shard &shard);
+    /** Folds a shard's settled bytes into the global total. */
+    void foldDelivered(Shard &shard);
+
+    /** Moves every flow and resource of @p from into @p into. */
+    void mergeShardInto(int from, int into);
 
     /**
-     * Requests an update (settle + complete + recompute) at @p when.
-     * Coalesces with any earlier pending update so that bursts of
-     * flow starts at one instant trigger a single recomputation.
+     * Splits a shard that lost flows back into connected components;
+     * reschedules each component's next update. Serial phase only.
      */
-    void scheduleUpdate(TimeNs when);
+    void partitionShard(int shard);
 
-    /** Settles, completes drained flows, recomputes rates. */
-    void update();
+    /** Coalesces the shard's pending update event to @p when. */
+    void scheduleShardUpdate(int shard, TimeNs when);
 
-    /** Max-min fair rate recomputation + completion scheduling. */
-    void recompute();
+    /** Parallel phase: settle, complete, recompute one shard. */
+    void shardParallel(int shard);
+    /** Serial phase: fold totals, free flows, repartition, requeue. */
+    void shardSerial(int shard);
+    /** EventQueue batch entry point. */
+    void runShardBatch(const std::vector<int> &batch);
 
-    /** Adds/removes a flow's membership in the per-resource counts. */
-    void addMembership(const Flow &flow);
-    void dropMembership(const Flow &flow);
+    /** Max-min progressive filling over one shard's flows. */
+    void recomputeShard(Shard &shard);
 
-    const Topology &topology_;
-    EventQueue &events_;
-    /** Active flows in start order. */
-    std::vector<Flow> flows_;
-    /** Retired Flow shells recycled to keep vector capacity warm. */
-    std::vector<Flow> flowPool_;
-    FlowId nextId_ = 1;
-    TimeNs lastUpdate_ = 0;
-    EventId pendingEvent_ = 0;
-    TimeNs pendingAt_ = 0;
-    double delivered_ = 0.0;
-    std::vector<double> resourceBytes_;
+    /** Schedules the shard's next completion from current rates. */
+    void scheduleCompletion(int shard, const std::vector<int> &flows);
 
     /** Applies one armed fault event (and schedules its recovery). */
     void activateFault(int index);
 
     /** Recomputes a resource's effective capacity from fault state. */
     void refreshCapacity(ResourceId resource);
+
+    const Topology &topology_;
+    EventQueue &events_;
+
+    /** Flow arena with an embedded free list. */
+    std::vector<Flow> flowArena_;
+    int freeFlows_ = -1;
+    int activeFlows_ = 0;
+    FlowId nextId_ = 1;
+
+    /** Shard pool with a free list. */
+    std::vector<Shard> shards_;
+    std::vector<int> freeShards_;
+    int activeShards_ = 0;
+    bool sharded_ = true;
+
+    int threads_ = 1;
+    std::unique_ptr<SimWorkerPool> pool_;
+
+    double delivered_ = 0.0;
+    std::vector<double> resourceBytes_;
 
     /** Effective resource capacities (base x active fault effects). */
     std::vector<double> capacity_;
@@ -154,18 +243,27 @@ class FlowNetwork
     std::vector<FaultEvent> faultEvents_;
     std::vector<int> firedFaults_;
     bool faultsArmed_ = false;
+
     /** Number of active flows crossing each resource. */
     std::vector<int> flowCount_;
-    /** Resources with flowCount_ > 0 (lazily compacted). */
-    std::vector<ResourceId> touched_;
-    /** Whether a resource is in touched_ (dedup flag). */
+    /** Owning shard per resource (-1 when unowned). */
+    std::vector<int> resourceShard_;
+    /** Whether a resource is in its shard's touched list. */
     std::vector<char> inTouched_;
 
-    // Scratch reused by recompute().
+    // Recompute scratch, indexed by resource. Parallel shards write
+    // disjoint entries (each resource has one owner).
     std::vector<double> remCap_;
     std::vector<int> usage_;
-    std::vector<Flow *> unfrozen_;
-    std::vector<std::function<void()>> doneScratch_;
+
+    // Partition scratch (serial phase only).
+    std::vector<std::uint32_t> resEpoch_;
+    std::vector<int> resOwner_;
+    std::uint32_t epoch_ = 0;
+    std::vector<int> ufParent_;
+    std::vector<int> mergeScratch_;
+    std::vector<int> flowMergeScratch_;
+    std::vector<std::function<void()>> batchCallbacks_;
 };
 
 } // namespace mscclang

@@ -1,0 +1,176 @@
+#include "sim/worker_pool.h"
+
+#include <algorithm>
+
+namespace mscclang {
+
+SimWorkerPool::SimWorkerPool(int threads)
+    : threads_(std::max(1, threads))
+{
+    workers_.reserve(threads_ - 1);
+    for (int w = 1; w < threads_; w++)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+SimWorkerPool::~SimWorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+SimWorkerPool::runItems(const std::function<void(std::size_t)> &fn,
+                        std::size_t count, std::uint32_t seq)
+{
+    // Claim items off the shared tagged counter until the job drains
+    // (or until the tag shows a different job: a stale lane must not
+    // touch it). Each item is processed entirely by one thread; which
+    // thread claims which item never influences the item's result.
+    std::size_t done = 0;
+    std::exception_ptr error;
+    for (;;) {
+        std::uint64_t cur = claim_.load(std::memory_order_relaxed);
+        if (static_cast<std::uint32_t>(cur >> 32) != seq)
+            break;
+        std::size_t i = static_cast<std::uint32_t>(cur);
+        if (i >= count)
+            break;
+        if (!claim_.compare_exchange_weak(cur, cur + 1,
+                                          std::memory_order_relaxed))
+            continue;
+        try {
+            fn(i);
+        } catch (...) {
+            if (!error)
+                error = std::current_exception();
+        }
+        done++;
+    }
+    if (done > 0 || error) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        itemsDone_ += done;
+        if (error && !jobError_)
+            jobError_ = error;
+        if (itemsDone_ == jobCount_)
+            done_.notify_all();
+    }
+}
+
+void
+SimWorkerPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        const std::function<void(std::size_t)> *fn;
+        std::size_t count;
+        std::uint64_t seq;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            // jobFn_ != nullptr keeps a worker that slept through an
+            // entire job from starting it after forEach already tore
+            // it down; it just waits for the next one.
+            wake_.wait(lock, [&] {
+                return shutdown_ ||
+                    (jobSeq_ != seen && jobFn_ != nullptr);
+            });
+            if (shutdown_)
+                return;
+            seen = seq = jobSeq_;
+            fn = jobFn_;
+            count = jobCount_;
+        }
+        runItems(*fn, count, static_cast<std::uint32_t>(seq));
+    }
+}
+
+void
+SimWorkerPool::forEach(std::size_t n,
+                       const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (threads_ == 1 || n == 1) {
+        // Inline: the single-thread path runs the identical per-item
+        // code in index order.
+        for (std::size_t i = 0; i < n; i++)
+            fn(i);
+        return;
+    }
+    std::uint64_t seq;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        jobFn_ = &fn;
+        jobCount_ = n;
+        itemsDone_ = 0;
+        jobError_ = nullptr;
+        seq = ++jobSeq_;
+        claim_.store(seq << 32, std::memory_order_relaxed);
+    }
+    wake_.notify_all();
+    // The caller is a lane too.
+    runItems(fn, n, static_cast<std::uint32_t>(seq));
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_.wait(lock, [&] { return itemsDone_ == jobCount_; });
+        jobFn_ = nullptr;
+        error = jobError_;
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+namespace {
+
+std::atomic<int> &
+budgetTokens()
+{
+    static std::atomic<int> tokens{ SimThreadBudget::capacity() };
+    return tokens;
+}
+
+} // namespace
+
+int
+SimThreadBudget::capacity()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return static_cast<int>(hw > 0 ? hw - 1 : 0);
+}
+
+int
+SimThreadBudget::acquire(int want)
+{
+    if (want <= 0)
+        return 0;
+    std::atomic<int> &tokens = budgetTokens();
+    int have = tokens.load(std::memory_order_relaxed);
+    for (;;) {
+        int grant = std::min(want, have);
+        if (grant <= 0)
+            return 0;
+        if (tokens.compare_exchange_weak(have, have - grant,
+                                         std::memory_order_relaxed))
+            return grant;
+    }
+}
+
+void
+SimThreadBudget::release(int granted)
+{
+    if (granted > 0)
+        budgetTokens().fetch_add(granted, std::memory_order_relaxed);
+}
+
+int
+SimThreadBudget::available()
+{
+    return budgetTokens().load(std::memory_order_relaxed);
+}
+
+} // namespace mscclang

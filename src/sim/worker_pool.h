@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The simulation worker pool and the process-wide thread budget.
+ *
+ * SimWorkerPool runs independent per-item closures over a set of
+ * persistent worker threads with a completion barrier. It is the
+ * execution substrate for the sharded flow-network recomputation:
+ * every item (shard) owns disjoint state, each item is processed
+ * serially by exactly one worker, and no cross-item reduction happens
+ * on the workers — so results are bit-identical for any thread count,
+ * including 1 (which runs inline on the caller with no pool at all).
+ *
+ * SimThreadBudget is a simple token pool that caps the total number
+ * of worker threads live in the process at hardware concurrency.
+ * Nested parallelism (the tuner's sweep workers running simulations
+ * that are themselves threaded) draws from the same pool, so the
+ * composition cannot oversubscribe the machine: acquire() grants
+ * whatever is available without blocking and never makes a caller
+ * wait, because determinism never depends on how many tokens were
+ * granted.
+ */
+
+#ifndef MSCCLANG_SIM_WORKER_POOL_H_
+#define MSCCLANG_SIM_WORKER_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mscclang {
+
+/** A persistent pool of @p threads-1 workers plus the caller. */
+class SimWorkerPool
+{
+  public:
+    /** @p threads >= 1 total execution lanes (caller included). */
+    explicit SimWorkerPool(int threads);
+    ~SimWorkerPool();
+
+    SimWorkerPool(const SimWorkerPool &) = delete;
+    SimWorkerPool &operator=(const SimWorkerPool &) = delete;
+
+    int threads() const { return threads_; }
+
+    /**
+     * Runs @p fn(i) for every i in [0, n), blocking until all items
+     * finished. Items are claimed off a shared counter; @p fn must
+     * only touch state owned by item i (plus read-only shared state),
+     * which is what makes the result independent of the thread count
+     * and of the claiming order. An exception thrown by any item is
+     * rethrown on the caller after the barrier (first one wins).
+     */
+    void forEach(std::size_t n,
+                 const std::function<void(std::size_t)> &fn);
+
+  private:
+    void workerLoop();
+    void runItems(const std::function<void(std::size_t)> &fn,
+                  std::size_t count, std::uint32_t seq);
+
+    int threads_ = 1;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    /** Incremented per forEach call; workers join the current job.
+     *  Only the low 32 bits tag claim_ entries. */
+    std::uint64_t jobSeq_ = 0;
+    bool shutdown_ = false;
+    const std::function<void(std::size_t)> *jobFn_ = nullptr;
+    std::size_t jobCount_ = 0;
+    /**
+     * Packed (jobSeq << 32 | next item index). Tagging claims with
+     * the job sequence closes the late-waker hazard: a worker that
+     * woke for job N but reached the claim loop only after job N+1
+     * began must not claim N+1's items with N's function, so claims
+     * go through a CAS that fails the moment the tag changes.
+     */
+    std::atomic<std::uint64_t> claim_{ 0 };
+    std::size_t itemsDone_ = 0;
+    std::exception_ptr jobError_;
+};
+
+/**
+ * Process-wide worker-thread token pool. Tokens count *extra*
+ * threads beyond the callers themselves; the pool starts with
+ * hardware_concurrency - 1 tokens.
+ */
+class SimThreadBudget
+{
+  public:
+    /** Grants min(@p want, available) tokens without blocking. */
+    static int acquire(int want);
+    /** Returns @p granted tokens to the pool. */
+    static void release(int granted);
+    /** Tokens currently available (diagnostics and tests). */
+    static int available();
+    /** Total extra-thread tokens the pool was created with. */
+    static int capacity();
+};
+
+} // namespace mscclang
+
+#endif // MSCCLANG_SIM_WORKER_POOL_H_

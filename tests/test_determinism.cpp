@@ -192,6 +192,171 @@ TEST(Determinism, TimingModeMatchesDataModeTimings)
     EXPECT_EQ(t.wireBytes, d.wireBytes);
 }
 
+/** One timing-mode run with the given flow-network thread count. */
+ExecStats
+runWithSimThreads(const Topology &topo, const IrProgram &ir,
+                  std::uint64_t bytes, int threads,
+                  const std::string &trace_path = std::string())
+{
+    ExecOptions exec;
+    exec.bytesPerRank = bytes;
+    exec.maxTilesPerChunk = 16;
+    exec.launchOverheadUs = topo.params().kernelLaunchUs;
+    exec.simThreads = threads;
+    exec.traceFile = trace_path;
+    return runIr(topo, ir, exec);
+}
+
+/**
+ * The parallel-simulation contract (DESIGN.md §11): the simulated
+ * fingerprint is bit-identical at every thread count. Runs at one
+ * thread as the reference, then at {2, 4, 8}; any divergence means a
+ * shard batch leaked ordering into simulated time.
+ */
+void
+expectSimThreadInvariant(const Topology &topo, const IrProgram &ir,
+                         std::uint64_t bytes)
+{
+    ExecStats ref = runWithSimThreads(topo, ir, bytes, 1);
+    for (int threads : { 2, 4, 8 }) {
+        ExecStats got = runWithSimThreads(topo, ir, bytes, threads);
+        EXPECT_EQ(ref.endNs, got.endNs) << "threads=" << threads;
+        EXPECT_EQ(ref.startNs, got.startNs) << "threads=" << threads;
+        EXPECT_EQ(ref.messages, got.messages)
+            << "threads=" << threads;
+        EXPECT_EQ(ref.wireBytes, got.wireBytes) // exact, not NEAR
+            << "threads=" << threads;
+    }
+}
+
+TEST(Determinism, SimThreadsInvariantAllReduce16)
+{
+    Topology topo = makeNdv4(2);
+    AlgoConfig cfg;
+    cfg.protocol = Protocol::LL128;
+    cfg.instances = 4;
+    IrProgram ir = compileProgram(*makeRingAllReduce(16, 4, cfg)).ir;
+    expectSimThreadInvariant(topo, ir, 1 << 20);
+}
+
+TEST(Determinism, SimThreadsInvariantAllGather16)
+{
+    Topology topo = makeNdv4(2);
+    AlgoConfig cfg;
+    cfg.protocol = Protocol::Simple;
+    cfg.instances = 2;
+    IrProgram ir = compileProgram(*makeRingAllGather(16, 2, cfg)).ir;
+    expectSimThreadInvariant(topo, ir, 256 << 10);
+}
+
+TEST(Determinism, SimThreadsInvariantAllToAll16)
+{
+    Topology topo = makeNdv4(2);
+    AlgoConfig cfg;
+    cfg.protocol = Protocol::Simple;
+    cfg.instances = 1;
+    IrProgram ir = compileProgram(*makeTwoStepAllToAll(2, 8, cfg)).ir;
+    expectSimThreadInvariant(topo, ir, 256 << 10);
+}
+
+TEST(Determinism, SimThreadsInvariantAllReduce64)
+{
+    Topology topo = makeNdv4(8);
+    AlgoConfig cfg;
+    cfg.protocol = Protocol::LL128;
+    cfg.instances = 2;
+    IrProgram ir = compileProgram(*makeRingAllReduce(64, 2, cfg)).ir;
+    expectSimThreadInvariant(topo, ir, 256 << 10);
+}
+
+TEST(Determinism, SimThreadsInvariantAllGather64)
+{
+    Topology topo = makeNdv4(8);
+    AlgoConfig cfg;
+    cfg.protocol = Protocol::Simple;
+    cfg.instances = 1;
+    IrProgram ir = compileProgram(*makeRingAllGather(64, 2, cfg)).ir;
+    expectSimThreadInvariant(topo, ir, 128 << 10);
+}
+
+TEST(Determinism, SimThreadsInvariantAllToAll64)
+{
+    Topology topo = makeNdv4(8);
+    AlgoConfig cfg;
+    cfg.protocol = Protocol::Simple;
+    cfg.instances = 1;
+    IrProgram ir = compileProgram(*makeTwoStepAllToAll(8, 8, cfg)).ir;
+    expectSimThreadInvariant(topo, ir, 64 << 10);
+}
+
+TEST(Determinism, SimThreadsInvariantTraceContent)
+{
+    // Stronger than the stats fingerprint: the full instruction
+    // timeline — every slice's begin and end timestamp — must be
+    // byte-identical across thread counts.
+    Topology topo = makeNdv4(2);
+    AlgoConfig cfg;
+    cfg.protocol = Protocol::LL128;
+    cfg.instances = 2;
+    IrProgram ir = compileProgram(*makeRingAllReduce(16, 2, cfg)).ir;
+    std::string path_1 =
+        testing::TempDir() + "mscclang_simthreads_1.json";
+    std::string path_8 =
+        testing::TempDir() + "mscclang_simthreads_8.json";
+    ExecStats a = runWithSimThreads(topo, ir, 1 << 20, 1, path_1);
+    ExecStats b = runWithSimThreads(topo, ir, 1 << 20, 8, path_8);
+    EXPECT_EQ(a.endNs, b.endNs);
+    std::string trace_1 = slurp(path_1);
+    std::string trace_8 = slurp(path_8);
+    EXPECT_FALSE(trace_1.empty());
+    EXPECT_EQ(trace_1, trace_8);
+    std::remove(path_1.c_str());
+    std::remove(path_8.c_str());
+}
+
+TEST(Determinism, SimThreadsInvariantWithActiveFaults)
+{
+    // Fault activation must fire at the same simulated timestamp no
+    // matter how the flow network is sharded or how many workers
+    // drain a batch: the schedule rides the serial event queue, and
+    // capacity mutation settles only the owning shard.
+    Topology topo = makeNdv4(2);
+    AlgoConfig cfg;
+    cfg.protocol = Protocol::Simple;
+    cfg.instances = 2;
+    IrProgram ir = compileProgram(*makeRingAllReduce(16, 2, cfg)).ir;
+    const std::uint64_t bytes = 1 << 20;
+
+    double healthy_us =
+        runWithSimThreads(topo, ir, bytes, 1).durationUs();
+    const Route &route = topo.route(0, 1);
+    ASSERT_FALSE(route.resources.empty());
+    FaultEvent degrade;
+    degrade.resource = route.resources.front();
+    degrade.kind = FaultKind::Degrade;
+    degrade.atUs = healthy_us * 0.3;
+    degrade.durationUs = healthy_us * 0.4;
+    degrade.factor = 0.05;
+    topo.setFaultSchedule(FaultSchedule{ { degrade } });
+
+    ExecStats ref = runWithSimThreads(topo, ir, bytes, 1);
+    EXPECT_FALSE(ref.aborted);
+    EXPECT_EQ(ref.faultsSeen, 1);
+    EXPECT_GT(ref.durationUs(), healthy_us); // the fault bit
+    for (int threads : { 2, 4, 8 }) {
+        ExecStats got = runWithSimThreads(topo, ir, bytes, threads);
+        EXPECT_EQ(ref.endNs, got.endNs) << "threads=" << threads;
+        EXPECT_EQ(ref.messages, got.messages)
+            << "threads=" << threads;
+        EXPECT_EQ(ref.wireBytes, got.wireBytes)
+            << "threads=" << threads;
+        EXPECT_EQ(ref.firedFaults, got.firedFaults)
+            << "threads=" << threads;
+        EXPECT_EQ(ref.faultsSeen, got.faultsSeen)
+            << "threads=" << threads;
+    }
+}
+
 TEST(Determinism, TunerWindowsIndependentOfThreadCount)
 {
     Topology topo = makeNdv4(2);

@@ -15,7 +15,14 @@ cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" --target sim_throughput compiler_scaling \
     -j"$(nproc)"
 
-"$BUILD_DIR/bench/sim_throughput" --json BENCH_sim.json
+# Sweep both scaling axes: rank counts stress the sharded flow
+# network's partition fan-out, thread counts its worker pool. The
+# frozen seed baselines inside the JSON are unaffected by the sweep
+# arguments.
+SIM_RANKS="${SIM_RANKS:-16,64,128}"
+SIM_THREADS="${SIM_THREADS:-1,2,4,8}"
+"$BUILD_DIR/bench/sim_throughput" --json BENCH_sim.json \
+    --ranks "$SIM_RANKS" --threads "$SIM_THREADS"
 echo "wrote $(pwd)/BENCH_sim.json"
 
 "$BUILD_DIR/bench/compiler_scaling" --json BENCH_compile.json

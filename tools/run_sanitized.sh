@@ -15,27 +15,49 @@
 # self-healing path (replan, backoff, quarantine) fails the run. This
 # is the `ctest -C chaos` CI gate's heavy half.
 #
-# Usage: tools/run_sanitized.sh [--chaos-sweep] [ctest -R regex]
+# With --tsan, builds a third tree with ThreadSanitizer instead
+# (-DMSCCLANG_TSAN=ON; TSan cannot link with ASan) and runs the
+# suites that actually spin threads: the flow network's shard batch
+# workers (Sim), the simThreads determinism sweeps (Determinism), and
+# the fault path that mutates capacities between batches (Faults).
+# Registered as the "tsan" ctest configuration (ctest -C tsan).
+#
+# Usage: tools/run_sanitized.sh [--chaos-sweep|--tsan] [ctest -R regex]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD_DIR="${BUILD_DIR:-build-asan}"
-
 CHAOS_SWEEP=0
+TSAN=0
 if [[ "${1:-}" == "--chaos-sweep" ]]; then
     CHAOS_SWEEP=1
     shift
+elif [[ "${1:-}" == "--tsan" ]]; then
+    TSAN=1
+    shift
 fi
-FILTER="${1:-Faults|Watchdog|Communicator|Interpreter|EventQueue|Flow|Recovery|Health|PlanCache|Determinism|Races}"
 
-cmake -B "$BUILD_DIR" -S . -DMSCCLANG_SANITIZE=ON \
+if [[ "$TSAN" == "1" ]]; then
+    BUILD_DIR="${BUILD_DIR:-build-tsan}"
+    SANITIZE_FLAG="-DMSCCLANG_TSAN=ON"
+    FILTER="${1:-Sim|Determinism|Faults}"
+else
+    BUILD_DIR="${BUILD_DIR:-build-asan}"
+    SANITIZE_FLAG="-DMSCCLANG_SANITIZE=ON"
+    FILTER="${1:-Faults|Watchdog|Communicator|Interpreter|EventQueue|Flow|Recovery|Health|PlanCache|Determinism|Races}"
+fi
+
+cmake -B "$BUILD_DIR" -S . "$SANITIZE_FLAG" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" --target test_faults test_interpreter \
     test_sim test_races test_recovery test_plan_cache \
     test_determinism -j"$(nproc)"
 
-export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
-export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
+if [[ "$TSAN" == "1" ]]; then
+    export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
+else
+    export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
+    export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
+fi
 ctest --test-dir "$BUILD_DIR" -R "$FILTER" --output-on-failure \
     -j"$(nproc)"
 
