@@ -1,20 +1,24 @@
 /**
  * @file
  * Algorithm exploration across the AllReduce design space — the
- * workflow the paper's DSL exists for: five algorithms (Ring, All
- * Pairs, double binary Tree, Rabenseifner, Hierarchical) on one
- * machine, one table, every variant statically verified. Ring wins
+ * workflow the paper's DSL exists for, now a thin wrapper over the
+ * schedule-space search (src/search). The historical hand-tuned
+ * picks are evaluated first (labels derived from their specs, so a
+ * label can never disagree with the program it names), then the
+ * searcher sweeps the same machine and prints the pareto frontier
+ * and its tuned windows next to the hand-tuned baseline. Ring wins
  * bandwidth, All Pairs and Rabenseifner win latency, the tree sits
- * between — the classic trade-offs emerge from the simulated
- * substrate rather than being hard-coded.
+ * between — and the searcher finds those trade-offs (or better)
+ * without a human enumerating variants.
  */
 
 #include <cstdio>
+#include <limits>
 
-#include "collectives/classic.h"
-#include "collectives/collectives.h"
 #include "bench_util.h"
+#include "common/strings.h"
 #include "compiler/plan_cache.h"
+#include "search/search.h"
 
 using namespace mscclang;
 using namespace mscclang::bench;
@@ -26,43 +30,71 @@ main(int argc, char **argv)
     std::vector<std::uint64_t> sizes =
         sweepFromArgs(argc, argv, 1 << 10, 64 << 20);
 
-    AlgoConfig ll;
-    ll.protocol = Protocol::LL;
-    ll.instances = 4;
-    AlgoConfig ll128;
-    ll128.protocol = Protocol::LL128;
-    ll128.instances = 8;
-
+    // The hand-tuned picks, labelled from their own specs.
+    std::vector<ScheduleCandidate> hand = handTunedAllReduceCandidates();
     struct Algo
     {
-        const char *label;
+        std::string label;
         IrProgram ir;
     };
+    CompileOptions copts;
+    copts.topology = &topo;
     std::vector<Algo> algos;
-    algos.push_back({ "Ring ch4 r8 LL128",
-                      compileProgramCached(*makeRingAllReduce(8, 4, ll128))
-                          .ir });
-    algos.push_back({ "AllPairs r4 LL",
-                      compileProgramCached(*makeAllPairsAllReduce(8, ll))
-                          .ir });
-    algos.push_back(
-        { "Tree r4 LL",
-          compileProgramCached(*makeDoubleBinaryTreeAllReduce(8, ll)).ir });
-    algos.push_back(
-        { "Rabenseifner r4 LL",
-          compileProgramCached(*makeRabenseifnerAllReduce(8, ll)).ir });
+    for (const ScheduleCandidate &spec : hand) {
+        algos.push_back(
+            { candidateLabel(spec),
+              compileProgramCached(*buildCandidate(spec, topo), copts)
+                  .ir });
+    }
 
     std::printf("# AllReduce algorithm exploration, 1x8 A100 "
                 "(absolute us; every program statically verified)\n");
     std::printf("%-8s", "size");
     for (const Algo &algo : algos)
-        std::printf(" %20s", algo.label);
+        std::printf(" %20s", algo.label.c_str());
     std::printf("\n");
     for (std::uint64_t bytes : sizes) {
         std::printf("%-8s", formatBytes(bytes).c_str());
         for (const Algo &algo : algos)
             std::printf(" %20.1f", timeIrUs(topo, algo.ir, bytes, 1));
         std::printf("\n");
+    }
+    std::printf("\n");
+
+    // The searched frontier over a compact knob space that contains
+    // every hand-tuned pick, so the searched windows can never be
+    // slower than the table above at any swept size.
+    SearchOptions options;
+    options.channels = { 1, 4 };
+    options.parallelize = { 1, 2 };
+    options.instances = { 1, 4, 8 };
+    options.protocols = { Protocol::LL, Protocol::LL128,
+                          Protocol::Simple };
+    options.aggregates = { 1, 2 };
+    options.fromBytes = sizes.front();
+    options.toBytes = sizes.back();
+    options.maxTilesPerChunk = 1;
+    SearchResult result = searchSchedules(topo, "allreduce", options);
+
+    std::printf("# Searched schedule space: %zu enumerated, %zu "
+                "evaluated, %zu deduped, %zu skipped; frontier %zu\n",
+                result.enumerated, result.evaluated.size(),
+                result.deduped, result.skipped,
+                result.frontier.size());
+    std::printf("%-12s %-12s %-28s %10s\n", "minBytes", "maxBytes",
+                "winner", "us@min");
+    for (const TunedWindow &window : result.windows) {
+        const std::string &label =
+            result.frontierIr[static_cast<size_t>(window.candidate)]
+                .name;
+        std::printf(
+            "%-12s %-12s %-28s %10.1f\n",
+            formatBytes(window.minBytes).c_str(),
+            window.maxBytes ==
+                    std::numeric_limits<std::uint64_t>::max()
+                ? "inf"
+                : formatBytes(window.maxBytes).c_str(),
+            label.c_str(), window.timeUs);
     }
     std::printf("\n");
     return 0;

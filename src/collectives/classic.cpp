@@ -42,8 +42,12 @@ makeDoubleBinaryTreeAllReduce(int num_ranks, const AlgoConfig &config)
     if (num_ranks < 2)
         throw Error("tree allreduce needs at least 2 ranks");
     auto coll = std::make_shared<AllReduceCollective>(num_ranks, 2);
+    checkAlgoConfig("tree allreduce", config,
+                    /*allows_aggregate=*/false);
     auto prog = std::make_unique<Program>(
-        coll, baseOptions("tree_allreduce", config));
+        coll,
+        baseOptions(algoKnobName("tree_allreduce", config), config));
+    ParallelizeScope scope = prog->parallelize(config.parallelize);
 
     // Tree 0 is the binary heap over 0..R-1; tree 1 is its mirror,
     // so interior ranks of one tree are (mostly) leaves of the other.
@@ -93,8 +97,12 @@ makeRecursiveHalvingReduceScatter(int num_ranks,
     requirePowerOfTwo("recursive-halving reducescatter", num_ranks);
     auto coll =
         std::make_shared<ReduceScatterCollective>(num_ranks, 1);
+    checkAlgoConfig("recursive-halving reducescatter", config,
+                    /*allows_aggregate=*/false);
     auto prog = std::make_unique<Program>(
-        coll, baseOptions("rhalving_reducescatter", config));
+        coll,
+        baseOptions(algoKnobName("rhalving_reducescatter", config), config));
+    ParallelizeScope scope = prog->parallelize(config.parallelize);
 
     std::vector<int> lo(num_ranks, 0);
     for (int d = num_ranks / 2; d >= 1; d /= 2) {
@@ -126,8 +134,12 @@ makeRecursiveDoublingAllGather(int num_ranks, const AlgoConfig &config)
 {
     requirePowerOfTwo("recursive-doubling allgather", num_ranks);
     auto coll = std::make_shared<AllGatherCollective>(num_ranks, 1);
+    checkAlgoConfig("recursive-doubling allgather", config,
+                    /*allows_aggregate=*/false);
     auto prog = std::make_unique<Program>(
-        coll, baseOptions("rdoubling_allgather", config));
+        coll,
+        baseOptions(algoKnobName("rdoubling_allgather", config), config));
+    ParallelizeScope scope = prog->parallelize(config.parallelize);
 
     for (Rank r = 0; r < num_ranks; r++) {
         prog->chunk(r, BufferKind::Input, 0)
@@ -154,8 +166,12 @@ makeRabenseifnerAllReduce(int num_ranks, const AlgoConfig &config)
     requirePowerOfTwo("rabenseifner allreduce", num_ranks);
     auto coll =
         std::make_shared<AllReduceCollective>(num_ranks, num_ranks);
+    checkAlgoConfig("rabenseifner allreduce", config,
+                    /*allows_aggregate=*/false);
     auto prog = std::make_unique<Program>(
-        coll, baseOptions("rabenseifner_allreduce", config));
+        coll,
+        baseOptions(algoKnobName("rabenseifner_allreduce", config), config));
+    ParallelizeScope scope = prog->parallelize(config.parallelize);
 
     // Recursive-halving ReduceScatter on the input buffer.
     std::vector<int> lo(num_ranks, 0);
@@ -193,8 +209,12 @@ makeRingBroadcast(int num_ranks, Rank root, int chunks,
 {
     auto coll = std::make_shared<BroadcastCollective>(num_ranks, chunks,
                                                       root);
+    checkAlgoConfig("ring broadcast", config,
+                    /*allows_aggregate=*/false);
     auto prog = std::make_unique<Program>(
-        coll, baseOptions("ring_broadcast", config));
+        coll,
+        baseOptions(algoKnobName("ring_broadcast", config), config));
+    ParallelizeScope scope = prog->parallelize(config.parallelize);
     for (int j = 0; j < chunks; j++) {
         ChunkRef c = prog->chunk(root, BufferKind::Input, j)
                          .copy(root, BufferKind::Output, j);
@@ -211,8 +231,12 @@ makeBinomialBroadcast(int num_ranks, Rank root, const AlgoConfig &config)
 {
     auto coll =
         std::make_shared<BroadcastCollective>(num_ranks, 1, root);
+    checkAlgoConfig("binomial broadcast", config,
+                    /*allows_aggregate=*/false);
     auto prog = std::make_unique<Program>(
-        coll, baseOptions("binomial_broadcast", config));
+        coll,
+        baseOptions(algoKnobName("binomial_broadcast", config), config));
+    ParallelizeScope scope = prog->parallelize(config.parallelize);
     prog->chunk(root, BufferKind::Input, 0)
         .copy(root, BufferKind::Output, 0);
     for (int d = 1; d < num_ranks; d *= 2) {
@@ -233,8 +257,12 @@ makeHierarchicalAllGather(int num_nodes, int gpus_per_node,
     int N = num_nodes, G = gpus_per_node;
     int R = N * G;
     auto coll = std::make_shared<AllGatherCollective>(R, 1);
+    checkAlgoConfig("hierarchical allgather", config,
+                    /*allows_aggregate=*/false);
     auto prog = std::make_unique<Program>(
-        coll, baseOptions("hierarchical_allgather", config));
+        coll,
+        baseOptions(algoKnobName("hierarchical_allgather", config), config));
+    ParallelizeScope scope = prog->parallelize(config.parallelize);
 
     // Phase 1 (channel 0): intra-node ring AllGather assembles each
     // node's block in every local rank's output buffer.

@@ -66,6 +66,33 @@ baseOptions(std::string name, const AlgoConfig &config)
 } // namespace
 
 void
+checkAlgoConfig(const char *what, const AlgoConfig &config,
+                bool allows_aggregate)
+{
+    if (config.instances < 1 || config.parallelize < 1 ||
+        config.aggregate < 1) {
+        throw Error(strprintf(
+            "%s: instances, parallelize and aggregate must be >= 1",
+            what));
+    }
+    if (!allows_aggregate && config.aggregate != 1) {
+        throw Error(strprintf(
+            "%s: send aggregation (aggregate=%d) is not supported by "
+            "this builder", what, config.aggregate));
+    }
+}
+
+std::string
+algoKnobName(std::string name, const AlgoConfig &config)
+{
+    if (config.parallelize > 1)
+        name += strprintf("_p%d", config.parallelize);
+    if (config.aggregate > 1)
+        name += strprintf("_a%d", config.aggregate);
+    return name;
+}
+
+void
 buildRingReduceScatter(Program &program, const std::vector<Rank> &ranks,
                        int offset, int count, int channel)
 {
@@ -86,17 +113,22 @@ makeRingAllReduce(int num_ranks, int channels, const AlgoConfig &config)
 {
     if (channels < 1)
         throw Error("ring allreduce: channels must be >= 1");
+    checkAlgoConfig("ring allreduce", config, /*allows_aggregate=*/true);
+    int agg = config.aggregate;
     auto coll = std::make_shared<AllReduceCollective>(num_ranks,
-                                                      num_ranks);
+                                                      num_ranks * agg);
     auto prog = std::make_unique<Program>(
-        coll, baseOptions(strprintf("ring_allreduce_ch%d", channels),
-                          config));
+        coll,
+        baseOptions(algoKnobName(strprintf("ring_allreduce_ch%d", channels),
+                             config),
+                    config));
     std::vector<Rank> ranks(num_ranks);
     for (int r = 0; r < num_ranks; r++)
         ranks[r] = r;
     auto channel_of = [channels](int block) { return block % channels; };
-    ringReduceScatter(*prog, ranks, 0, 1, channel_of);
-    ringAllGather(*prog, ranks, 0, 1, channel_of);
+    ParallelizeScope scope = prog->parallelize(config.parallelize);
+    ringReduceScatter(*prog, ranks, 0, agg, channel_of);
+    ringAllGather(*prog, ranks, 0, agg, channel_of);
     return prog;
 }
 
@@ -106,24 +138,29 @@ makeRingAllReduceOutOfPlace(int num_ranks, int channels,
 {
     if (channels < 1)
         throw Error("ring allreduce: channels must be >= 1");
+    checkAlgoConfig("ring allreduce oop", config, /*allows_aggregate=*/true);
+    int agg = config.aggregate;
     auto coll = std::make_shared<AllReduceCollective>(
-        num_ranks, num_ranks, /*in_place=*/false);
+        num_ranks, num_ranks * agg, /*in_place=*/false);
     auto prog = std::make_unique<Program>(
         coll,
-        baseOptions(strprintf("ring_allreduce_oop_ch%d", channels),
-                    config));
+        baseOptions(
+            algoKnobName(strprintf("ring_allreduce_oop_ch%d", channels),
+                     config),
+            config));
     std::vector<Rank> ranks(num_ranks);
     for (int r = 0; r < num_ranks; r++)
         ranks[r] = r;
     auto channel_of = [channels](int block) { return block % channels; };
-    ringReduceScatter(*prog, ranks, 0, 1, channel_of);
+    ParallelizeScope scope = prog->parallelize(config.parallelize);
+    ringReduceScatter(*prog, ranks, 0, agg, channel_of);
     // AllGather into the distinct output buffer.
     for (int r = 0; r < num_ranks; r++) {
-        ChunkRef c = prog->chunk(r, BufferKind::Input, r)
-                         .copy(r, BufferKind::Output, r);
+        ChunkRef c = prog->chunk(r, BufferKind::Input, r * agg, agg)
+                         .copy(r, BufferKind::Output, r * agg);
         for (int step = 1; step < num_ranks; step++) {
             Rank next = (r + step) % num_ranks;
-            c = c.copy(next, BufferKind::Output, r,
+            c = c.copy(next, BufferKind::Output, r * agg,
                        OpOptions{ channel_of(r) });
         }
     }
@@ -133,10 +170,14 @@ makeRingAllReduceOutOfPlace(int num_ranks, int channels,
 std::unique_ptr<Program>
 makeAllPairsAllReduce(int num_ranks, const AlgoConfig &config)
 {
+    checkAlgoConfig("allpairs allreduce", config,
+                /*allows_aggregate=*/false);
     auto coll = std::make_shared<AllReduceCollective>(num_ranks,
                                                       num_ranks);
     auto prog = std::make_unique<Program>(
-        coll, baseOptions("allpairs_allreduce", config));
+        coll,
+        baseOptions(algoKnobName("allpairs_allreduce", config), config));
+    ParallelizeScope scope = prog->parallelize(config.parallelize);
     for (Rank r = 0; r < num_ranks; r++) {
         // Step 1: gather chunk r from every peer into scratch.
         for (Rank q = 0; q < num_ranks; q++) {
@@ -169,10 +210,14 @@ makeHierarchicalAllReduce(int num_nodes, int gpus_per_node,
     int N = num_nodes, G = gpus_per_node;
     if (intra_parallel < 1)
         throw Error("hierarchical allreduce: intra_parallel must be >= 1");
+    checkAlgoConfig("hierarchical allreduce", config,
+                /*allows_aggregate=*/false);
     auto coll =
         std::make_shared<AllReduceCollective>(N * G, N * G);
     auto prog = std::make_unique<Program>(
-        coll, baseOptions("hierarchical_allreduce", config));
+        coll,
+        baseOptions(algoKnobName("hierarchical_allreduce", config), config));
+    ParallelizeScope outer = prog->parallelize(config.parallelize);
 
     // Intra-node ReduceScatter (channel 0), chunk-parallelized.
     for (int n = 0; n < N; n++) {
@@ -207,9 +252,11 @@ makeTwoStepAllToAll(int num_nodes, int gpus_per_node,
 {
     int N = num_nodes, G = gpus_per_node;
     int R = N * G;
+    checkAlgoConfig("twostep alltoall", config, /*allows_aggregate=*/false);
     auto coll = std::make_shared<AllToAllCollective>(R, 1);
     auto prog = std::make_unique<Program>(
-        coll, baseOptions("twostep_alltoall", config));
+        coll, baseOptions(algoKnobName("twostep_alltoall", config), config));
+    ParallelizeScope scope = prog->parallelize(config.parallelize);
 
     // Figure 9, verbatim.
     for (int n = 0; n < N; n++) {
@@ -243,9 +290,11 @@ makeTwoStepAllToAll(int num_nodes, int gpus_per_node,
 std::unique_ptr<Program>
 makeNaiveAllToAll(int num_ranks, const AlgoConfig &config)
 {
+    checkAlgoConfig("naive alltoall", config, /*allows_aggregate=*/false);
     auto coll = std::make_shared<AllToAllCollective>(num_ranks, 1);
     auto prog = std::make_unique<Program>(
-        coll, baseOptions("naive_alltoall", config));
+        coll, baseOptions(algoKnobName("naive_alltoall", config), config));
+    ParallelizeScope scope = prog->parallelize(config.parallelize);
     for (Rank src = 0; src < num_ranks; src++) {
         for (Rank dst = 0; dst < num_ranks; dst++) {
             prog->chunk(src, BufferKind::Input, dst)
@@ -260,9 +309,11 @@ makeAllToNext(int num_nodes, int gpus_per_node, const AlgoConfig &config)
 {
     int N = num_nodes, G = gpus_per_node;
     int R = N * G;
+    checkAlgoConfig("alltonext", config, /*allows_aggregate=*/false);
     auto coll = std::make_shared<AllToNextCollective>(R, G);
     auto prog = std::make_unique<Program>(
-        coll, baseOptions("alltonext", config));
+        coll, baseOptions(algoKnobName("alltonext", config), config));
+    ParallelizeScope scope = prog->parallelize(config.parallelize);
 
     for (Rank r = 0; r + 1 < R; r++) {
         int n = r / G, g_local = r % G;
@@ -292,9 +343,12 @@ makeNaiveAllToNext(int num_nodes, int gpus_per_node,
                    const AlgoConfig &config)
 {
     int R = num_nodes * gpus_per_node;
+    checkAlgoConfig("naive alltonext", config, /*allows_aggregate=*/false);
     auto coll = std::make_shared<AllToNextCollective>(R, gpus_per_node);
     auto prog = std::make_unique<Program>(
-        coll, baseOptions("naive_alltonext", config));
+        coll,
+        baseOptions(algoKnobName("naive_alltonext", config), config));
+    ParallelizeScope scope = prog->parallelize(config.parallelize);
     for (Rank r = 0; r + 1 < R; r++) {
         prog->chunk(r, BufferKind::Input, 0, gpus_per_node)
             .copy(r + 1, BufferKind::Output, 0);
@@ -307,15 +361,18 @@ makeRingAllGather(int num_ranks, int channels, const AlgoConfig &config)
 {
     if (channels < 1)
         throw Error("ring allgather: channels must be >= 1");
-    auto coll = std::make_shared<AllGatherCollective>(num_ranks, 1);
+    checkAlgoConfig("ring allgather", config, /*allows_aggregate=*/true);
+    int agg = config.aggregate;
+    auto coll = std::make_shared<AllGatherCollective>(num_ranks, agg);
     auto prog = std::make_unique<Program>(
-        coll, baseOptions("ring_allgather", config));
+        coll, baseOptions(algoKnobName("ring_allgather", config), config));
+    ParallelizeScope scope = prog->parallelize(config.parallelize);
     for (Rank r = 0; r < num_ranks; r++) {
-        ChunkRef c = prog->chunk(r, BufferKind::Input, 0)
-                         .copy(r, BufferKind::Output, r);
+        ChunkRef c = prog->chunk(r, BufferKind::Input, 0, agg)
+                         .copy(r, BufferKind::Output, r * agg);
         for (int step = 1; step < num_ranks; step++) {
             Rank next = (r + step) % num_ranks;
-            c = c.copy(next, BufferKind::Output, r,
+            c = c.copy(next, BufferKind::Output, r * agg,
                        OpOptions{ r % channels });
         }
     }
@@ -385,15 +442,22 @@ makeRingAllReduceOver(const std::vector<Rank> &order, int channels,
     if (channels < 1)
         throw Error("ring allreduce: channels must be >= 1");
     checkRingOrder(order, "ring allreduce over");
+    checkAlgoConfig("ring allreduce over", config,
+                /*allows_aggregate=*/true);
     int R = static_cast<int>(order.size());
-    auto coll = std::make_shared<AllReduceCollective>(R, R);
+    int agg = config.aggregate;
+    auto coll = std::make_shared<AllReduceCollective>(R, R * agg);
     auto prog = std::make_unique<Program>(
         coll,
-        baseOptions(strprintf("ring_allreduce_reformed_ch%d", channels),
-                    config));
+        baseOptions(
+            algoKnobName(
+                strprintf("ring_allreduce_reformed_ch%d", channels),
+                config),
+            config));
     auto channel_of = [channels](int block) { return block % channels; };
-    ringReduceScatter(*prog, order, 0, 1, channel_of);
-    ringAllGather(*prog, order, 0, 1, channel_of);
+    ParallelizeScope scope = prog->parallelize(config.parallelize);
+    ringReduceScatter(*prog, order, 0, agg, channel_of);
+    ringAllGather(*prog, order, 0, agg, channel_of);
     return prog;
 }
 
@@ -404,10 +468,15 @@ makeRingAllGatherOver(const std::vector<Rank> &order, int channels,
     if (channels < 1)
         throw Error("ring allgather: channels must be >= 1");
     checkRingOrder(order, "ring allgather over");
+    checkAlgoConfig("ring allgather over", config,
+                /*allows_aggregate=*/false);
     int R = static_cast<int>(order.size());
     auto coll = std::make_shared<AllGatherCollective>(R, 1);
     auto prog = std::make_unique<Program>(
-        coll, baseOptions("ring_allgather_reformed", config));
+        coll,
+        baseOptions(algoKnobName("ring_allgather_reformed", config),
+                    config));
+    ParallelizeScope scope = prog->parallelize(config.parallelize);
     for (int i = 0; i < R; i++) {
         Rank owner = order[i];
         ChunkRef c = prog->chunk(owner, BufferKind::Input, 0)
@@ -425,9 +494,13 @@ std::unique_ptr<Program>
 makeSccl122AllGather(const Topology &topology, const AlgoConfig &config)
 {
     int R = topology.numRanks();
+    checkAlgoConfig("sccl allgather 122", config,
+                /*allows_aggregate=*/false);
     auto coll = std::make_shared<AllGatherCollective>(R, 2);
     auto prog = std::make_unique<Program>(
-        coll, baseOptions("sccl_allgather_122", config));
+        coll,
+        baseOptions(algoKnobName("sccl_allgather_122", config), config));
+    ParallelizeScope scope = prog->parallelize(config.parallelize);
 
     auto neighbors = [&](Rank r) {
         std::vector<Rank> out;

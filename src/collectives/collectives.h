@@ -33,7 +33,36 @@ struct AlgoConfig
     int instances = 1;
     Protocol protocol = Protocol::Simple;
     ReduceOp reduceOp = ReduceOp::Sum;
+    /**
+     * Chunk-parallelization factor wrapped around the whole trace
+     * (paper §5.1's parallelize(n) scope); 1 = off. Composes
+     * multiplicatively with @c instances at lowering, so a builder's
+     * own interior parallelize() scopes nest on top of it.
+     */
+    int parallelize = 1;
+    /**
+     * Contiguous chunks moved per ring block as one multi-count
+     * reference (paper §3.3 send aggregation); 1 = off. Only the
+     * ring-family builders honor values > 1 — every other builder
+     * rejects them with Error so a schedule-search candidate can
+     * never silently drop the knob it claims to vary.
+     */
+    int aggregate = 1;
 };
+
+/**
+ * Validates @p config's shared schedule knobs on behalf of a builder
+ * named @p what: all factors must be >= 1, and builders that cannot
+ * honor send aggregation reject aggregate != 1 instead of silently
+ * ignoring it (so a label derived from the config can never claim a
+ * knob the trace does not carry). @throws mscclang::Error.
+ */
+void checkAlgoConfig(const char *what, const AlgoConfig &config,
+                     bool allows_aggregate);
+
+/** Appends the non-default schedule-knob suffixes ("_p2", "_a4") to
+ *  a program name so variants stay tellable apart in tools/traces. */
+std::string algoKnobName(std::string name, const AlgoConfig &config);
 
 /**
  * Ring AllReduce over @p num_ranks: a ReduceScatter traversal

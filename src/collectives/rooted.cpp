@@ -121,8 +121,12 @@ makeBinomialReduce(int num_ranks, Rank root, const AlgoConfig &config)
 {
     auto coll =
         std::make_shared<ReduceCollective>(num_ranks, 1, root);
+    checkAlgoConfig("binomial reduce", config,
+                    /*allows_aggregate=*/false);
     auto prog = std::make_unique<Program>(
-        coll, baseOptions("binomial_reduce", config));
+        coll,
+        baseOptions(algoKnobName("binomial_reduce", config), config));
+    ParallelizeScope scope = prog->parallelize(config.parallelize);
 
     // Work in scratch relative to the root (rank = (root + v) % R);
     // round d halves the active span by reducing v+d into v.
@@ -153,8 +157,12 @@ makeDirectGather(int num_ranks, Rank root, const AlgoConfig &config)
 {
     auto coll =
         std::make_shared<GatherCollective>(num_ranks, 1, root);
+    checkAlgoConfig("direct gather", config,
+                    /*allows_aggregate=*/false);
     auto prog = std::make_unique<Program>(
-        coll, baseOptions("direct_gather", config));
+        coll,
+        baseOptions(algoKnobName("direct_gather", config), config));
+    ParallelizeScope scope = prog->parallelize(config.parallelize);
     for (Rank r = 0; r < num_ranks; r++) {
         prog->chunk(r, BufferKind::Input, 0)
             .copy(root, BufferKind::Output, r);
@@ -167,8 +175,12 @@ makeDirectScatter(int num_ranks, Rank root, const AlgoConfig &config)
 {
     auto coll =
         std::make_shared<ScatterCollective>(num_ranks, 1, root);
+    checkAlgoConfig("direct scatter", config,
+                    /*allows_aggregate=*/false);
     auto prog = std::make_unique<Program>(
-        coll, baseOptions("direct_scatter", config));
+        coll,
+        baseOptions(algoKnobName("direct_scatter", config), config));
+    ParallelizeScope scope = prog->parallelize(config.parallelize);
     for (Rank r = 0; r < num_ranks; r++) {
         prog->chunk(root, BufferKind::Input, r)
             .copy(r, BufferKind::Output, 0);

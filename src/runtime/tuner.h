@@ -56,15 +56,55 @@ struct TuneOptions
 };
 
 /**
+ * The tuner's sweep points: every power-of-two multiple of
+ * @p from_bytes up to @p to_bytes, with @p to_bytes itself always
+ * the (measured) last point even when it is not a doubling point,
+ * and endpoints in the top bit range clamped instead of wrapping.
+ * @throws RuntimeError when from_bytes is 0 or exceeds to_bytes.
+ */
+std::vector<std::uint64_t> tuneSweepSizes(std::uint64_t from_bytes,
+                                          std::uint64_t to_bytes);
+
+/**
+ * Times every (candidate, size) point on the simulated machine and
+ * returns the matrix indexed [candidate][size]. The points are
+ * independent simulations fanned out over worker threads leased from
+ * the process-wide SimThreadBudget (options.threads sweep workers
+ * first, leftovers becoming per-simulation simThreads), via an RAII
+ * lease so the tokens return even when a simulation throws; the
+ * filled matrix is identical for every thread count.
+ * options.fromBytes/toBytes are ignored — @p sizes is the sweep.
+ */
+std::vector<std::vector<double>> sweepCandidateTimesUs(
+    const Topology &topology,
+    const std::vector<const IrProgram *> &candidates,
+    const std::vector<std::uint64_t> &sizes,
+    const TuneOptions &options = {});
+
+/**
+ * Merges a completed (candidate x size) timing matrix into the
+ * minimal window set of per-size winners. Windows tile all of
+ * [0, max std::uint64_t] contiguously: window k covers from its
+ * sweep point up to just below the next one, the first window
+ * extends down to 0, and the last is open-ended. Ties at a sweep
+ * point go to the lowest candidate index; adjacent sweep points won
+ * by the same candidate coalesce into one window. Degenerate inputs
+ * are handled explicitly: a single sweep point yields the single
+ * all-covering window, and an empty candidate list, empty sweep, or
+ * ragged matrix throws RuntimeError instead of corrupting the
+ * window table.
+ */
+std::vector<TunedWindow> mergeTunedWindows(
+    const std::vector<std::uint64_t> &sizes,
+    const std::vector<std::vector<double>> &times_us);
+
+/**
  * Times every candidate at each power-of-two multiple of fromBytes
  * up to and including toBytes (toBytes is always measured, even when
  * it is not a doubling point) and returns the merged windows of
- * winners. Windows tile all of [0, max std::uint64_t] contiguously:
- * window k covers from its sweep point up to just below the next
- * one, the first window extends down to 0, and the last is
- * open-ended — so the boundary sizes themselves (fromBytes ==
- * toBytes, endpoints in the top bit range) clamp instead of
- * wrapping.
+ * winners — tuneSweepSizes + sweepCandidateTimesUs +
+ * mergeTunedWindows, with structurally identical candidates
+ * simulated once.
  */
 std::vector<TunedWindow> tuneWindows(
     const Topology &topology, const std::vector<IrProgram> &candidates,

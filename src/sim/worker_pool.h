@@ -104,6 +104,49 @@ class SimThreadBudget
     static int capacity();
 };
 
+/**
+ * RAII lease of SimThreadBudget tokens. Every acquirer (the tuner's
+ * sweep, the schedule search, tests) must hold its grant through one
+ * of these so the tokens flow back even when a simulation or sweep
+ * exits via exception — a bare acquire()/release() pair leaks its
+ * grant on any throw between the two calls, permanently shrinking
+ * the process-wide budget. Move-only; a moved-from lease owns no
+ * tokens.
+ */
+class SimThreadLease
+{
+  public:
+    SimThreadLease() = default;
+    explicit SimThreadLease(int want)
+        : granted_(SimThreadBudget::acquire(want))
+    {
+    }
+    SimThreadLease(SimThreadLease &&other) noexcept
+        : granted_(other.granted_)
+    {
+        other.granted_ = 0;
+    }
+    SimThreadLease &operator=(SimThreadLease &&other) noexcept
+    {
+        if (this != &other) {
+            SimThreadBudget::release(granted_);
+            granted_ = other.granted_;
+            other.granted_ = 0;
+        }
+        return *this;
+    }
+    ~SimThreadLease() { SimThreadBudget::release(granted_); }
+
+    SimThreadLease(const SimThreadLease &) = delete;
+    SimThreadLease &operator=(const SimThreadLease &) = delete;
+
+    /** Extra-thread tokens this lease actually holds. */
+    int granted() const { return granted_; }
+
+  private:
+    int granted_ = 0;
+};
+
 } // namespace mscclang
 
 #endif // MSCCLANG_SIM_WORKER_POOL_H_

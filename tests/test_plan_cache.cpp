@@ -23,6 +23,7 @@
 #include "collectives/classic.h"
 #include "collectives/collectives.h"
 #include "compiler/plan_cache.h"
+#include "search/search.h"
 #include "topology/topology.h"
 
 namespace mscclang {
@@ -204,6 +205,47 @@ TEST(PlanCache, KeySeparatesAlgoConfig)
     EXPECT_NE(base, planCacheKey(*makeRingAllReduce(16, 2, plain), copts));
     EXPECT_NE(base,
               planCacheKey(*makeRingAllGather(8, 2, plain), copts));
+}
+
+TEST(PlanCache, KeySeparatesEverySearchKnob)
+{
+    // Satellite of the schedule search: every knob the candidate
+    // generator varies (channels, parallelize, instances, protocol,
+    // aggregation) must feed the content key, so two candidates
+    // differing in exactly one knob can never collide in the cache
+    // and silently reuse each other's plan.
+    Topology topo = makeNdv4(1);
+    CompileOptions copts;
+    copts.topology = &topo;
+    ScheduleCandidate base;
+    base.family = AlgoFamily::Ring;
+    base.channels = 2;
+    base.parallelize = 1;
+    base.instances = 2;
+    base.protocol = Protocol::LL;
+    base.aggregate = 1;
+
+    std::vector<ScheduleCandidate> variants(6, base);
+    variants[1].channels = 4;
+    variants[2].parallelize = 2;
+    variants[3].instances = 4;
+    variants[4].protocol = Protocol::LL128;
+    variants[5].aggregate = 2;
+
+    std::vector<std::uint64_t> keys;
+    for (const ScheduleCandidate &spec : variants)
+        keys.push_back(
+            planCacheKey(*buildCandidate(spec, topo), copts));
+    for (size_t a = 0; a < keys.size(); a++)
+        for (size_t b = a + 1; b < keys.size(); b++)
+            EXPECT_NE(keys[a], keys[b])
+                << candidateLabel(variants[a]) << " vs "
+                << candidateLabel(variants[b]);
+
+    // And the same knob spelled twice keys identically (the dedup
+    // the search relies on).
+    EXPECT_EQ(keys[0],
+              planCacheKey(*buildCandidate(base, topo), copts));
 }
 
 TEST(PlanCache, KeySeparatesCompileOptions)

@@ -159,6 +159,76 @@ TEST(Tuner, RejectsBadInput)
     EXPECT_THROW(tuneWindows(topo, candidates, bad), RuntimeError);
 }
 
+TEST(Tuner, SweepSizesBoundaries)
+{
+    // from == to: the single point.
+    EXPECT_EQ(tuneSweepSizes(1 << 20, 1 << 20),
+              (std::vector<std::uint64_t>{ 1 << 20 }));
+    // Doubling with a non-power-of-two endpoint: the endpoint is
+    // always the measured last point.
+    std::vector<std::uint64_t> sizes = tuneSweepSizes(1024, 5000);
+    EXPECT_EQ(sizes,
+              (std::vector<std::uint64_t>{ 1024, 2048, 4096, 5000 }));
+    // Bad ranges throw instead of producing an empty sweep.
+    EXPECT_THROW(tuneSweepSizes(0, 1024), RuntimeError);
+    EXPECT_THROW(tuneSweepSizes(2048, 1024), RuntimeError);
+}
+
+TEST(Tuner, MergeWindowsTieGoesToLowestIndex)
+{
+    // Exact ties at every point: candidate 0 wins everything, and
+    // duplicate winners collapse into the single covering window.
+    std::vector<std::uint64_t> sizes{ 1024, 2048, 4096 };
+    std::vector<std::vector<double>> times{ { 5, 6, 7 },
+                                            { 5, 6, 7 },
+                                            { 5, 6, 7 } };
+    std::vector<TunedWindow> windows = mergeTunedWindows(sizes, times);
+    ASSERT_EQ(windows.size(), 1u);
+    EXPECT_EQ(windows[0].candidate, 0);
+    EXPECT_EQ(windows[0].minBytes, 0u);
+    EXPECT_EQ(windows[0].maxBytes,
+              std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Tuner, MergeWindowsCoalescesAdjacentSameWinner)
+{
+    // Candidate 1 wins the two middle points, candidate 0 the edges:
+    // exactly three windows, the middle pair coalesced.
+    std::vector<std::uint64_t> sizes{ 1024, 2048, 4096, 8192 };
+    std::vector<std::vector<double>> times{ { 1, 9, 9, 1 },
+                                            { 2, 3, 3, 2 } };
+    std::vector<TunedWindow> windows = mergeTunedWindows(sizes, times);
+    ASSERT_EQ(windows.size(), 3u);
+    EXPECT_EQ(windows[0].candidate, 0);
+    EXPECT_EQ(windows[1].candidate, 1);
+    EXPECT_EQ(windows[1].minBytes, 2048u);
+    EXPECT_EQ(windows[1].maxBytes, 8191u);
+    EXPECT_EQ(windows[2].candidate, 0);
+    for (size_t i = 1; i < windows.size(); i++)
+        EXPECT_EQ(windows[i].minBytes, windows[i - 1].maxBytes + 1);
+}
+
+TEST(Tuner, MergeWindowsSinglePointAndDegenerateInputs)
+{
+    // A single sweep point yields the single all-covering window.
+    std::vector<TunedWindow> one =
+        mergeTunedWindows({ 4096 }, { { 3.5 }, { 2.5 } });
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_EQ(one[0].candidate, 1);
+    EXPECT_EQ(one[0].minBytes, 0u);
+    EXPECT_EQ(one[0].maxBytes,
+              std::numeric_limits<std::uint64_t>::max());
+    EXPECT_EQ(one[0].timeUs, 2.5);
+
+    // Empty sweep, empty candidate list, ragged matrix: all throw
+    // rather than corrupting the window table.
+    EXPECT_THROW(mergeTunedWindows({}, { { 1.0 } }), RuntimeError);
+    EXPECT_THROW(mergeTunedWindows({ 1024 }, {}), RuntimeError);
+    EXPECT_THROW(
+        mergeTunedWindows({ 1024, 2048 }, { { 1.0, 2.0 }, { 1.0 } }),
+        RuntimeError);
+}
+
 TEST(Tracing, EmitsValidTimeline)
 {
     Topology topo = makeGeneric(1, 4);

@@ -3,6 +3,7 @@
 # perf records at the repo root:
 #   BENCH_sim.json      — simulator hot-path throughput
 #   BENCH_compile.json  — compiler cold/warm scaling + replan proxy
+#   BENCH_search.json   — schedule-search pareto frontier (smoke)
 # Both report speedups versus frozen seed baselines (EXPERIMENTS.md)
 # and take the fastest of several identical batches, which keeps the
 # recorded numbers stable on hosts with bursty co-tenant
@@ -13,7 +14,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build-release-bench}"
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" --target sim_throughput compiler_scaling \
-    -j"$(nproc)"
+    mscclang_search_cli -j"$(nproc)"
 
 # Sweep both scaling axes: rank counts stress the sharded flow
 # network's partition fan-out, thread counts its worker pool. The
@@ -27,3 +28,11 @@ echo "wrote $(pwd)/BENCH_sim.json"
 
 "$BUILD_DIR/bench/compiler_scaling" --json BENCH_compile.json
 echo "wrote $(pwd)/BENCH_compile.json"
+
+# The schedule-search smoke gate: searches a compact space that
+# contains every hand-tuned explore_allreduce_algos pick and fails if
+# any searched window is slower than the hand-tuned baseline at any
+# swept size. The JSON records the frontier so its quality is
+# tracked alongside the perf records.
+"$BUILD_DIR/tools/mscclang_search" --smoke --json BENCH_search.json
+echo "wrote $(pwd)/BENCH_search.json"

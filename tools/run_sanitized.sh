@@ -18,8 +18,10 @@
 # With --tsan, builds a third tree with ThreadSanitizer instead
 # (-DMSCCLANG_TSAN=ON; TSan cannot link with ASan) and runs the
 # suites that actually spin threads: the flow network's shard batch
-# workers (Sim), the simThreads determinism sweeps (Determinism), and
-# the fault path that mutates capacities between batches (Faults).
+# workers (Sim), the simThreads determinism sweeps (Determinism),
+# the fault path that mutates capacities between batches (Faults),
+# and the schedule search's budget-leased sweep worker pool
+# (Search, SimThreadLease).
 # Registered as the "tsan" ctest configuration (ctest -C tsan).
 #
 # Usage: tools/run_sanitized.sh [--chaos-sweep|--tsan] [ctest -R regex]
@@ -39,18 +41,18 @@ fi
 if [[ "$TSAN" == "1" ]]; then
     BUILD_DIR="${BUILD_DIR:-build-tsan}"
     SANITIZE_FLAG="-DMSCCLANG_TSAN=ON"
-    FILTER="${1:-Sim|Determinism|Faults}"
+    FILTER="${1:-Sim|Determinism|Faults|Search|SimThreadLease}"
 else
     BUILD_DIR="${BUILD_DIR:-build-asan}"
     SANITIZE_FLAG="-DMSCCLANG_SANITIZE=ON"
-    FILTER="${1:-Faults|Watchdog|Communicator|Interpreter|EventQueue|Flow|Recovery|Health|PlanCache|Determinism|Races}"
+    FILTER="${1:-Faults|Watchdog|Communicator|Interpreter|EventQueue|Flow|Recovery|Health|PlanCache|Determinism|Races|Search|SimThreadLease}"
 fi
 
 cmake -B "$BUILD_DIR" -S . "$SANITIZE_FLAG" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" --target test_faults test_interpreter \
     test_sim test_races test_recovery test_plan_cache \
-    test_determinism -j"$(nproc)"
+    test_determinism test_search -j"$(nproc)"
 
 if [[ "$TSAN" == "1" ]]; then
     export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
