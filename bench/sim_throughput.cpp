@@ -30,6 +30,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -47,6 +48,7 @@
 #include "runtime/tuner.h"
 #include "sim/event_queue.h"
 #include "sim/flow_network.h"
+#include "sim/profile.h"
 #include "topology/topology.h"
 
 using namespace mscclang;
@@ -175,7 +177,9 @@ runChurnCell(const Topology &topo, int ranks, int threads,
 
 double
 runScalingCell(const Topology &topo, const IrProgram &ir, int threads,
-               bool sharded, int passes, Fingerprint *fp)
+               bool sharded, int passes, Fingerprint *fp,
+               bool parallel_interp = false,
+               SimProfile *profile = nullptr)
 {
     double best_ms = std::numeric_limits<double>::infinity();
     for (int p = 0; p < passes; p++) {
@@ -184,11 +188,18 @@ runScalingCell(const Topology &topo, const IrProgram &ir, int threads,
         FlowNetwork network(topo, events);
         network.setThreads(threads);
         network.enableSharding(sharded);
+        // The profiled pass is separate from the timed passes
+        // (callers pass passes=1 with a profile): the timer
+        // bookkeeping itself would perturb the ms/run numbers.
+        events.setProfile(profile);
+        network.setProfile(profile);
         ExecOptions exec;
         exec.dataMode = false;
         exec.bytesPerRank = 1ull << 20;
         exec.maxTilesPerChunk = 16;
         exec.launchOverheadUs = topo.params().kernelLaunchUs;
+        exec.parallelInterp = parallel_interp;
+        exec.profile = profile;
         IrExecution run(topo, ir, events, network, exec, nullptr);
         ExecStats stats;
         run.start([&](const ExecStats &s) { stats = s; });
@@ -348,6 +359,7 @@ main(int argc, char **argv)
 {
     std::string json_path;
     int iters = 20;
+    bool profile_on = false;
     // The scaling axes (documented defaults; overridden by --ranks /
     // --threads, which *error* on malformed values rather than
     // falling back here).
@@ -378,12 +390,15 @@ main(int argc, char **argv)
                    i + 1 < argc) {
             scale_threads =
                 parseIntList("--threads", argv[++i], 1, 64);
+        } else if (std::strcmp(argv[i], "--profile") == 0) {
+            profile_on = true;
         } else {
             std::fprintf(stderr,
                          "sim_throughput: unknown or incomplete "
                          "argument '%s'\nusage: sim_throughput "
                          "[--json PATH] [--iters N] [--fingerprint] "
-                         "[--ranks A,B,...] [--threads A,B,...]\n",
+                         "[--ranks A,B,...] [--threads A,B,...] "
+                         "[--profile]\n",
                          argv[i]);
             return 2;
         }
@@ -487,35 +502,47 @@ main(int argc, char **argv)
     std::printf("\n");
 
     // ---------------------------------------------------------------
-    // Workload 3: ranks x threads scaling of the sharded engine.
+    // Workload 3: ranks x threads scaling, both interpreter engines.
     // Each rank count first measures the pre-sharding engine (global
     // max-min recompute on every update: enableSharding(false),
     // 1 thread) as the algorithmic baseline, then the sharded engine
-    // across the thread axis. Simulated fingerprints must be
-    // bit-identical across thread counts — the bench enforces it.
-    // Thread-axis wall-clock gains require real cores (host_cpus is
-    // recorded in the JSON); the sharding gain is algorithmic and
-    // shows on any host.
+    // across the thread axis with the serial interpreter, then the
+    // same axis with the parallel interpreter (DESIGN.md §13).
+    // Simulated fingerprints must be bit-identical across thread
+    // counts within each engine, and across engines up to wireBytes
+    // fp-summation order — the bench enforces both. It also enforces
+    // the adaptive-threshold guarantee: no cell may fall below 0.95x
+    // of its rank's serial-interpreter 1-thread cell (extra threads
+    // and the parallel engine must never cost more than measurement
+    // noise). Thread-axis wall-clock gains require real cores
+    // (host_cpus is recorded in the JSON); the sharding gain is
+    // algorithmic and shows on any host.
     struct ScalingCell
     {
         int ranks;
         int threads;
+        bool parallelInterp;
         double ms;
         Fingerprint fp;
-        double vsFirst;  // speedup vs this rank's first thread cell
-        double vsGlobal; // speedup vs the unsharded baseline
-        double churnMs;  // flow-network churn microbench
+        double vsFirst;    // speedup vs this engine's 1-thread cell
+        double vsSerial1t; // speedup vs serial-interp 1-thread cell
+        double vsGlobal;   // speedup vs the unsharded baseline
+        double churnMs;    // flow-network churn (serial cells only)
         TimeNs churnEndNs;
         double churnVsGlobal;
+        SimProfile prof;   // --profile pass (zeros otherwise)
     };
     std::vector<ScalingCell> cells;
     // Per rank count: (full-stack baseline ms, churn baseline ms).
     std::vector<std::pair<int, std::pair<double, double>>> global_ms;
+    // Per rank count: the serial-engine 1-thread ms (the 0.95x and
+    // vs-serial reference).
+    std::vector<std::pair<int, double>> serial_1t_ms;
     const int scale_passes = 3;
     const int churn_waves = 200, churn_lanes = 4;
     bool fp_mismatch = false;
     std::printf("# scaling: Ring AllReduce 1MB (ch=4 r=8 LL128) + "
-                "flow-churn microbench, ranks x threads\n");
+                "flow-churn microbench, ranks x threads x engine\n");
     for (int ranks : scale_ranks) {
         Topology stopo = makeNdv4(ranks / 8);
         IrProgram sring =
@@ -538,54 +565,177 @@ main(int argc, char **argv)
                     static_cast<long long>(base_fp.endNs),
                     churn_base_ms,
                     static_cast<long long>(churn_base_end));
-        Fingerprint ref;
+        Fingerprint serial_ref; // serial engine, first thread count
         TimeNs churn_ref_end = 0;
         double churn_ref_delivered = 0.0;
-        double first_ms = 0.0;
-        for (size_t t = 0; t < scale_threads.size(); t++) {
-            ScalingCell cell;
-            cell.ranks = ranks;
-            cell.threads = scale_threads[t];
-            cell.ms = runScalingCell(stopo, sring, cell.threads, true,
-                                     scale_passes, &cell.fp);
-            double churn_delivered = 0.0;
-            cell.churnMs =
-                runChurnCell(stopo, ranks, cell.threads, true,
-                             churn_waves, churn_lanes,
-                             &cell.churnEndNs, &churn_delivered);
-            if (t == 0) {
-                ref = cell.fp;
-                first_ms = cell.ms;
-                churn_ref_end = cell.churnEndNs;
-                churn_ref_delivered = churn_delivered;
-            } else if (cell.fp.endNs != ref.endNs ||
-                       cell.fp.messages != ref.messages ||
-                       cell.fp.wireBytes != ref.wireBytes ||
-                       cell.churnEndNs != churn_ref_end ||
-                       churn_delivered != churn_ref_delivered) {
-                fp_mismatch = true;
-            }
-            cell.vsFirst = cell.ms > 0.0 ? first_ms / cell.ms : 0.0;
-            cell.vsGlobal = cell.ms > 0.0 ? base_ms / cell.ms : 0.0;
-            cell.churnVsGlobal = cell.churnMs > 0.0
-                ? churn_base_ms / cell.churnMs
-                : 0.0;
-            std::printf("ranks=%-3d threads=%-2d allreduce %.3f "
-                        "ms/run (vs-1t %.2fx, vs-global %.2fx)  "
+        double serial_first = 0.0;
+        for (int engine = 0; engine < 2; engine++) {
+            bool pinterp = engine == 1;
+            Fingerprint ref;
+            double first_ms = 0.0;
+            for (size_t t = 0; t < scale_threads.size(); t++) {
+                ScalingCell cell;
+                cell.ranks = ranks;
+                cell.threads = scale_threads[t];
+                cell.parallelInterp = pinterp;
+                cell.ms = runScalingCell(stopo, sring, cell.threads,
+                                         true, scale_passes, &cell.fp,
+                                         pinterp);
+                cell.churnMs = 0.0;
+                cell.churnEndNs = 0;
+                cell.churnVsGlobal = 0.0;
+                if (!pinterp) {
+                    // The churn microbench has no interpreter in the
+                    // loop; measure it once, on the serial axis.
+                    double churn_delivered = 0.0;
+                    cell.churnMs = runChurnCell(
+                        stopo, ranks, cell.threads, true, churn_waves,
+                        churn_lanes, &cell.churnEndNs,
+                        &churn_delivered);
+                    if (t == 0) {
+                        churn_ref_end = cell.churnEndNs;
+                        churn_ref_delivered = churn_delivered;
+                    } else if (cell.churnEndNs != churn_ref_end ||
+                               churn_delivered !=
+                                   churn_ref_delivered) {
+                        fp_mismatch = true;
+                    }
+                    cell.churnVsGlobal = cell.churnMs > 0.0
+                        ? churn_base_ms / cell.churnMs
+                        : 0.0;
+                }
+                if (t == 0) {
+                    ref = cell.fp;
+                    first_ms = cell.ms;
+                    if (!pinterp) {
+                        serial_ref = ref;
+                        serial_first = first_ms;
+                        serial_1t_ms.emplace_back(ranks, first_ms);
+                    }
+                } else if (cell.fp.endNs != ref.endNs ||
+                           cell.fp.messages != ref.messages ||
+                           cell.fp.wireBytes != ref.wireBytes) {
+                    // Bit-exact within an engine, any thread count.
+                    fp_mismatch = true;
+                }
+                if (pinterp &&
+                    (cell.fp.endNs != serial_ref.endNs ||
+                     cell.fp.messages != serial_ref.messages ||
+                     std::fabs(cell.fp.wireBytes -
+                               serial_ref.wireBytes) >
+                         1e-6 * serial_ref.wireBytes + 1e-3)) {
+                    // Engines agree exactly on time and messages, up
+                    // to fp-summation order on wireBytes.
+                    fp_mismatch = true;
+                }
+                if (profile_on) {
+                    runScalingCell(stopo, sring, cell.threads, true,
+                                   1, nullptr, pinterp, &cell.prof);
+                }
+                cell.vsFirst =
+                    cell.ms > 0.0 ? first_ms / cell.ms : 0.0;
+                cell.vsSerial1t =
+                    cell.ms > 0.0 ? serial_first / cell.ms : 0.0;
+                cell.vsGlobal =
+                    cell.ms > 0.0 ? base_ms / cell.ms : 0.0;
+                if (!pinterp) {
+                    std::printf(
+                        "ranks=%-3d threads=%-2d serial-interp   "
+                        "%.3f ms/run (vs-1t %.2fx, vs-global %.2fx)  "
                         "churn %.3f ms (vs-global %.2fx)  "
                         "endNs=%lld\n",
                         cell.ranks, cell.threads, cell.ms,
                         cell.vsFirst, cell.vsGlobal, cell.churnMs,
                         cell.churnVsGlobal,
                         static_cast<long long>(cell.fp.endNs));
-            cells.push_back(cell);
+                } else {
+                    std::printf(
+                        "ranks=%-3d threads=%-2d parallel-interp "
+                        "%.3f ms/run (vs-1t %.2fx, vs-serial-1t "
+                        "%.2fx, vs-global %.2fx)  endNs=%lld\n",
+                        cell.ranks, cell.threads, cell.ms,
+                        cell.vsFirst, cell.vsSerial1t, cell.vsGlobal,
+                        static_cast<long long>(cell.fp.endNs));
+                }
+                cells.push_back(cell);
+            }
         }
     }
     if (fp_mismatch) {
         std::fprintf(stderr,
                      "sim_throughput: FINGERPRINT MISMATCH across "
-                     "thread counts — determinism contract broken\n");
+                     "thread counts or engines — determinism "
+                     "contract broken\n");
         return 1;
+    }
+
+    // The no-regression gate (adaptive batch threshold, DESIGN.md
+    // §13): every scaling cell must stay within 5% of its rank's
+    // serial-interpreter 1-thread wall clock. A violation is
+    // re-measured with *interleaved* reference/cell passes (min over
+    // both the original and retry samples) before it counts:
+    // min-of-passes absorbs most interference on a shared host, but
+    // not a steal burst spanning a whole cell — interleaving puts
+    // the burst on both sides of the ratio. With the adaptive
+    // threshold and the hardware-concurrency lane cap, a genuine
+    // regression mechanism would depress every retry, not one.
+    int regressions = 0;
+    for (ScalingCell &cell : cells) {
+        if (cell.vsSerial1t >= 0.95)
+            continue;
+        double ref_ms = 0.0;
+        for (const auto &entry : serial_1t_ms)
+            if (entry.first == cell.ranks)
+                ref_ms = entry.second;
+        Topology stopo = makeNdv4(cell.ranks / 8);
+        IrProgram sring =
+            compileProgram(*makeRingAllReduce(cell.ranks, 4, cfg)).ir;
+        for (int attempt = 0;
+             attempt < 3 && cell.vsSerial1t < 0.95; attempt++) {
+            for (int p = 0; p < scale_passes; p++) {
+                ref_ms = std::min(
+                    ref_ms, runScalingCell(stopo, sring, 1, true, 1,
+                                           nullptr));
+                cell.ms = std::min(
+                    cell.ms,
+                    runScalingCell(stopo, sring, cell.threads, true,
+                                   1, nullptr, cell.parallelInterp));
+            }
+            cell.vsSerial1t =
+                cell.ms > 0.0 ? ref_ms / cell.ms : 0.0;
+        }
+        if (cell.vsSerial1t >= 0.95)
+            continue;
+        regressions++;
+        std::fprintf(stderr,
+                     "sim_throughput: REGRESSION ranks=%d threads=%d "
+                     "%s-interp is %.2fx of the serial 1-thread cell "
+                     "(floor 0.95x)\n",
+                     cell.ranks, cell.threads,
+                     cell.parallelInterp ? "parallel" : "serial",
+                     cell.vsSerial1t);
+    }
+
+    if (profile_on) {
+        std::printf("# profile: wall-clock phase breakdown per cell "
+                    "(one profiled pass, us)\n");
+        for (const ScalingCell &c : cells) {
+            std::printf(
+                "ranks=%-3d threads=%-2d %s eventq %.1f flownet %.1f "
+                "flowcb %.1f interp-par %.1f interp-merge %.1f "
+                "(batches: flow %llu, interp %llu, pooled %llu)\n",
+                c.ranks, c.threads,
+                c.parallelInterp ? "parallel-interp" : "serial-interp  ",
+                static_cast<double>(c.prof.eventQueueNs) / 1000.0,
+                static_cast<double>(c.prof.flowNetworkNs) / 1000.0,
+                static_cast<double>(c.prof.flowCallbacksNs) / 1000.0,
+                static_cast<double>(c.prof.interpParallelNs) / 1000.0,
+                static_cast<double>(c.prof.interpMergeNs) / 1000.0,
+                static_cast<unsigned long long>(c.prof.flowBatches),
+                static_cast<unsigned long long>(c.prof.interpBatches),
+                static_cast<unsigned long long>(
+                    c.prof.interpPooledBatches));
+        }
     }
 
     if (!json_path.empty()) {
@@ -638,23 +788,58 @@ main(int argc, char **argv)
             const ScalingCell &c = cells[i];
             std::fprintf(f,
                          "    {\"ranks\": %d, \"threads\": %d, "
+                         "\"engine\": \"%s\", "
                          "\"ms_per_run\": %.4f, \"end_ns\": %lld, "
                          "\"speedup_vs_1t\": %.2f, "
-                         "\"speedup_vs_global_recompute\": %.2f, "
-                         "\"churn_ms\": %.4f, "
-                         "\"churn_end_ns\": %lld, "
-                         "\"churn_speedup_vs_global_recompute\": "
-                         "%.2f}%s\n",
-                         c.ranks, c.threads, c.ms,
-                         static_cast<long long>(c.fp.endNs), c.vsFirst,
-                         c.vsGlobal, c.churnMs,
-                         static_cast<long long>(c.churnEndNs),
-                         c.churnVsGlobal,
+                         "\"speedup_vs_serial_1t\": %.2f, "
+                         "\"speedup_vs_global_recompute\": %.2f",
+                         c.ranks, c.threads,
+                         c.parallelInterp ? "parallel" : "serial",
+                         c.ms, static_cast<long long>(c.fp.endNs),
+                         c.vsFirst, c.vsSerial1t, c.vsGlobal);
+            if (!c.parallelInterp) {
+                std::fprintf(f,
+                             ", \"churn_ms\": %.4f, "
+                             "\"churn_end_ns\": %lld, "
+                             "\"churn_speedup_vs_global_recompute\": "
+                             "%.2f",
+                             c.churnMs,
+                             static_cast<long long>(c.churnEndNs),
+                             c.churnVsGlobal);
+            }
+            if (profile_on) {
+                std::fprintf(
+                    f,
+                    ", \"profile\": {\"event_queue_us\": %.1f, "
+                    "\"flow_network_us\": %.1f, "
+                    "\"flow_callbacks_us\": %.1f, "
+                    "\"interp_parallel_us\": %.1f, "
+                    "\"interp_merge_us\": %.1f, "
+                    "\"flow_batches\": %llu, "
+                    "\"interp_batches\": %llu, "
+                    "\"interp_pooled_batches\": %llu}",
+                    static_cast<double>(c.prof.eventQueueNs) / 1000.0,
+                    static_cast<double>(c.prof.flowNetworkNs) / 1000.0,
+                    static_cast<double>(c.prof.flowCallbacksNs) /
+                        1000.0,
+                    static_cast<double>(c.prof.interpParallelNs) /
+                        1000.0,
+                    static_cast<double>(c.prof.interpMergeNs) / 1000.0,
+                    static_cast<unsigned long long>(
+                        c.prof.flowBatches),
+                    static_cast<unsigned long long>(
+                        c.prof.interpBatches),
+                    static_cast<unsigned long long>(
+                        c.prof.interpPooledBatches));
+            }
+            std::fprintf(f, "}%s\n",
                          i + 1 < cells.size() ? "," : "");
         }
         std::fprintf(f, "  ]\n}\n");
         std::fclose(f);
         std::printf("wrote %s\n", json_path.c_str());
     }
-    return 0;
+    // The record is written either way; the gate still fails the run
+    // so CI notices while the JSON shows exactly what was measured.
+    return regressions > 0 ? 1 : 0;
 }

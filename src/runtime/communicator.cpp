@@ -379,6 +379,9 @@ Communicator::runAttempt(const IrProgram &ir, const RunOptions &options,
     exec.watchdogTimeoutUs = options.watchdogTimeoutUs;
     exec.watchdogNoProgressUs = options.watchdogNoProgressUs;
     exec.faults = faults;
+    exec.simThreads = options.simThreads;
+    exec.parallelInterp = options.parallelInterp;
+    exec.profile = options.profile;
     if (options.dataMode)
         store_.configure(ir, options.bytes);
     ExecStats stats = runIr(topology_, ir, exec,

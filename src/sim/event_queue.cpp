@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/error.h"
+#include "sim/profile.h"
 
 namespace mscclang {
 
@@ -48,14 +49,17 @@ EventQueue::schedule(TimeNs when, Callback cb)
 }
 
 EventId
-EventQueue::scheduleShard(TimeNs when, int shard)
+EventQueue::scheduleShard(TimeNs when, int shard, int domain)
 {
     if (when < now_)
         throw RuntimeError("EventQueue: scheduling into the past");
     if (shard < 0)
         throw RuntimeError("EventQueue: negative shard id");
-    if (!shardRunner_)
-        throw RuntimeError("EventQueue: no shard batch runner set");
+    if (domain < 0 ||
+        static_cast<std::size_t>(domain) >= shardRunners_.size() ||
+        !shardRunners_[domain])
+        throw RuntimeError(
+            "EventQueue: no shard batch runner for domain");
 
     std::uint32_t index = allocSlot();
     Slot &slot = slots_[index];
@@ -64,7 +68,8 @@ EventQueue::scheduleShard(TimeNs when, int shard)
     slot.shard = shard;
 
     shardHeap_.push_back(
-        ShardEntry{ when, nextSeq_++, index, slot.gen, shard });
+        ShardEntry{ when, nextSeq_++, index, slot.gen, shard,
+                    domain });
     std::push_heap(shardHeap_.begin(), shardHeap_.end(),
                    std::greater<>{});
     liveEvents_++;
@@ -182,6 +187,8 @@ EventQueue::runOne()
     }
 
     if (serial) {
+        SimProfileTimer timer(profile_ ? &profile_->eventQueueNs
+                                       : nullptr);
         std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
         Entry entry = heap_.back();
         heap_.pop_back();
@@ -190,17 +197,25 @@ EventQueue::runOne()
         now_ = entry.when;
         liveEvents_--;
         executed_++;
+        if (profile_)
+            profile_->serialEvents++;
         cb();
         return true;
     }
 
-    // Extract the whole same-time batch of shard events. The heap's
-    // (when, shard, seq) order makes the batch sequence — and with
-    // it the serial merge phase the runner performs — a deterministic
-    // function of the schedule alone.
+    // Extract the whole same-(time, domain) batch of shard events.
+    // The heap's (when, domain, shard, seq) order makes the batch
+    // sequence — and with it the serial merge phase the runner
+    // performs — a deterministic function of the schedule alone.
+    // The runner attributes its own phase time; only the extraction
+    // counts against the event queue here.
+    SimProfileTimer timer(profile_ ? &profile_->eventQueueNs
+                                   : nullptr);
     TimeNs when = shardHeap_.front().when;
+    int domain = shardHeap_.front().domain;
     batchScratch_.clear();
-    while (!shardHeap_.empty() && shardHeap_.front().when == when) {
+    while (!shardHeap_.empty() && shardHeap_.front().when == when &&
+           shardHeap_.front().domain == domain) {
         std::pop_heap(shardHeap_.begin(), shardHeap_.end(),
                       std::greater<>{});
         ShardEntry entry = shardHeap_.back();
@@ -214,11 +229,14 @@ EventQueue::runOne()
         executed_++;
         batchScratch_.push_back(entry.shard);
     }
-    if (batchScratch_.empty())
+    if (batchScratch_.empty()) {
+        timer.stop();
         return runOne(); // the batch was all tombstones
+    }
     now_ = when;
     shardBatches_++;
-    shardRunner_(batchScratch_);
+    timer.stop();
+    shardRunners_[domain](batchScratch_);
     return true;
 }
 

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "common/error.h"
+#include "sim/profile.h"
 
 namespace mscclang {
 
@@ -60,6 +61,17 @@ FlowNetwork::setThreads(int threads)
         return;
     threads_ = threads;
     pool_.reset(); // rebuilt lazily at the next parallel batch
+}
+
+SimWorkerPool *
+FlowNetwork::workerPool()
+{
+    if (threads_ > 1 && !pool_)
+        pool_ = std::make_unique<SimWorkerPool>(threads_);
+    // The pool caps its lane count at hardware concurrency; a capped-
+    // to-one pool is pure overhead, so callers get null and run
+    // inline instead.
+    return pool_ && pool_->threads() > 1 ? pool_.get() : nullptr;
 }
 
 int
@@ -385,14 +397,21 @@ FlowNetwork::scheduleShardUpdate(int shard, TimeNs when)
 void
 FlowNetwork::runShardBatch(const std::vector<int> &batch)
 {
+    SimProfileTimer timer(profile_ ? &profile_->flowNetworkNs
+                                   : nullptr);
+    if (profile_)
+        profile_->flowBatches++;
+
     // Parallel phase: each shard settles, completes, and recomputes
     // against its own state only. Workers claim shards in any order;
     // every per-shard result is independent of that order, so the
-    // simulation is bit-identical at every thread count.
-    if (threads_ > 1 && !pool_)
-        pool_ = std::make_unique<SimWorkerPool>(threads_);
-    if (pool_ && batch.size() > 1) {
-        pool_->forEach(batch.size(), [this, &batch](std::size_t i) {
+    // simulation is bit-identical at every thread count. Batches
+    // narrower than kMinParallelBatch run inline: the fan-out and
+    // barrier cost more than the shards themselves on small batches.
+    SimWorkerPool *pool =
+        batch.size() >= kMinParallelBatch ? workerPool() : nullptr;
+    if (pool) {
+        pool->forEach(batch.size(), [this, &batch](std::size_t i) {
             shardParallel(batch[i]);
         });
     } else {
@@ -408,7 +427,13 @@ FlowNetwork::runShardBatch(const std::vector<int> &batch)
 
     // Completion callbacks run last — they may start new flows, and
     // flow starts mutate shard structure (merges), which must not
-    // overlap the batch bookkeeping above.
+    // overlap the batch bookkeeping above. In serial-interpreter
+    // runs these callbacks carry the whole interpreter forward, so
+    // their time is booked separately (the Amdahl residue the
+    // parallel interpreter attacks).
+    timer.stop();
+    SimProfileTimer cbTimer(profile_ ? &profile_->flowCallbacksNs
+                                     : nullptr);
     for (std::size_t i = 0; i < batchCallbacks_.size(); i++)
         batchCallbacks_[i]();
     batchCallbacks_.clear();

@@ -47,8 +47,19 @@
 
 namespace mscclang {
 
+struct SimProfile;
+
 /** Identifier of an in-flight transfer. */
 using FlowId = std::int64_t;
+
+/**
+ * Shard batches narrower than this run inline on the driving thread
+ * even when a worker pool is available: the fan-out/barrier overhead
+ * of a pooled forEach exceeds the win on small batches (the 16-rank
+ * oversharding regression in BENCH_sim.json). Shared by the flow
+ * network and the parallel interpreter.
+ */
+constexpr std::size_t kMinParallelBatch = 4;
 
 /** The shared-fabric model. One instance per simulated machine. */
 class FlowNetwork
@@ -65,6 +76,18 @@ class FlowNetwork
      */
     void setThreads(int threads);
     int threads() const { return threads_; }
+
+    /**
+     * The shard-batch worker pool, created lazily from the threads()
+     * setting (null when the effective lane count is 1, e.g. after
+     * the hardware-concurrency cap). The parallel interpreter shares
+     * this pool so one simThreads knob — and one SimThreadBudget
+     * lease — governs both engines' lanes.
+     */
+    SimWorkerPool *workerPool();
+
+    /** Installs wall-clock phase accounting (null disables). */
+    void setProfile(SimProfile *profile) { profile_ = profile; }
 
     /**
      * Disables component sharding: every flow joins one global shard,
@@ -225,6 +248,7 @@ class FlowNetwork
 
     int threads_ = 1;
     std::unique_ptr<SimWorkerPool> pool_;
+    SimProfile *profile_ = nullptr;
 
     double delivered_ = 0.0;
     std::vector<double> resourceBytes_;

@@ -1,11 +1,35 @@
 #include "sim/worker_pool.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace mscclang {
 
-SimWorkerPool::SimWorkerPool(int threads)
-    : threads_(std::max(1, threads))
+namespace {
+
+/**
+ * Lanes beyond the host's core count cannot add throughput — they
+ * only add scheduling churn, which is exactly the oversubscription
+ * that made threads=2/4 *slower* than threads=1 on small hosts
+ * (BENCH_sim.json before the cap). Sanitizer runs may export
+ * MSCCLANG_SIM_THREADS_UNCAPPED=1 to force real worker threads even
+ * where the cap would serialize them (TSan needs genuine
+ * interleavings regardless of core count).
+ */
+int
+capLanes(int threads)
+{
+    threads = std::max(1, threads);
+    if (std::getenv("MSCCLANG_SIM_THREADS_UNCAPPED") != nullptr)
+        return threads;
+    unsigned hw = std::thread::hardware_concurrency();
+    int cap = hw > 0 ? static_cast<int>(hw) : 1;
+    return std::min(threads, cap);
+}
+
+} // namespace
+
+SimWorkerPool::SimWorkerPool(int threads) : threads_(capLanes(threads))
 {
     workers_.reserve(threads_ - 1);
     for (int w = 1; w < threads_; w++)

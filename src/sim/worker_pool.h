@@ -37,7 +37,13 @@ namespace mscclang {
 class SimWorkerPool
 {
   public:
-    /** @p threads >= 1 total execution lanes (caller included). */
+    /**
+     * @p threads >= 1 total execution lanes (caller included),
+     * capped at hardware concurrency: extra lanes on a smaller host
+     * are pure oversubscription and only slow the batch down.
+     * MSCCLANG_SIM_THREADS_UNCAPPED=1 disables the cap (sanitizer
+     * runs that need real interleavings on any host).
+     */
     explicit SimWorkerPool(int threads);
     ~SimWorkerPool();
 

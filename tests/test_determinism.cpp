@@ -357,6 +357,231 @@ TEST(Determinism, SimThreadsInvariantWithActiveFaults)
     }
 }
 
+/** One timing-mode run on the parallel interpreter engine. */
+ExecStats
+runParallelInterp(const Topology &topo, const IrProgram &ir,
+                  std::uint64_t bytes, int threads,
+                  const std::string &trace_path = std::string())
+{
+    ExecOptions exec;
+    exec.bytesPerRank = bytes;
+    exec.maxTilesPerChunk = 16;
+    exec.launchOverheadUs = topo.params().kernelLaunchUs;
+    exec.simThreads = threads;
+    exec.parallelInterp = true;
+    exec.traceFile = trace_path;
+    return runIr(topo, ir, exec);
+}
+
+/**
+ * The parallel-interpreter contract (DESIGN.md §13): with
+ * parallelInterp on, the fingerprint is bit-identical at every
+ * simThreads count — the rank-batch merge applies cross-rank effects
+ * in deterministic order, so worker count can only move wall-clock
+ * time. Against the serial engine, timestamps and message counts
+ * agree exactly; wireBytes only up to floating-point summation order
+ * (per-rank partial sums fold rank-by-rank instead of accumulating
+ * in global event order).
+ */
+void
+expectParallelInterpInvariant(const Topology &topo,
+                              const IrProgram &ir,
+                              std::uint64_t bytes)
+{
+    ExecStats serial = runWithSimThreads(topo, ir, bytes, 1);
+    ExecStats ref = runParallelInterp(topo, ir, bytes, 1);
+    EXPECT_EQ(serial.endNs, ref.endNs) << "engine divergence";
+    EXPECT_EQ(serial.startNs, ref.startNs);
+    EXPECT_EQ(serial.messages, ref.messages);
+    EXPECT_NEAR(serial.wireBytes, ref.wireBytes,
+                1e-6 * serial.wireBytes + 1e-3);
+    for (int threads : { 2, 4, 8 }) {
+        ExecStats got = runParallelInterp(topo, ir, bytes, threads);
+        EXPECT_EQ(ref.endNs, got.endNs) << "threads=" << threads;
+        EXPECT_EQ(ref.startNs, got.startNs) << "threads=" << threads;
+        EXPECT_EQ(ref.messages, got.messages)
+            << "threads=" << threads;
+        EXPECT_EQ(ref.wireBytes, got.wireBytes) // exact, not NEAR
+            << "threads=" << threads;
+    }
+}
+
+TEST(Determinism, ParallelInterpInvariantAllReduce16)
+{
+    Topology topo = makeNdv4(2);
+    AlgoConfig cfg;
+    cfg.protocol = Protocol::LL128;
+    cfg.instances = 4;
+    IrProgram ir = compileProgram(*makeRingAllReduce(16, 4, cfg)).ir;
+    expectParallelInterpInvariant(topo, ir, 1 << 20);
+}
+
+TEST(Determinism, ParallelInterpInvariantAllGather16)
+{
+    Topology topo = makeNdv4(2);
+    AlgoConfig cfg;
+    cfg.protocol = Protocol::Simple;
+    cfg.instances = 2;
+    IrProgram ir = compileProgram(*makeRingAllGather(16, 2, cfg)).ir;
+    expectParallelInterpInvariant(topo, ir, 256 << 10);
+}
+
+TEST(Determinism, ParallelInterpInvariantAllToAll16)
+{
+    Topology topo = makeNdv4(2);
+    AlgoConfig cfg;
+    cfg.protocol = Protocol::Simple;
+    cfg.instances = 1;
+    IrProgram ir = compileProgram(*makeTwoStepAllToAll(2, 8, cfg)).ir;
+    expectParallelInterpInvariant(topo, ir, 256 << 10);
+}
+
+TEST(Determinism, ParallelInterpInvariantAllReduce64)
+{
+    Topology topo = makeNdv4(8);
+    AlgoConfig cfg;
+    cfg.protocol = Protocol::LL128;
+    cfg.instances = 2;
+    IrProgram ir = compileProgram(*makeRingAllReduce(64, 2, cfg)).ir;
+    expectParallelInterpInvariant(topo, ir, 256 << 10);
+}
+
+TEST(Determinism, ParallelInterpInvariantAllGather64)
+{
+    Topology topo = makeNdv4(8);
+    AlgoConfig cfg;
+    cfg.protocol = Protocol::Simple;
+    cfg.instances = 1;
+    IrProgram ir = compileProgram(*makeRingAllGather(64, 2, cfg)).ir;
+    expectParallelInterpInvariant(topo, ir, 128 << 10);
+}
+
+TEST(Determinism, ParallelInterpInvariantAllToAll64)
+{
+    Topology topo = makeNdv4(8);
+    AlgoConfig cfg;
+    cfg.protocol = Protocol::Simple;
+    cfg.instances = 1;
+    IrProgram ir = compileProgram(*makeTwoStepAllToAll(8, 8, cfg)).ir;
+    expectParallelInterpInvariant(topo, ir, 64 << 10);
+}
+
+TEST(Determinism, ParallelInterpTraceContentMatchesSerialEngine)
+{
+    // The full instruction timeline is engine-independent: every
+    // slice's begin/end timestamp is byte-identical between the
+    // serial engine and the parallel engine at any thread count
+    // (writeTrace's canonical sort erases append-order differences).
+    Topology topo = makeNdv4(2);
+    AlgoConfig cfg;
+    cfg.protocol = Protocol::LL128;
+    cfg.instances = 2;
+    IrProgram ir = compileProgram(*makeRingAllReduce(16, 2, cfg)).ir;
+    std::string path_s =
+        testing::TempDir() + "mscclang_pinterp_serial.json";
+    std::string path_1 =
+        testing::TempDir() + "mscclang_pinterp_1.json";
+    std::string path_8 =
+        testing::TempDir() + "mscclang_pinterp_8.json";
+    runWithSimThreads(topo, ir, 1 << 20, 1, path_s);
+    runParallelInterp(topo, ir, 1 << 20, 1, path_1);
+    runParallelInterp(topo, ir, 1 << 20, 8, path_8);
+    std::string trace_s = slurp(path_s);
+    std::string trace_1 = slurp(path_1);
+    std::string trace_8 = slurp(path_8);
+    EXPECT_FALSE(trace_s.empty());
+    EXPECT_EQ(trace_s, trace_1);
+    EXPECT_EQ(trace_1, trace_8);
+    std::remove(path_s.c_str());
+    std::remove(path_1.c_str());
+    std::remove(path_8.c_str());
+}
+
+TEST(Determinism, ParallelInterpInvariantWithActiveFaults)
+{
+    // Fired-fault sets and post-fault timings survive the engine
+    // swap and every worker count.
+    Topology topo = makeNdv4(2);
+    AlgoConfig cfg;
+    cfg.protocol = Protocol::Simple;
+    cfg.instances = 2;
+    IrProgram ir = compileProgram(*makeRingAllReduce(16, 2, cfg)).ir;
+    const std::uint64_t bytes = 1 << 20;
+
+    double healthy_us =
+        runWithSimThreads(topo, ir, bytes, 1).durationUs();
+    const Route &route = topo.route(0, 1);
+    ASSERT_FALSE(route.resources.empty());
+    FaultEvent degrade;
+    degrade.resource = route.resources.front();
+    degrade.kind = FaultKind::Degrade;
+    degrade.atUs = healthy_us * 0.3;
+    degrade.durationUs = healthy_us * 0.4;
+    degrade.factor = 0.05;
+    topo.setFaultSchedule(FaultSchedule{ { degrade } });
+
+    ExecStats serial = runWithSimThreads(topo, ir, bytes, 1);
+    ExecStats ref = runParallelInterp(topo, ir, bytes, 1);
+    EXPECT_FALSE(ref.aborted);
+    EXPECT_EQ(serial.endNs, ref.endNs);
+    EXPECT_EQ(serial.firedFaults, ref.firedFaults);
+    EXPECT_EQ(serial.faultsSeen, ref.faultsSeen);
+    for (int threads : { 2, 4, 8 }) {
+        ExecStats got = runParallelInterp(topo, ir, bytes, threads);
+        EXPECT_EQ(ref.endNs, got.endNs) << "threads=" << threads;
+        EXPECT_EQ(ref.messages, got.messages)
+            << "threads=" << threads;
+        EXPECT_EQ(ref.wireBytes, got.wireBytes)
+            << "threads=" << threads;
+        EXPECT_EQ(ref.firedFaults, got.firedFaults)
+            << "threads=" << threads;
+        EXPECT_EQ(ref.faultsSeen, got.faultsSeen)
+            << "threads=" << threads;
+    }
+}
+
+TEST(Determinism, ParallelInterpDataModeMatchesSerialEngine)
+{
+    // Real float data: each rank's reductions execute in the same
+    // per-rank order under both engines, so output buffers are
+    // element-exact — not just close.
+    Topology topo = makeNdv4(1);
+    AlgoConfig cfg;
+    cfg.protocol = Protocol::Simple;
+    cfg.instances = 2;
+    IrProgram ir = compileProgram(*makeRingAllReduce(8, 2, cfg)).ir;
+    const std::uint64_t bytes = 256 << 10;
+
+    auto run_once = [&](DataStore &store, bool parallel, int threads) {
+        store.configure(ir, bytes);
+        for (int r = 0; r < 8; r++) {
+            std::vector<float> &in = store.input(r);
+            for (size_t i = 0; i < in.size(); i++)
+                in[i] = static_cast<float>((r * 131 + i) % 97);
+        }
+        ExecOptions exec;
+        exec.dataMode = true;
+        exec.bytesPerRank = bytes;
+        exec.maxTilesPerChunk = 16;
+        exec.launchOverheadUs = topo.params().kernelLaunchUs;
+        exec.simThreads = threads;
+        exec.parallelInterp = parallel;
+        return runIr(topo, ir, exec, &store);
+    };
+
+    DataStore store_s, store_1, store_4;
+    ExecStats s = run_once(store_s, false, 1);
+    ExecStats p1 = run_once(store_1, true, 1);
+    ExecStats p4 = run_once(store_4, true, 4);
+    EXPECT_EQ(s.endNs, p1.endNs);
+    EXPECT_EQ(p1.endNs, p4.endNs);
+    EXPECT_EQ(s.messages, p1.messages);
+    for (int r = 0; r < 8; r++) {
+        EXPECT_EQ(store_s.output(r), store_1.output(r)) << "rank " << r;
+        EXPECT_EQ(store_1.output(r), store_4.output(r)) << "rank " << r;
+    }
+}
+
 TEST(Determinism, TunerWindowsIndependentOfThreadCount)
 {
     Topology topo = makeNdv4(2);

@@ -34,6 +34,7 @@
 #include "common/strings.h"
 #include "compiler/plan_cache.h"
 #include "runtime/communicator.h"
+#include "sim/profile.h"
 
 using namespace mscclang;
 
@@ -57,7 +58,12 @@ usage()
         "  --csv <path>       also write the matrix as CSV rows\n"
         "                     ('-' for stdout)\n"
         "  --data             move real floats (slower, validates "
-        "buffers)\n");
+        "buffers)\n"
+        "  --sim-threads <n>  simulation worker threads (default 1)\n"
+        "  --parallel-interp  parallel interpreter engine (same\n"
+        "                     matrix at any --sim-threads)\n"
+        "  --profile          print a wall-clock phase breakdown of\n"
+        "                     the whole sweep after the matrix\n");
 }
 
 struct Candidate
@@ -113,6 +119,9 @@ main(int argc, char **argv)
     std::uint64_t seed = 1;
     std::string csv_path;
     bool data_mode = false;
+    int sim_threads = 1;
+    bool parallel_interp = false;
+    bool profile_on = false;
     for (int i = 1; i < argc; i++) {
         std::string flag = argv[i];
         auto value = [&]() -> std::string {
@@ -139,6 +148,11 @@ main(int argc, char **argv)
                 seed = std::stoull(value());
             else if (flag == "--csv") csv_path = value();
             else if (flag == "--data") data_mode = true;
+            else if (flag == "--sim-threads")
+                sim_threads = std::stoi(value());
+            else if (flag == "--parallel-interp")
+                parallel_interp = true;
+            else if (flag == "--profile") profile_on = true;
             else if (flag == "--help" || flag == "-h") {
                 usage();
                 return 0;
@@ -221,6 +235,7 @@ main(int argc, char **argv)
         std::string csv = "machine,algorithm,scenario,seed,mode,"
                           "attempts,faults,time_us,total_time_us,"
                           "backoff_us,quarantined\n";
+        SimProfile profile; // accumulates across the whole sweep
 
         for (const Candidate &candidate : candidates) {
             std::printf("%-14s", candidate.label.c_str());
@@ -258,6 +273,9 @@ main(int argc, char **argv)
                 RunOptions run;
                 run.bytes = bytes;
                 run.dataMode = data_mode;
+                run.simThreads = sim_threads;
+                run.parallelInterp = parallel_interp;
+                run.profile = profile_on ? &profile : nullptr;
                 run.watchdogNoProgressUs =
                     std::max(200.0, healthy_us);
                 if (data_mode) {
@@ -301,6 +319,30 @@ main(int argc, char **argv)
                     "RP: recovered via degraded-topology replan; "
                     "FB: the blind fallback finished;\n"
                     "FAILED: no attempt survived the fault.\n");
+
+        if (profile_on) {
+            auto us = [](std::int64_t ns) {
+                return static_cast<double>(ns) / 1000.0;
+            };
+            std::printf(
+                "\nphase breakdown (wall clock, whole sweep):\n"
+                "  event queue     %10.1f us  (%llu serial events)\n"
+                "  flow network    %10.1f us  (%llu batches)\n"
+                "  flow callbacks  %10.1f us\n"
+                "  interp parallel %10.1f us  (%llu batches, "
+                "%llu pooled)\n"
+                "  interp merge    %10.1f us\n",
+                us(profile.eventQueueNs),
+                static_cast<unsigned long long>(profile.serialEvents),
+                us(profile.flowNetworkNs),
+                static_cast<unsigned long long>(profile.flowBatches),
+                us(profile.flowCallbacksNs),
+                us(profile.interpParallelNs),
+                static_cast<unsigned long long>(profile.interpBatches),
+                static_cast<unsigned long long>(
+                    profile.interpPooledBatches),
+                us(profile.interpMergeNs));
+        }
 
         if (!csv_path.empty()) {
             if (csv_path == "-") {

@@ -18,10 +18,15 @@
 # With --tsan, builds a third tree with ThreadSanitizer instead
 # (-DMSCCLANG_TSAN=ON; TSan cannot link with ASan) and runs the
 # suites that actually spin threads: the flow network's shard batch
-# workers (Sim), the simThreads determinism sweeps (Determinism),
-# the fault path that mutates capacities between batches (Faults),
-# and the schedule search's budget-leased sweep worker pool
-# (Search, SimThreadLease).
+# workers (Sim), the parallel interpreter's rank batches (Interp*,
+# Determinism's ParallelInterp sweeps), the simThreads determinism
+# sweeps (Determinism), the fault path that mutates capacities
+# between batches (Faults), and the schedule search's budget-leased
+# sweep worker pool (Search, SimThreadLease). TSan runs export
+# MSCCLANG_SIM_THREADS_UNCAPPED=1 so the worker pools spin real
+# threads — and real interleavings — even on a small CI host where
+# the hardware-concurrency cap would otherwise collapse every pool
+# to inline execution.
 # Registered as the "tsan" ctest configuration (ctest -C tsan).
 #
 # Usage: tools/run_sanitized.sh [--chaos-sweep|--tsan] [ctest -R regex]
@@ -41,7 +46,7 @@ fi
 if [[ "$TSAN" == "1" ]]; then
     BUILD_DIR="${BUILD_DIR:-build-tsan}"
     SANITIZE_FLAG="-DMSCCLANG_TSAN=ON"
-    FILTER="${1:-Sim|Determinism|Faults|Search|SimThreadLease}"
+    FILTER="${1:-Sim|Interp|Determinism|Faults|Watchdog|Search|SimThreadLease}"
 else
     BUILD_DIR="${BUILD_DIR:-build-asan}"
     SANITIZE_FLAG="-DMSCCLANG_SANITIZE=ON"
@@ -56,6 +61,9 @@ cmake --build "$BUILD_DIR" --target test_faults test_interpreter \
 
 if [[ "$TSAN" == "1" ]]; then
     export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
+    # Real threads even on tiny hosts: the point of the TSan run is
+    # cross-thread interleavings, not wall-clock speed.
+    export MSCCLANG_SIM_THREADS_UNCAPPED=1
 else
     export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
     export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
