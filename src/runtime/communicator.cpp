@@ -1,12 +1,45 @@
 #include "runtime/communicator.h"
 
 #include <algorithm>
+#include <climits>
+#include <cmath>
 
 #include "common/error.h"
 #include "common/strings.h"
 #include "compiler/plan_cache.h"
 
 namespace mscclang {
+
+double
+saturatingAddUs(double a, double b)
+{
+    if (std::isnan(a))
+        a = 0.0;
+    if (std::isnan(b))
+        b = 0.0;
+    double sum = std::max(0.0, a) + std::max(0.0, b);
+    return std::min(sum, kMaxAccountedUs);
+}
+
+int
+saturatingIncrement(int count)
+{
+    return count < INT_MAX ? count + 1 : INT_MAX;
+}
+
+const char *
+planSourceName(PlanSource source)
+{
+    switch (source) {
+      case PlanSource::Window:
+        return "window";
+      case PlanSource::Replan:
+        return "replan";
+      case PlanSource::Fallback:
+        return "fallback";
+    }
+    return "?";
+}
 
 namespace {
 
@@ -211,39 +244,93 @@ Communicator::syncQuarantine()
         retuneHook_(lastQuarantine_);
 }
 
+PlanChoice
+Communicator::selectPlan(const std::string &collective,
+                         std::uint64_t bytes)
+{
+    // A registered window avoiding the quarantine, then the replan
+    // cache (links already out of service), then the fallback.
+    PlanChoice choice;
+    const Registered *picked = selectWindow(collective, bytes);
+    if (picked != nullptr) {
+        choice.program = &picked->ir;
+        choice.source = PlanSource::Window;
+        return choice;
+    }
+    choice.program =
+        replanProgram(collective, health_.quarantined(), bytes);
+    choice.source = PlanSource::Replan;
+    if (choice.program != nullptr)
+        return choice;
+    auto fallback = fallbacks_.find(collective);
+    if (fallback == fallbacks_.end()) {
+        throw RuntimeError("no algorithm or fallback registered "
+                           "for '" + collective + "' at " +
+                           formatBytes(bytes));
+    }
+    choice.owned = std::make_shared<const IrProgram>(
+        fallback->second(bytes));
+    choice.program = choice.owned.get();
+    choice.source = PlanSource::Fallback;
+    return choice;
+}
+
+RecoveryDecision
+Communicator::decideRecovery(const std::string &collective,
+                             std::uint64_t bytes)
+{
+    RecoveryDecision decision;
+
+    // Conclusive evidence (the quarantine grew) abandons the current
+    // plan: first a registered window that avoids the quarantined
+    // links (possibly freshly re-tuned by the hook), then a verified
+    // recompile on the degraded topology, then the blind fallback.
+    // Transient evidence (stall/degrade below the threshold) retries
+    // the same plan after a bounded deterministic backoff until the
+    // budget is spent.
+    bool quarantine_changed = health_.quarantined() != lastQuarantine_;
+    if (quarantine_changed) {
+        syncQuarantine(); // fires the retune hook
+        const Registered *rewin = selectWindow(collective, bytes);
+        if (rewin != nullptr) {
+            decision.action = RecoveryAction::Switch;
+            decision.plan.program = &rewin->ir;
+            decision.plan.source = PlanSource::Window;
+            return decision;
+        }
+        const IrProgram *replan =
+            replanProgram(collective, lastQuarantine_, bytes);
+        if (replan != nullptr) {
+            decision.action = RecoveryAction::Switch;
+            decision.plan.program = replan;
+            decision.plan.source = PlanSource::Replan;
+            return decision;
+        }
+    } else if (!health_.transientBudgetSpent()) {
+        decision.action = RecoveryAction::Backoff;
+        decision.backoffUs = health_.nextBackoffUs();
+        return decision;
+    }
+    auto fallback = fallbacks_.find(collective);
+    if (fallback == fallbacks_.end()) {
+        decision.action = RecoveryAction::GiveUp;
+        return decision;
+    }
+    decision.action = RecoveryAction::Switch;
+    decision.plan.owned =
+        std::make_shared<const IrProgram>(fallback->second(bytes));
+    decision.plan.program = decision.plan.owned.get();
+    decision.plan.source = PlanSource::Fallback;
+    return decision;
+}
+
 RunResult
 Communicator::run(const std::string &collective,
                   const RunOptions &options)
 {
     health_.beginRun();
 
-    enum class Source { Window, Replan, Fallback };
-    auto fallback = fallbacks_.find(collective);
-
-    // Initial selection: a registered window avoiding the quarantine,
-    // then the replan cache (links already out of service), then the
-    // fallback.
-    IrProgram fallback_ir;
-    const IrProgram *program = nullptr;
-    Source source = Source::Window;
-    const Registered *picked = selectWindow(collective, options.bytes);
-    if (picked != nullptr) {
-        program = &picked->ir;
-    } else {
-        program = replanProgram(collective, health_.quarantined(),
-                                options.bytes);
-        source = Source::Replan;
-    }
-    if (program == nullptr) {
-        if (fallback == fallbacks_.end()) {
-            throw RuntimeError("no algorithm or fallback registered "
-                               "for '" + collective + "' at " +
-                               formatBytes(options.bytes));
-        }
-        fallback_ir = fallback->second(options.bytes);
-        program = &fallback_ir;
-        source = Source::Fallback;
-    }
+    PlanChoice choice = selectPlan(collective, options.bytes);
 
     // Attempt loop. Fault events are transient: the working copy of
     // the schedule drops events an aborted attempt already fired, so
@@ -267,14 +354,15 @@ Communicator::run(const std::string &collective,
     int max_attempts = std::max(1, options.maxAttempts);
     for (;;) {
         if (options.dataMode && !have_snapshot &&
-            program->mutatesInput()) {
+            choice.program->mutatesInput()) {
             snapshot = store_.snapshot();
             have_snapshot = true;
         }
-        attempts++;
-        RunResult result = runAttempt(*program, options, &working);
+        attempts = saturatingIncrement(attempts);
+        RunResult result =
+            runAttempt(*choice.program, options, &working);
         faults_total += result.stats.faultsSeen;
-        total_time += result.timeUs;
+        total_time = saturatingAddUs(total_time, result.timeUs);
 
         // Feed the monitor before consuming anything: the fired
         // indices refer to the armed (working) schedule.
@@ -286,17 +374,19 @@ Communicator::run(const std::string &collective,
         }
 
         if (!result.stats.aborted) {
-            health_.noteSuccess(programLinks(*program));
+            health_.noteSuccess(programLinks(*choice.program));
             result.attempts = attempts;
             result.faultsSeen = faults_total;
             result.degraded = attempts > 1;
-            result.recoveredViaReplan = source == Source::Replan;
+            result.recoveredViaReplan =
+                choice.source == PlanSource::Replan;
             result.backoffUs = backoff_total;
-            result.totalTimeUs = total_time + backoff_total;
+            result.totalTimeUs =
+                saturatingAddUs(total_time, backoff_total);
             result.rolledBack = rolled_back;
-            if (source == Source::Fallback)
+            if (choice.source == PlanSource::Fallback)
                 result.algorithm += " (fallback)";
-            else if (source == Source::Replan)
+            else if (choice.source == PlanSource::Replan)
                 result.algorithm += " (replan)";
             syncQuarantine();
             result.quarantinedLinks = lastQuarantine_;
@@ -306,9 +396,13 @@ Communicator::run(const std::string &collective,
         // Abort: attribute the blocked thread blocks to their links.
         health_.noteBlocked(result.stats.blockedLinks);
         if (attempts >= max_attempts) {
+            // The distinct budget-exhausted spelling keeps "ran out
+            // of attempts" tellable apart from "no recovery route"
+            // in logs and workload availability reports.
             throw RuntimeError(strprintf(
-                "run '%s' at %s aborted after %d attempt(s) (%d fault"
-                "(s) seen): %s", collective.c_str(),
+                "retry budget exhausted: run '%s' at %s aborted "
+                "after %d attempt(s) (%d fault(s) seen): %s",
+                collective.c_str(),
                 formatBytes(options.bytes).c_str(), attempts,
                 faults_total, result.stats.abortReason.c_str()));
         }
@@ -318,46 +412,23 @@ Communicator::run(const std::string &collective,
             rolled_back = true;
         }
 
-        // Pick the recovery route. Conclusive evidence (the
-        // quarantine grew) abandons the current plan: first a
-        // registered window that avoids the quarantined links
-        // (possibly freshly re-tuned by the hook), then a verified
-        // recompile on the degraded topology, then the blind
-        // fallback. Transient evidence (stall/degrade below the
-        // threshold) retries the same algorithm after a bounded
-        // deterministic backoff until the budget is spent.
-        bool quarantine_changed =
-            health_.quarantined() != lastQuarantine_;
-        if (quarantine_changed) {
-            syncQuarantine(); // fires the retune hook
-            const Registered *rewin =
-                selectWindow(collective, options.bytes);
-            if (rewin != nullptr) {
-                program = &rewin->ir;
-                source = Source::Window;
-                continue;
-            }
-            const IrProgram *replan = replanProgram(
-                collective, lastQuarantine_, options.bytes);
-            if (replan != nullptr) {
-                program = replan;
-                source = Source::Replan;
-                continue;
-            }
-        } else if (!health_.transientBudgetSpent()) {
-            backoff_total += health_.nextBackoffUs();
+        RecoveryDecision decision =
+            decideRecovery(collective, options.bytes);
+        switch (decision.action) {
+          case RecoveryAction::Backoff:
+            backoff_total =
+                saturatingAddUs(backoff_total, decision.backoffUs);
             continue;
-        }
-        if (fallback == fallbacks_.end()) {
+          case RecoveryAction::Switch:
+            choice = std::move(decision.plan);
+            continue;
+          case RecoveryAction::GiveUp:
             throw RuntimeError(strprintf(
                 "run '%s' at %s aborted and no recovery plan or "
                 "fallback is registered: %s", collective.c_str(),
                 formatBytes(options.bytes).c_str(),
                 result.stats.abortReason.c_str()));
         }
-        fallback_ir = fallback->second(options.bytes);
-        program = &fallback_ir;
-        source = Source::Fallback;
     }
 }
 
@@ -419,8 +490,9 @@ Communicator::runComposed(const std::vector<const IrProgram *> &irs,
             local.events.push_back(rebased);
         }
         RunResult step = runAttempt(*ir, options, &local);
-        total.timeUs += step.timeUs;
-        total.totalTimeUs += step.timeUs;
+        total.timeUs = saturatingAddUs(total.timeUs, step.timeUs);
+        total.totalTimeUs =
+            saturatingAddUs(total.totalTimeUs, step.timeUs);
         total.stats.messages += step.stats.messages;
         total.stats.wireBytes += step.stats.wireBytes;
         total.stats.faultsSeen += step.stats.faultsSeen;

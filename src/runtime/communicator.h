@@ -78,6 +78,65 @@ struct RunOptions
     SimProfile *profile = nullptr;
 };
 
+/**
+ * Ceiling on the accumulated time totals a RunResult reports,
+ * microseconds (~31 years of simulated time). Retry storms with
+ * enormous backoff budgets accumulate with saturating arithmetic
+ * against this cap instead of silently overflowing toward inf.
+ */
+constexpr double kMaxAccountedUs = 1e15;
+
+/**
+ * @p a + @p b clamped to [0, kMaxAccountedUs]. NaN contributions are
+ * dropped (a NaN total would poison every later accumulation), and
+ * negative inputs clamp to 0 — accumulated durations never regress.
+ */
+double saturatingAddUs(double a, double b);
+
+/** @p count + 1 without wrapping past INT_MAX. */
+int saturatingIncrement(int count);
+
+/** Where a plan served by the communicator came from. */
+enum class PlanSource {
+    Window,   ///< a registered algorithm window
+    Replan,   ///< a recompiled degraded-topology plan
+    Fallback, ///< the registered fallback (the paper's NCCL role)
+};
+
+/** Returns a short human-readable name ("window", ...). */
+const char *planSourceName(PlanSource source);
+
+/**
+ * A selected plan plus its provenance. Window and replan programs
+ * point into communicator-owned storage (stable for the
+ * communicator's lifetime unless the window table is re-registered);
+ * fallback programs are owned by the choice itself.
+ */
+struct PlanChoice
+{
+    const IrProgram *program = nullptr;
+    PlanSource source = PlanSource::Window;
+    /** Owns the program when source == Fallback. */
+    std::shared_ptr<const IrProgram> owned;
+};
+
+/** What to do after an aborted attempt (see decideRecovery). */
+enum class RecoveryAction {
+    Backoff, ///< retry the same plan after backoffUs
+    Switch,  ///< run decision.plan instead
+    GiveUp,  ///< no recovery route remains
+};
+
+/** The recovery route chosen after an aborted attempt. */
+struct RecoveryDecision
+{
+    RecoveryAction action = RecoveryAction::GiveUp;
+    /** Backoff to charge before the retry (Backoff only). */
+    double backoffUs = 0.0;
+    /** The replacement plan (Switch only). */
+    PlanChoice plan;
+};
+
 /** Result of one collective invocation. */
 struct RunResult
 {
@@ -176,6 +235,35 @@ class Communicator
     /** Degraded-topology compilations performed so far (cache
      *  misses; tests assert the cache works by watching this). */
     int replanCompiles() const { return replanCompiles_; }
+
+    /**
+     * The plan run() would launch for @p collective at @p bytes right
+     * now: a registered window avoiding the quarantine, else a
+     * compiled degraded-topology replan, else the fallback. Public so
+     * external drivers that multiplex many collectives onto one
+     * shared fabric (the workload replay engine) select through the
+     * exact cascade run() uses.
+     * @throws RuntimeError when nothing matches.
+     */
+    PlanChoice selectPlan(const std::string &collective,
+                          std::uint64_t bytes);
+
+    /**
+     * The recovery route run() takes after an aborted attempt,
+     * assuming the health monitor has already been fed the abort's
+     * evidence (noteFault / noteBlocked): conclusive evidence (the
+     * quarantine grew) switches to a window avoiding the quarantined
+     * links, else a verified degraded-topology replan, else the
+     * fallback; transient evidence retries the same plan after a
+     * deterministic bounded backoff until the budget is spent, then
+     * falls back. Fires the retune hook when the quarantine changed.
+     * A Backoff decision advances the monitor's backoff streak and
+     * RNG; callers must charge the returned backoffUs. Shared by
+     * run() and the workload replay engine so both recover
+     * identically.
+     */
+    RecoveryDecision decideRecovery(const std::string &collective,
+                                    std::uint64_t bytes);
 
     /**
      * Installs the hook invoked whenever the quarantined-link set

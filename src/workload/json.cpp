@@ -1,0 +1,404 @@
+#include "workload/json.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace mscclang {
+
+namespace {
+
+const char *
+kindName(JsonValue::Kind kind)
+{
+    switch (kind) {
+      case JsonValue::Kind::Null:
+        return "null";
+      case JsonValue::Kind::Bool:
+        return "bool";
+      case JsonValue::Kind::Number:
+        return "number";
+      case JsonValue::Kind::String:
+        return "string";
+      case JsonValue::Kind::Array:
+        return "array";
+      case JsonValue::Kind::Object:
+        return "object";
+    }
+    return "?";
+}
+
+} // namespace
+
+bool
+JsonValue::asBool() const
+{
+    if (kind_ != Kind::Bool)
+        throw Error(strprintf("json: expected bool, got %s",
+                              kindName(kind_)));
+    return bool_;
+}
+
+double
+JsonValue::asNumber() const
+{
+    if (kind_ != Kind::Number)
+        throw Error(strprintf("json: expected number, got %s",
+                              kindName(kind_)));
+    return number_;
+}
+
+std::int64_t
+JsonValue::asInt() const
+{
+    double value = asNumber();
+    if (std::floor(value) != value || std::abs(value) > 9.007e15)
+        throw Error(strprintf("json: %g is not an integer", value));
+    return static_cast<std::int64_t>(value);
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (kind_ != Kind::String)
+        throw Error(strprintf("json: expected string, got %s",
+                              kindName(kind_)));
+    return string_;
+}
+
+const std::vector<JsonValue> &
+JsonValue::asArray() const
+{
+    if (kind_ != Kind::Array)
+        throw Error(strprintf("json: expected array, got %s",
+                              kindName(kind_)));
+    return array_;
+}
+
+bool
+JsonValue::has(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return false;
+    for (const auto &[name, value] : members_) {
+        if (name == key)
+            return true;
+    }
+    return false;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        throw Error(strprintf("json: expected object, got %s",
+                              kindName(kind_)));
+    for (const auto &[name, value] : members_) {
+        if (name == key)
+            return value;
+    }
+    throw Error("json: missing key '" + key + "'");
+}
+
+double
+JsonValue::numberOr(const std::string &key, double fallback) const
+{
+    return has(key) ? at(key).asNumber() : fallback;
+}
+
+/** Recursive-descent parser over a byte buffer. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue value = parseValue();
+        skipSpace();
+        if (pos_ != text_.size())
+            fail("trailing garbage after document");
+        return value;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        throw Error(strprintf("json: %s at byte %zu", why.c_str(),
+                              pos_));
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            pos_++;
+        }
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(strprintf("expected '%c'", c));
+        pos_++;
+    }
+
+    bool
+    consumeWord(const char *word)
+    {
+        std::size_t len = 0;
+        while (word[len] != '\0')
+            len++;
+        if (text_.compare(pos_, len, word) != 0)
+            return false;
+        pos_ += len;
+        return true;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        skipSpace();
+        char c = peek();
+        switch (c) {
+          case '{':
+            return parseObject();
+          case '[':
+            return parseArray();
+          case '"':
+            return parseString();
+          case 't':
+          case 'f':
+          case 'n': {
+            JsonValue value;
+            if (consumeWord("true")) {
+                value.kind_ = JsonValue::Kind::Bool;
+                value.bool_ = true;
+            } else if (consumeWord("false")) {
+                value.kind_ = JsonValue::Kind::Bool;
+                value.bool_ = false;
+            } else if (consumeWord("null")) {
+                value.kind_ = JsonValue::Kind::Null;
+            } else {
+                fail("unknown literal");
+            }
+            return value;
+          }
+          default:
+            if (c == '-' || (c >= '0' && c <= '9'))
+                return parseNumber();
+            fail("unexpected character");
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        JsonValue value;
+        value.kind_ = JsonValue::Kind::Object;
+        skipSpace();
+        if (peek() == '}') {
+            pos_++;
+            return value;
+        }
+        for (;;) {
+            skipSpace();
+            JsonValue key = parseString();
+            skipSpace();
+            expect(':');
+            value.members_.emplace_back(std::move(key.string_),
+                                        parseValue());
+            skipSpace();
+            if (peek() == ',') {
+                pos_++;
+                continue;
+            }
+            expect('}');
+            return value;
+        }
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        JsonValue value;
+        value.kind_ = JsonValue::Kind::Array;
+        skipSpace();
+        if (peek() == ']') {
+            pos_++;
+            return value;
+        }
+        for (;;) {
+            value.array_.push_back(parseValue());
+            skipSpace();
+            if (peek() == ',') {
+                pos_++;
+                continue;
+            }
+            expect(']');
+            return value;
+        }
+    }
+
+    JsonValue
+    parseString()
+    {
+        expect('"');
+        JsonValue value;
+        value.kind_ = JsonValue::Kind::String;
+        for (;;) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return value;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("raw control character in string");
+            if (c != '\\') {
+                value.string_ += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            char esc = text_[pos_++];
+            switch (esc) {
+              case '"': value.string_ += '"'; break;
+              case '\\': value.string_ += '\\'; break;
+              case '/': value.string_ += '/'; break;
+              case 'b': value.string_ += '\b'; break;
+              case 'f': value.string_ += '\f'; break;
+              case 'n': value.string_ += '\n'; break;
+              case 'r': value.string_ += '\r'; break;
+              case 't': value.string_ += '\t'; break;
+              case 'u':
+                appendCodepoint(value.string_, parseHex4());
+                break;
+              default:
+                fail("unknown escape");
+            }
+        }
+    }
+
+    unsigned
+    parseHex4()
+    {
+        unsigned code = 0;
+        for (int i = 0; i < 4; i++) {
+            if (pos_ >= text_.size())
+                fail("unterminated \\u escape");
+            char c = text_[pos_++];
+            code <<= 4;
+            if (c >= '0' && c <= '9')
+                code |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                code |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                code |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                fail("bad hex digit in \\u escape");
+        }
+        return code;
+    }
+
+    void
+    appendCodepoint(std::string &out, unsigned code)
+    {
+        // Surrogate pairs combine into one supplementary codepoint.
+        if (code >= 0xD800 && code <= 0xDBFF) {
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+                fail("unpaired high surrogate");
+            }
+            pos_ += 2;
+            unsigned low = parseHex4();
+            if (low < 0xDC00 || low > 0xDFFF)
+                fail("bad low surrogate");
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+        } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            fail("unpaired low surrogate");
+        }
+        if (code < 0x80) {
+            out += static_cast<char>(code);
+        } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        } else if (code < 0x10000) {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | (code >> 18));
+            out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        }
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        std::size_t start = pos_;
+        if (peek() == '-')
+            pos_++;
+        auto digits = [&] {
+            std::size_t before = pos_;
+            while (pos_ < text_.size() && text_[pos_] >= '0' &&
+                   text_[pos_] <= '9') {
+                pos_++;
+            }
+            if (pos_ == before)
+                fail("expected digits");
+        };
+        if (peek() == '0')
+            pos_++;
+        else
+            digits();
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            pos_++;
+            digits();
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            pos_++;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-')) {
+                pos_++;
+            }
+            digits();
+        }
+        JsonValue value;
+        value.kind_ = JsonValue::Kind::Number;
+        value.number_ =
+            std::strtod(text_.substr(start, pos_ - start).c_str(),
+                        nullptr);
+        return value;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+JsonValue
+parseJson(const std::string &text)
+{
+    return JsonParser(text).parse();
+}
+
+} // namespace mscclang

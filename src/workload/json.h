@@ -1,0 +1,74 @@
+/**
+ * @file
+ * A minimal JSON reader for workload trace files. The library's
+ * report emitters (search frontiers, SLO reports) build JSON by
+ * string formatting; replaying a user-supplied trace needs the
+ * opposite direction. This is a strict recursive-descent parser for
+ * standard JSON (RFC 8259): objects, arrays, strings with the
+ * standard escapes (\uXXXX included, encoded as UTF-8), numbers,
+ * booleans and null. No extensions, no trailing commas, no comments
+ * — a trace either parses cleanly or fails with a byte offset.
+ */
+
+#ifndef MSCCLANG_WORKLOAD_JSON_H_
+#define MSCCLANG_WORKLOAD_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mscclang {
+
+/** One parsed JSON value (a small immutable DOM). */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+
+    /** Typed accessors. @throws mscclang::Error on kind mismatch. */
+    bool asBool() const;
+    double asNumber() const;
+    /** asNumber(), checked to be integral and in range. */
+    std::int64_t asInt() const;
+    const std::string &asString() const;
+    const std::vector<JsonValue> &asArray() const;
+
+    /** Object member by key. @throws mscclang::Error when absent (or
+     *  not an object); has() probes without throwing. */
+    bool has(const std::string &key) const;
+    const JsonValue &at(const std::string &key) const;
+    /** Object member, or @p fallback when absent. */
+    double numberOr(const std::string &key, double fallback) const;
+
+    /** Object members in file order (empty unless an object). */
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members() const
+    {
+        return members_;
+    }
+
+  private:
+    friend class JsonParser;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> array_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/**
+ * Parses @p text as one JSON document (trailing whitespace allowed,
+ * trailing garbage is an error).
+ * @throws mscclang::Error with the byte offset on malformed input.
+ */
+JsonValue parseJson(const std::string &text);
+
+} // namespace mscclang
+
+#endif // MSCCLANG_WORKLOAD_JSON_H_

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Trace-driven workload descriptions (DESIGN.md §14). A WorkloadSpec
+ * is a set of named streams, each an ordered sequence of collective
+ * operations with issue times and optional cross-stream dependencies
+ * — the traffic shape an inference fleet actually presents: steady
+ * decode-step allreduces, pipelined microbatch chains whose stages
+ * hand off to each other, MoE alltoalls with skewed size draws, and
+ * bursty arrivals. Specs come from a JSON trace file or from the
+ * seeded built-in generators below; either way the spec is a plain
+ * value the replay engine (replay.h) multiplexes onto one shared
+ * simulated fabric.
+ *
+ * Determinism contract: generators are pure functions of their
+ * arguments (seed included) — the same call produces a byte-identical
+ * toJson() on every platform, which the determinism goldens pin.
+ */
+
+#ifndef MSCCLANG_WORKLOAD_WORKLOAD_H_
+#define MSCCLANG_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topology/topology.h"
+
+namespace mscclang {
+
+/** A cross-stream dependency: op @p op of stream @p stream. */
+struct OpDep
+{
+    int stream = 0;
+    int op = 0;
+
+    friend auto operator<=>(const OpDep &, const OpDep &) = default;
+};
+
+/** One collective invocation in a stream's trace. */
+struct WorkloadOp
+{
+    /** Collective name as registered with the Communicator
+     *  ("allreduce", "allgather", "alltoall"). */
+    std::string collective;
+    /** Input bytes per rank. */
+    std::uint64_t bytes = 1 << 20;
+    /**
+     * Earliest issue time on the workload timeline, microseconds.
+     * The op dispatches at max(issueUs, resolution of every
+     * dependency); ops of one stream additionally serialize in
+     * order (an implicit dependency on the stream's previous op).
+     */
+    double issueUs = 0.0;
+    /** Explicit cross-stream dependencies (may also name ops of the
+     *  own stream; the implicit predecessor is always in effect). */
+    std::vector<OpDep> deps;
+};
+
+/** One issue stream (a logical client of the fabric). */
+struct WorkloadStream
+{
+    std::string name;
+    std::vector<WorkloadOp> ops;
+};
+
+/** A full multi-stream trace. */
+struct WorkloadSpec
+{
+    std::string name;
+    std::vector<WorkloadStream> streams;
+
+    int totalOps() const;
+
+    /**
+     * Checks structural sanity: nonempty stream names, known
+     * collective spellings are NOT enforced (the replay engine
+     * resolves them against the communicator), dependency indices in
+     * range, no dependency cycles (Kahn's algorithm over explicit
+     * deps plus the implicit in-stream chains), nonnegative issue
+     * times and nonzero sizes.
+     * @throws mscclang::Error describing the first violation.
+     */
+    void validate() const;
+
+    /** Serializes the spec as formatted JSON (byte-stable: fixed
+     *  "%.3f" time formatting, insertion order preserved). */
+    std::string toJson() const;
+
+    /** Parses a spec from JSON text / a trace file on disk; the
+     *  result is validate()d. @throws mscclang::Error. */
+    static WorkloadSpec fromJson(const std::string &text);
+    static WorkloadSpec fromJsonFile(const std::string &path);
+};
+
+/**
+ * Steady inference decode traffic: one stream of @p ops allreduces of
+ * @p bytes each, issued every @p period_us with up to 20% seeded
+ * jitter — the per-token latency-critical stream whose tail the SLO
+ * report is about.
+ */
+WorkloadSpec makeDecodeWorkload(int ops, std::uint64_t bytes,
+                                double period_us, std::uint64_t seed);
+
+/**
+ * A pipelined microbatch schedule: @p stages streams of
+ * @p microbatches allgathers each (stage activations handed
+ * downstream), where stage s's microbatch m depends on stage s-1's
+ * microbatch m — the classic pipeline wavefront. All ops share issue
+ * time 0 plus @p stage_gap_us per stage; ordering comes from the
+ * dependency edges, so recovery delays propagate down the pipeline
+ * exactly as they would in a real schedule.
+ */
+WorkloadSpec makePipelineWorkload(int stages, int microbatches,
+                                  std::uint64_t bytes,
+                                  double stage_gap_us);
+
+/**
+ * MoE-skewed alltoall traffic: one stream of @p ops alltoalls whose
+ * sizes are drawn from a right-skewed distribution around
+ * @p mean_bytes (an Irwin-Hall sum squared, so most draws sit below
+ * the mean with a heavy upper tail — token-routing imbalance),
+ * rounded to 16 KiB multiples, issued every @p period_us.
+ */
+WorkloadSpec makeMoeWorkload(int ops, std::uint64_t mean_bytes,
+                             double period_us, std::uint64_t seed);
+
+/**
+ * Bursty arrivals: @p bursts clusters of @p ops_per_burst allreduces
+ * issued back-to-back (1 us apart), clusters separated by
+ * @p burst_gap_us with seeded jitter — the overload shape that makes
+ * concurrent streams contend hardest.
+ */
+WorkloadSpec makeBurstyWorkload(int bursts, int ops_per_burst,
+                                std::uint64_t bytes,
+                                double burst_gap_us,
+                                std::uint64_t seed);
+
+/**
+ * Concatenates @p specs into one multi-stream spec named @p name,
+ * remapping every dependency's stream index by the offset its source
+ * spec lands at.
+ */
+WorkloadSpec mergeSpecs(const std::string &name,
+                        const std::vector<WorkloadSpec> &specs);
+
+/**
+ * The acceptance-gate mix (ISSUE 9): three concurrent streams over
+ * one fabric — steady allreduce decode traffic, a 2-stage pipelined
+ * microbatch chain, and MoE-skewed alltoalls — all derived from
+ * @p seed.
+ */
+WorkloadSpec makeMixedInferenceWorkload(std::uint64_t seed);
+
+/** Resources of @p topology whose name contains @p substring
+ *  (sorted by id) — storm targeting helper. */
+std::vector<ResourceId> resourcesMatching(const Topology &topology,
+                                          const std::string &substring);
+
+/**
+ * A link-flap storm: @p flaps Stall events of @p stall_us each on
+ * every resource in @p targets, the first at @p start_us and then
+ * every @p period_us — a link that keeps going dark mid-traffic.
+ * Events are emitted in timestamp order.
+ */
+FaultSchedule makeLinkFlapStorm(const std::vector<ResourceId> &targets,
+                                int flaps, double period_us,
+                                double stall_us, double start_us);
+
+/**
+ * A degrade wave: every resource in @p targets drops to @p factor
+ * capacity at @p at_us for @p duration_us — brownout rather than
+ * blackout.
+ */
+FaultSchedule makeDegradeWave(const std::vector<ResourceId> &targets,
+                              double at_us, double duration_us,
+                              double factor);
+
+/**
+ * A correlated NIC failure: LinkDown on rank @p rank's IB send and
+ * receive resources at @p at_us — the hard failure that forces
+ * quarantine and degraded-topology replanning.
+ * @throws mscclang::Error when the topology has no IB resources for
+ * the rank (single-node machines).
+ */
+FaultSchedule makeNicFailure(const Topology &topology, int rank,
+                             double at_us);
+
+/** Concatenates fault schedules and sorts by timestamp (stable). */
+FaultSchedule mergeSchedules(const std::vector<FaultSchedule> &parts);
+
+} // namespace mscclang
+
+#endif // MSCCLANG_WORKLOAD_WORKLOAD_H_

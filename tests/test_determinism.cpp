@@ -29,9 +29,12 @@
 #include "common/error.h"
 #include "compiler/compiler.h"
 #include "compiler/verifier.h"
+#include "runtime/communicator.h"
 #include "runtime/interpreter.h"
 #include "runtime/tuner.h"
 #include "topology/topology.h"
+#include "workload/replay.h"
+#include "workload/workload.h"
 
 namespace mscclang {
 namespace {
@@ -849,6 +852,67 @@ TEST(Determinism, RaceVerdictsIndependentOfThreadCount)
         std::string serial = raceVerdict(cases[i], 1);
         for (int threads : { 2, 4, 8 })
             EXPECT_EQ(raceVerdict(cases[i], threads), serial);
+    }
+}
+
+TEST(Determinism, SeededWorkloadSpecsAreByteIdentical)
+{
+    // The same contract extends to the workload layer: a seeded
+    // generator is a pure function of its arguments, pinned at the
+    // JSON byte level so traces can be diffed and replayed exactly.
+    for (std::uint64_t seed : { 1ULL, 7ULL, 0xabcdefULL }) {
+        SCOPED_TRACE(seed);
+        EXPECT_EQ(makeMixedInferenceWorkload(seed).toJson(),
+                  makeMixedInferenceWorkload(seed).toJson());
+        EXPECT_EQ(makeDecodeWorkload(16, 1 << 20, 250.0, seed)
+                      .toJson(),
+                  makeDecodeWorkload(16, 1 << 20, 250.0, seed)
+                      .toJson());
+        EXPECT_EQ(makeMoeWorkload(16, 1 << 20, 300.0, seed).toJson(),
+                  makeMoeWorkload(16, 1 << 20, 300.0, seed).toJson());
+        EXPECT_EQ(
+            makeBurstyWorkload(3, 4, 1 << 19, 800.0, seed).toJson(),
+            makeBurstyWorkload(3, 4, 1 << 19, 800.0, seed).toJson());
+    }
+}
+
+TEST(Determinism, WorkloadReplayInvariantAcrossEnginesAndThreads)
+{
+    // A stormed multi-stream replay — retries, backoff jitter,
+    // quarantine churn and all — must produce the identical op-level
+    // fingerprint at every simThreads count and on both interpreter
+    // engines. This pins the whole recovery stack, not just one
+    // kernel's timing.
+    Topology topo = parseTopology("generic:2:4");
+    WorkloadSpec spec = mergeSpecs(
+        "det", { makeDecodeWorkload(4, 512 * 1024, 300.0, 3),
+                 makeMoeWorkload(3, 1 << 20, 500.0, 3) });
+    FaultSchedule storm = makeLinkFlapStorm(
+        resourcesMatching(topo, "ib-send[0.3]"), 3, 700.0, 500.0,
+        150.0);
+
+    std::uint64_t reference = 0;
+    bool have_reference = false;
+    for (bool parallel_interp : { false, true }) {
+        for (int threads : { 1, 2, 4, 8 }) {
+            SCOPED_TRACE(parallel_interp ? "parallel" : "serial");
+            SCOPED_TRACE(threads);
+            Communicator comm(topo);
+            registerWorkloadPlans(comm, spec);
+            ReplayOptions options;
+            options.simThreads = threads;
+            options.parallelInterp = parallel_interp;
+            ReplayResult replay =
+                replayWorkload(comm, spec, storm, options);
+            if (!have_reference) {
+                reference = replay.fingerprint();
+                have_reference = true;
+                EXPECT_GT(replay.faultsFired, 0)
+                    << "the storm must actually hit the traffic";
+            } else {
+                EXPECT_EQ(replay.fingerprint(), reference);
+            }
+        }
     }
 }
 

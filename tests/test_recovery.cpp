@@ -586,5 +586,192 @@ TEST(Recovery, ReformedRingVerifiesAndRunsCorrectly)
                  Error);
 }
 
+/** noteSuccess({}) runs until @p link leaves Quarantined. */
+int
+runsUntilProbing(LinkHealthMonitor &monitor, Link link)
+{
+    for (int runs = 1; runs <= 64; runs++) {
+        monitor.noteSuccess({});
+        if (monitor.state(link) == LinkState::Probing)
+            return runs;
+    }
+    return -1;
+}
+
+TEST(Health, ProbeHoldDoublingIsBoundedUnderStorms)
+{
+    // A link that keeps failing its probe doubles its quarantine
+    // hold each round trip, but never past maxProbeHold — a storm
+    // cannot push a link into an unbounded exile.
+    Topology topo = makeGeneric(1, 4);
+    HealthOptions options;
+    options.probeAfterRuns = 1;
+    options.maxProbeHold = 4;
+    LinkHealthMonitor monitor(topo, options);
+
+    Link link{ 0, 1 };
+    monitor.noteBlocked({ link });
+    monitor.noteBlocked({ link });
+    ASSERT_EQ(monitor.state(link), LinkState::Quarantined);
+
+    std::vector<int> holds;
+    for (int round = 0; round < 5; round++) {
+        holds.push_back(runsUntilProbing(monitor, link));
+        monitor.noteBlocked({ link }); // probe fails, hold doubles
+        ASSERT_EQ(monitor.state(link), LinkState::Quarantined);
+    }
+    EXPECT_EQ(holds, (std::vector<int>{ 1, 2, 4, 4, 4 }));
+}
+
+TEST(Health, StormRoundTripsAreDeterministicForFixedSeed)
+{
+    // Two monitors fed the identical storm transcript walk the
+    // identical Quarantined -> Probing -> Healthy trajectory and
+    // draw bit-identical backoff jitter; a third monitor with a
+    // different seed diverges in jitter only.
+    Topology topo = makeGeneric(2, 4);
+    ResourceId nic = resourceNamed(topo, "ib-send[0.3]");
+    Link cross{ 3, 4 };
+
+    HealthOptions seeded;
+    seeded.seed = 0xfeedULL;
+    HealthOptions other = seeded;
+    other.seed = 0xbeefULL;
+    LinkHealthMonitor a(topo, seeded), b(topo, seeded);
+    LinkHealthMonitor c(topo, other);
+
+    auto drive = [&](LinkHealthMonitor &m) {
+        std::vector<double> trace;
+        m.beginRun();
+        m.noteFault(makeFault(nic, FaultKind::LinkDown, 1.0));
+        trace.push_back(static_cast<double>(m.state(cross)));
+        trace.push_back(m.nextBackoffUs());
+        trace.push_back(m.nextBackoffUs());
+        // Heal: hold expires, then a clean probe run crosses it.
+        m.noteSuccess({});
+        m.noteSuccess({});
+        trace.push_back(static_cast<double>(m.state(cross)));
+        m.noteSuccess({ cross });
+        trace.push_back(static_cast<double>(m.state(cross)));
+        trace.push_back(m.score(cross));
+        // Second round trip of the storm.
+        m.noteFault(makeFault(nic, FaultKind::LinkDown, 2.0));
+        trace.push_back(static_cast<double>(m.state(cross)));
+        trace.push_back(m.nextBackoffUs());
+        return trace;
+    };
+
+    std::vector<double> trace_a = drive(a);
+    std::vector<double> trace_b = drive(b);
+    std::vector<double> trace_c = drive(c);
+    EXPECT_EQ(trace_a, trace_b);
+    EXPECT_NE(trace_a, trace_c) << "jitter must depend on the seed";
+    // The states (every non-backoff entry) agree across seeds.
+    EXPECT_EQ(trace_a[0], trace_c[0]);
+    EXPECT_EQ(trace_a[3], trace_c[3]);
+    EXPECT_EQ(trace_a[4], trace_c[4]);
+    EXPECT_EQ(trace_a[6], trace_c[6]);
+    // Full round trip actually happened.
+    EXPECT_EQ(trace_a[0],
+              static_cast<double>(LinkState::Quarantined));
+    EXPECT_EQ(trace_a[3], static_cast<double>(LinkState::Probing));
+    EXPECT_EQ(trace_a[4], static_cast<double>(LinkState::Healthy));
+    EXPECT_EQ(trace_a[6],
+              static_cast<double>(LinkState::Quarantined));
+}
+
+TEST(Health, InterleavedStreamFeedsStayConsistent)
+{
+    // The replay engine feeds one shared monitor from several
+    // concurrent streams. Duplicate implications of the same NIC
+    // must pile onto the same entries — no duplicate quarantine
+    // rows, no bleed into unrelated links.
+    Topology topo = makeGeneric(2, 4);
+    LinkHealthMonitor monitor(topo);
+    ResourceId nic = resourceNamed(topo, "ib-send[0.3]");
+    std::vector<Link> nic_links = topo.linksUsingResource(nic);
+
+    // Stream A sees the LinkDown; stream B reports the same links
+    // blocked; stream A reports them blocked again.
+    monitor.noteFault(makeFault(nic, FaultKind::LinkDown, 1.0));
+    monitor.noteBlocked(nic_links);
+    monitor.noteBlocked(nic_links);
+    EXPECT_EQ(monitor.quarantined(), nic_links)
+        << "each link exactly once, in canonical order";
+    EXPECT_EQ(monitor.state(Link{ 0, 1 }), LinkState::Healthy);
+
+    // A clean run on stream B over healthy links does not release
+    // the quarantine early.
+    monitor.noteSuccess({ Link{ 0, 1 }, Link{ 1, 2 } });
+    EXPECT_EQ(monitor.quarantined(), nic_links);
+    EXPECT_DOUBLE_EQ(monitor.score(Link{ 0, 1 }), 0.0);
+}
+
+TEST(Recovery, SaturatingAccountingClampsBudgets)
+{
+    EXPECT_DOUBLE_EQ(saturatingAddUs(1.5, 2.5), 4.0);
+    EXPECT_DOUBLE_EQ(saturatingAddUs(kMaxAccountedUs, 1.0),
+                     kMaxAccountedUs);
+    EXPECT_DOUBLE_EQ(saturatingAddUs(kMaxAccountedUs / 2,
+                                     kMaxAccountedUs),
+                     kMaxAccountedUs);
+    // NaN contributions are dropped, not propagated.
+    double nan = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_DOUBLE_EQ(saturatingAddUs(3.0, nan), 3.0);
+    EXPECT_DOUBLE_EQ(saturatingAddUs(nan, nan), 0.0);
+    // Negative contributions are dropped per-operand: accounted
+    // time never goes down, let alone negative.
+    EXPECT_DOUBLE_EQ(saturatingAddUs(2.0, -5.0), 2.0);
+    EXPECT_DOUBLE_EQ(saturatingAddUs(-3.0, -5.0), 0.0);
+
+    EXPECT_EQ(saturatingIncrement(0), 1);
+    EXPECT_EQ(saturatingIncrement(std::numeric_limits<int>::max()),
+              std::numeric_limits<int>::max());
+}
+
+TEST(Recovery, RetryBudgetExhaustionAbortsWithDistinctReason)
+{
+    // With the budget already spent, exhaustion outranks recovery:
+    // even a registered fallback is not consulted, and the error
+    // names the budget — not a missing plan. (The replay suite
+    // covers the genuine multi-attempt exhaustion path.)
+    Topology topo = makeGeneric(1, 4);
+    IrProgram primary = compileProgram(*makeRingAllReduce(4, 1, {})).ir;
+    primary.name = "ring-primary";
+    IrProgram fb = compileProgram(*makeRingAllReduce(4, 2, {})).ir;
+    fb.name = "ring-fallback";
+
+    std::uint64_t bytes = 1 << 20;
+    double healthy_us;
+    {
+        Communicator comm(topo);
+        RunOptions run;
+        run.bytes = bytes;
+        healthy_us = comm.runProgram(primary, run).timeUs;
+    }
+    ResourceId out = resourceNamed(topo, "nvlink-out[0]");
+    topo.setFaultSchedule(FaultSchedule{
+        { makeFault(out, FaultKind::LinkDown, healthy_us * 0.3) } });
+
+    Communicator comm(topo);
+    comm.registerAlgorithm(IrProgram(primary), 0,
+                           std::numeric_limits<std::uint64_t>::max());
+    comm.registerFallback("allreduce",
+                          [fb](std::uint64_t) { return fb; });
+    RunOptions run;
+    run.bytes = bytes;
+    run.watchdogNoProgressUs = healthy_us;
+    run.maxAttempts = 1;
+    try {
+        comm.run("allreduce", run);
+        FAIL() << "the only attempt hit a dead link; run must throw";
+    } catch (const RuntimeError &error) {
+        EXPECT_NE(std::string(error.what())
+                      .find("retry budget exhausted"),
+                  std::string::npos)
+            << error.what();
+    }
+}
+
 } // namespace
 } // namespace mscclang

@@ -5,7 +5,9 @@
 # arena and ring inboxes, the event queue's callback slots, the
 # fault/watchdog abort paths that recycle both mid-kernel, and the
 # compiler's shared paths — the plan cache's locked LRU + disk spill
-# and the parallel race verifier's per-rank thread pool. Also
+# and the parallel race verifier's per-rank thread pool — plus the
+# workload replay engine (Workload|Replay|Slo), which multiplexes
+# live executions and recovery retries over one shared fabric. Also
 # registered as the "sanitize" ctest configuration (ctest -C sanitize)
 # next to the existing "perf" configuration.
 #
@@ -46,18 +48,18 @@ fi
 if [[ "$TSAN" == "1" ]]; then
     BUILD_DIR="${BUILD_DIR:-build-tsan}"
     SANITIZE_FLAG="-DMSCCLANG_TSAN=ON"
-    FILTER="${1:-Sim|Interp|Determinism|Faults|Watchdog|Search|SimThreadLease}"
+    FILTER="${1:-Sim|Interp|Determinism|Faults|Watchdog|Search|SimThreadLease|Replay}"
 else
     BUILD_DIR="${BUILD_DIR:-build-asan}"
     SANITIZE_FLAG="-DMSCCLANG_SANITIZE=ON"
-    FILTER="${1:-Faults|Watchdog|Communicator|Interpreter|EventQueue|Flow|Recovery|Health|PlanCache|Determinism|Races|Search|SimThreadLease}"
+    FILTER="${1:-Faults|Watchdog|Communicator|Interpreter|EventQueue|Flow|Recovery|Health|PlanCache|Determinism|Races|Search|SimThreadLease|Workload|Replay|Slo}"
 fi
 
 cmake -B "$BUILD_DIR" -S . "$SANITIZE_FLAG" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" --target test_faults test_interpreter \
     test_sim test_races test_recovery test_plan_cache \
-    test_determinism test_search -j"$(nproc)"
+    test_determinism test_search test_workload -j"$(nproc)"
 
 if [[ "$TSAN" == "1" ]]; then
     export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
