@@ -114,6 +114,23 @@ struct Cell
     double seedColdMs;
 };
 
+/**
+ * Multi-node scaling cells (--big-ranks): verify-on cold and warm
+ * compiles at 64..1024 ranks for the flat ring and the hierarchical
+ * allreduce (8-GPU nodes). No frozen seed here — the seed compiler
+ * rejected these sizes outright — so the cells carry raw latencies.
+ */
+constexpr int kBigRankSteps[5] = { 64, 128, 256, 512, 1024 };
+
+std::unique_ptr<Program>
+makeBigProgram(int collective, int ranks)
+{
+    AlgoConfig config;
+    if (collective == 0)
+        return makeRingAllReduce(ranks, 1, config);
+    return makeHierarchicalAllReduce(ranks / 8, 8, 1, config);
+}
+
 } // namespace
 
 int
@@ -121,11 +138,14 @@ main(int argc, char **argv)
 {
     std::string json_path;
     int reps = 3;
+    bool big_ranks = false;
     for (int i = 1; i < argc; i++) {
         if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
             json_path = argv[++i];
         else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc)
             reps = std::max(1, std::atoi(argv[++i]));
+        else if (std::strcmp(argv[i], "--big-ranks") == 0)
+            big_ranks = true;
     }
 
     const char *names[3] = { "ring_allreduce", "ring_allgather",
@@ -185,6 +205,41 @@ main(int argc, char **argv)
                     cell.seedColdMs / cell.warmMs);
     }
 
+    std::vector<Cell> big_cells;
+    if (big_ranks) {
+        const char *big_names[2] = { "ring_allreduce",
+                                     "hierarchical_allreduce" };
+        std::printf("# --big-ranks — verify-on compiles at scale "
+                    "(single samples)\n");
+        std::printf("%-22s %5s %10s %10s\n", "collective", "ranks",
+                    "cold_ms", "warm_ms");
+        for (int c = 0; c < 2; c++) {
+            for (int ranks : kBigRankSteps) {
+                CompileOptions copts; // verify defaults on
+                double cold = minBatchMs(1, 1, [&] {
+                    auto prog = makeBigProgram(c, ranks);
+                    Compiled out = compileProgram(*prog, copts);
+                    if (out.ir.numRanks != ranks)
+                        std::abort();
+                });
+                PlanCache cache(4);
+                auto warm_prog = makeBigProgram(c, ranks);
+                cache.compile(*warm_prog, copts);
+                double warm = minBatchMs(1, 3, [&] {
+                    Compiled out = cache.compile(*warm_prog, copts);
+                    if (out.ir.numRanks != ranks)
+                        std::abort();
+                });
+                if (cache.hits() == 0)
+                    std::abort();
+                big_cells.push_back(Cell{ big_names[c], ranks, true,
+                                          cold, warm, 0.0 });
+                std::printf("%-22s %5d %10.1f %10.4f\n", big_names[c],
+                            ranks, cold, warm);
+            }
+        }
+    }
+
     // Replan proxy: the compile replanProgram() runs after a link
     // fault (verify on), first ever (cold: cache miss + compile)
     // then for a repeat fault (warm: cache hit).
@@ -230,6 +285,16 @@ main(int argc, char **argv)
                 cell.seedColdMs / cell.coldMs,
                 cell.seedColdMs / cell.warmMs,
                 i + 1 < cells.size() ? "," : "");
+        }
+        std::fprintf(f, "  ],\n  \"big_cells\": [\n");
+        for (size_t i = 0; i < big_cells.size(); i++) {
+            const Cell &cell = big_cells[i];
+            std::fprintf(f,
+                "    {\"collective\": \"%s\", \"ranks\": %d, "
+                "\"verify\": true, \"cold_ms\": %.4f, "
+                "\"warm_ms\": %.4f}%s\n",
+                cell.collective, cell.ranks, cell.coldMs, cell.warmMs,
+                i + 1 < big_cells.size() ? "," : "");
         }
         std::fprintf(f,
             "  ],\n"

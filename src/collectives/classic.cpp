@@ -254,40 +254,46 @@ std::unique_ptr<Program>
 makeHierarchicalAllGather(int num_nodes, int gpus_per_node,
                           const AlgoConfig &config)
 {
-    int N = num_nodes, G = gpus_per_node;
-    int R = N * G;
+    int R = num_nodes * gpus_per_node;
     auto coll = std::make_shared<AllGatherCollective>(R, 1);
     checkAlgoConfig("hierarchical allgather", config,
-                    /*allows_aggregate=*/false);
+                    /*allows_aggregate=*/false,
+                    /*allows_hier_split=*/true);
+    // Groups of s consecutive ranks are the virtual nodes: s =
+    // gpus_per_node swaps whole physical-node blocks, smaller
+    // divisors swap smaller blocks between more groups.
+    int s = hierGroupSize("hierarchical allgather", gpus_per_node,
+                          config);
+    int V = R / s;
     auto prog = std::make_unique<Program>(
         coll,
         baseOptions(algoKnobName("hierarchical_allgather", config), config));
     ParallelizeScope scope = prog->parallelize(config.parallelize);
 
-    // Phase 1 (channel 0): intra-node ring AllGather assembles each
-    // node's block in every local rank's output buffer.
-    for (int n = 0; n < N; n++) {
-        for (int i = 0; i < G; i++) {
-            Rank r = n * G + i;
+    // Phase 1 (channel 0): intra-group ring AllGather assembles each
+    // group's block in every member's output buffer.
+    for (int v = 0; v < V; v++) {
+        for (int i = 0; i < s; i++) {
+            Rank r = v * s + i;
             ChunkRef c = prog->chunk(r, BufferKind::Input, 0)
                              .copy(r, BufferKind::Output, r);
-            for (int step = 1; step < G; step++) {
-                Rank next = n * G + (i + step) % G;
+            for (int step = 1; step < s; step++) {
+                Rank next = v * s + (i + step) % s;
                 c = c.copy(next, BufferKind::Output, r,
                            OpOptions{ 0 });
             }
         }
     }
-    // Phase 2 (channel 1): nodes swap whole blocks, one aggregated
-    // message per (node pair, local GPU index), so every IB NIC
-    // carries whole-block transfers.
-    for (int n = 0; n < N; n++) {
-        for (int g = 0; g < G; g++) {
-            for (int m = 0; m < N; m++) {
-                if (m == n)
+    // Phase 2 (channel 1): groups swap whole blocks, one aggregated
+    // message per (group pair, local index), so every IB NIC carries
+    // whole-block transfers.
+    for (int v = 0; v < V; v++) {
+        for (int g = 0; g < s; g++) {
+            for (int w = 0; w < V; w++) {
+                if (w == v)
                     continue;
-                prog->chunk(n * G + g, BufferKind::Output, n * G, G)
-                    .copy(m * G + g, BufferKind::Output, n * G,
+                prog->chunk(v * s + g, BufferKind::Output, v * s, s)
+                    .copy(w * s + g, BufferKind::Output, v * s,
                           OpOptions{ 1 });
             }
         }

@@ -75,7 +75,8 @@ std::unique_ptr<Program> makeBinomialBroadcast(int num_ranks, Rank root,
  * intra-node ring AllGather assembles each node's block, then nodes
  * exchange whole blocks in single aggregated cross-node messages
  * (per local GPU index), then the received blocks are spread
- * intra-node.
+ * intra-node. Honors @c config.hierSplit: groups of that many
+ * consecutive ranks stand in for the node in both phases.
  */
 std::unique_ptr<Program> makeHierarchicalAllGather(
     int num_nodes, int gpus_per_node, const AlgoConfig &config);

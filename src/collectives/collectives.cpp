@@ -67,7 +67,7 @@ baseOptions(std::string name, const AlgoConfig &config)
 
 void
 checkAlgoConfig(const char *what, const AlgoConfig &config,
-                bool allows_aggregate)
+                bool allows_aggregate, bool allows_hier_split)
 {
     if (config.instances < 1 || config.parallelize < 1 ||
         config.aggregate < 1) {
@@ -75,10 +75,17 @@ checkAlgoConfig(const char *what, const AlgoConfig &config,
             "%s: instances, parallelize and aggregate must be >= 1",
             what));
     }
+    if (config.hierSplit < 0)
+        throw Error(strprintf("%s: hierSplit must be >= 0", what));
     if (!allows_aggregate && config.aggregate != 1) {
         throw Error(strprintf(
             "%s: send aggregation (aggregate=%d) is not supported by "
             "this builder", what, config.aggregate));
+    }
+    if (!allows_hier_split && config.hierSplit != 0) {
+        throw Error(strprintf(
+            "%s: the hierarchy split (hierSplit=%d) is not supported "
+            "by this builder", what, config.hierSplit));
     }
 }
 
@@ -89,6 +96,8 @@ algoKnobName(std::string name, const AlgoConfig &config)
         name += strprintf("_p%d", config.parallelize);
     if (config.aggregate > 1)
         name += strprintf("_a%d", config.aggregate);
+    if (config.hierSplit > 0)
+        name += strprintf("_h%d", config.hierSplit);
     return name;
 }
 
@@ -203,45 +212,64 @@ makeAllPairsAllReduce(int num_ranks, const AlgoConfig &config)
     return prog;
 }
 
+int
+hierGroupSize(const char *what, int gpus_per_node,
+              const AlgoConfig &config)
+{
+    int s = config.hierSplit == 0 ? gpus_per_node : config.hierSplit;
+    if (s < 1 || gpus_per_node % s != 0) {
+        throw Error(strprintf(
+            "%s: hierSplit %d must divide the %d GPUs of a node",
+            what, config.hierSplit, gpus_per_node));
+    }
+    return s;
+}
+
 std::unique_ptr<Program>
 makeHierarchicalAllReduce(int num_nodes, int gpus_per_node,
                           int intra_parallel, const AlgoConfig &config)
 {
-    int N = num_nodes, G = gpus_per_node;
+    int R = num_nodes * gpus_per_node;
     if (intra_parallel < 1)
         throw Error("hierarchical allreduce: intra_parallel must be >= 1");
     checkAlgoConfig("hierarchical allreduce", config,
-                /*allows_aggregate=*/false);
-    auto coll =
-        std::make_shared<AllReduceCollective>(N * G, N * G);
+                /*allows_aggregate=*/false, /*allows_hier_split=*/true);
+    // Groups of s consecutive ranks are the virtual nodes of the
+    // hierarchy: s = gpus_per_node is Figure 3 verbatim, s = 1
+    // degenerates to one flat ring, and intermediate divisors trade
+    // intra-fabric ring length against concurrent inter-group rings.
+    int s = hierGroupSize("hierarchical allreduce", gpus_per_node,
+                          config);
+    int V = R / s;
+    auto coll = std::make_shared<AllReduceCollective>(R, R);
     auto prog = std::make_unique<Program>(
         coll,
         baseOptions(algoKnobName("hierarchical_allreduce", config), config));
     ParallelizeScope outer = prog->parallelize(config.parallelize);
 
-    // Intra-node ReduceScatter (channel 0), chunk-parallelized.
-    for (int n = 0; n < N; n++) {
-        std::vector<Rank> local(G);
-        for (int i = 0; i < G; i++)
-            local[i] = i + n * G;
+    // Intra-group ReduceScatter (channel 0), chunk-parallelized.
+    for (int v = 0; v < V; v++) {
+        std::vector<Rank> group(s);
+        for (int i = 0; i < s; i++)
+            group[i] = i + v * s;
         ParallelizeScope scope = prog->parallelize(intra_parallel);
-        ringReduceScatter(*prog, local, 0, N, [](int) { return 0; });
+        ringReduceScatter(*prog, group, 0, V, [](int) { return 0; });
     }
-    // Inter-node ReduceScatter + AllGather (channel 1).
-    for (int g = 0; g < G; g++) {
-        std::vector<Rank> cross(N);
-        for (int i = 0; i < N; i++)
-            cross[i] = i * G + g;
-        ringReduceScatter(*prog, cross, g * N, 1, [](int) { return 1; });
-        ringAllGather(*prog, cross, g * N, 1, [](int) { return 1; });
+    // Inter-group ReduceScatter + AllGather (channel 1).
+    for (int g = 0; g < s; g++) {
+        std::vector<Rank> cross(V);
+        for (int v = 0; v < V; v++)
+            cross[v] = v * s + g;
+        ringReduceScatter(*prog, cross, g * V, 1, [](int) { return 1; });
+        ringAllGather(*prog, cross, g * V, 1, [](int) { return 1; });
     }
-    // Intra-node AllGather (channel 2), chunk-parallelized.
-    for (int n = 0; n < N; n++) {
-        std::vector<Rank> local(G);
-        for (int i = 0; i < G; i++)
-            local[i] = i + n * G;
+    // Intra-group AllGather (channel 2), chunk-parallelized.
+    for (int v = 0; v < V; v++) {
+        std::vector<Rank> group(s);
+        for (int i = 0; i < s; i++)
+            group[i] = i + v * s;
         ParallelizeScope scope = prog->parallelize(intra_parallel);
-        ringAllGather(*prog, local, 0, N, [](int) { return 2; });
+        ringAllGather(*prog, group, 0, V, [](int) { return 2; });
     }
     return prog;
 }
@@ -396,8 +424,13 @@ checkRingOrder(const std::vector<Rank> &order, const char *what)
     }
 }
 
-/** Extends order[0..depth) to a full cycle; ascending candidate
- *  order makes the first solution lexicographically smallest. */
+/** Extends order[0..depth) to a full cycle. Candidates on the same
+ *  node as the previous hop are tried before cross-node ones
+ *  (ascending within each class), so a reformed ring detours around
+ *  a dead link locally and only crosses the NIC-limited node
+ *  boundary when no same-node path survives. The first solution is
+ *  lexicographically smallest under that preference — which on a
+ *  healthy machine (and any single-node one) is plain rank order. */
 bool
 extendRingOrder(const Topology &topology, std::vector<Rank> &order,
                 std::vector<bool> &used, int depth)
@@ -405,14 +438,21 @@ extendRingOrder(const Topology &topology, std::vector<Rank> &order,
     int R = topology.numRanks();
     if (depth == R)
         return topology.connected(order[R - 1], order[0]);
-    for (Rank next = 0; next < R; next++) {
-        if (used[next] || !topology.connected(order[depth - 1], next))
-            continue;
-        order[depth] = next;
-        used[next] = true;
-        if (extendRingOrder(topology, order, used, depth + 1))
-            return true;
-        used[next] = false;
+    Rank prev = order[depth - 1];
+    for (int pass = 0; pass < 2; pass++) {
+        for (Rank next = 0; next < R; next++) {
+            bool same_node =
+                topology.nodeOf(next) == topology.nodeOf(prev);
+            if (same_node != (pass == 0))
+                continue;
+            if (used[next] || !topology.connected(prev, next))
+                continue;
+            order[depth] = next;
+            used[next] = true;
+            if (extendRingOrder(topology, order, used, depth + 1))
+                return true;
+            used[next] = false;
+        }
     }
     return false;
 }

@@ -48,21 +48,44 @@ struct AlgoConfig
      * never silently drop the knob it claims to vary.
      */
     int aggregate = 1;
+    /**
+     * Hierarchy split for the hierarchical factories: the intra-phase
+     * group size in ranks. 0 picks the natural split (one group per
+     * node); 1 degenerates to one flat ring over all ranks; values
+     * in between trade intra-fabric ring length against the number
+     * of concurrent inter-group rings. Must divide gpus_per_node so
+     * a group never straddles a node boundary. Only the hierarchical
+     * builders honor the knob — every other builder rejects
+     * values > 0.
+     */
+    int hierSplit = 0;
 };
 
 /**
  * Validates @p config's shared schedule knobs on behalf of a builder
  * named @p what: all factors must be >= 1, and builders that cannot
- * honor send aggregation reject aggregate != 1 instead of silently
- * ignoring it (so a label derived from the config can never claim a
- * knob the trace does not carry). @throws mscclang::Error.
+ * honor send aggregation (resp. the hierarchy split) reject
+ * aggregate != 1 (resp. hierSplit != 0) instead of silently ignoring
+ * it (so a label derived from the config can never claim a knob the
+ * trace does not carry). @throws mscclang::Error.
  */
 void checkAlgoConfig(const char *what, const AlgoConfig &config,
-                     bool allows_aggregate);
+                     bool allows_aggregate,
+                     bool allows_hier_split = false);
 
-/** Appends the non-default schedule-knob suffixes ("_p2", "_a4") to
- *  a program name so variants stay tellable apart in tools/traces. */
+/** Appends the non-default schedule-knob suffixes ("_p2", "_a4",
+ *  "_h4") to a program name so variants stay tellable apart in
+ *  tools/traces. */
 std::string algoKnobName(std::string name, const AlgoConfig &config);
+
+/**
+ * Resolves @p config's hierSplit against a node of @p gpus_per_node
+ * GPUs: the intra-phase group size in ranks (0 = the whole node).
+ * Shared by the hierarchical builders and the schedule search.
+ * @throws mscclang::Error unless the split divides the node.
+ */
+int hierGroupSize(const char *what, int gpus_per_node,
+                  const AlgoConfig &config);
 
 /**
  * Ring AllReduce over @p num_ranks: a ReduceScatter traversal
@@ -92,7 +115,9 @@ std::unique_ptr<Program> makeAllPairsAllReduce(int num_ranks,
  * @p gpus_per_node: intra-node ReduceScatter (channel 0), inter-node
  * ReduceScatter + AllGather (channel 1), intra-node AllGather
  * (channel 2), with the intra phases chunk-parallelized by
- * @p intra_parallel (paper §5.1 uses N).
+ * @p intra_parallel (paper §5.1 uses N). Honors @c config.hierSplit:
+ * groups of that many consecutive ranks stand in for the node, so
+ * the search can sweep the hierarchy boundary (1 = one flat ring).
  */
 std::unique_ptr<Program> makeHierarchicalAllReduce(
     int num_nodes, int gpus_per_node, int intra_parallel,
@@ -146,9 +171,12 @@ std::unique_ptr<Program> makeSccl122AllGather(const Topology &topology,
 
 /**
  * A Hamiltonian cycle over @p topology's direct links, found by
- * deterministic backtracking: the lexicographically smallest rank
- * order [0, r1, ..., r_{R-1}] such that every consecutive pair and
- * the wrap-around are directly connected. Returns empty when no
+ * deterministic backtracking. At every step candidates on the same
+ * node as the previous hop are tried before cross-node ones
+ * (ascending within each class), so a degraded multi-node ring
+ * detours around a dead intra-node link locally instead of bouncing
+ * over the NIC-limited node boundary; on a healthy (or single-node)
+ * machine the result is plain rank order. Returns empty when no
  * cycle exists (e.g. too many links quarantined). This is the ring
  * reformation step of degraded-topology replanning: a dead link
  * excludes some orders, and the search routes the ring around it.

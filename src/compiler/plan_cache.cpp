@@ -104,11 +104,15 @@ fingerprintProgram(const Program &program)
                 f.i(-1);
                 continue;
             }
-            const std::vector<InputChunkId> &parts = expect->parts();
-            f.u64(parts.size());
-            for (const InputChunkId &part : parts) {
-                f.i(part.rank);
-                f.i(part.index);
+            // Hash the canonical run-length encoding: equal multisets
+            // have equal run lists, and an AllReduce postcondition
+            // hashes in O(1) instead of O(ranks).
+            const std::vector<PartRun> &runs = expect->runs();
+            f.u64(runs.size());
+            for (const PartRun &run : runs) {
+                f.i(run.rank);
+                f.i(run.index);
+                f.i(run.len);
             }
         }
     }
@@ -129,8 +133,17 @@ fingerprintTopology(const Topology &topology)
 {
     Fnv f;
     f.str(topology.name());
+    // Node and rail structure are part of the key in their own right:
+    // two machines with byte-identical link matrices but different
+    // node boundaries (or rail maps) compile differently, because the
+    // scheduler keys channel/TB decisions on nodeOf and the
+    // hierarchical factories on railOf.
     f.i(topology.numNodes());
     f.i(topology.gpusPerNode());
+    f.i(static_cast<int>(topology.variant()));
+    f.i(topology.numRails());
+    for (int local = 0; local < topology.gpusPerNode(); local++)
+        f.i(topology.railOf(local));
 
     const MachineParams &p = topology.params();
     f.d(p.nvlinkGpuBwGBps);

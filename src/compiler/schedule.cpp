@@ -15,12 +15,11 @@ namespace mscclang {
 namespace {
 
 /**
- * Packed integer keys for the scheduler's hash maps and heap
- * priorities. Ranks and node ids get 21 bits each (the scheduler
- * rejects graphs at that size), channels get up to 22 bits.
+ * Packed integer keys for the scheduler's hash maps: ranks get
+ * 21 bits, channels up to 22. Node ids are never packed — graph size
+ * is bounded only by memory, which thousand-rank compiles need.
  */
 constexpr int kFieldBits = 21;
-constexpr std::uint64_t kFieldMask = (1ull << kFieldBits) - 1;
 
 /** (channel, peer) ownership key; peer must be >= 0. */
 std::uint64_t
@@ -494,8 +493,6 @@ std::vector<int>
 topoSweep(InstrGraph &graph, const GatePlan *plan, int slots = 0)
 {
     int n = graph.numNodes();
-    if (n >= (1 << kFieldBits))
-        throw CompileError("scheduler: instruction graph too large");
 
     std::vector<int> remaining(n, 0);
     for (const InstrNode &node : graph.nodes()) {
@@ -506,16 +503,17 @@ topoSweep(InstrGraph &graph, const GatePlan *plan, int slots = 0)
             remaining[node.id]++;
     }
 
-    // Priority (depth asc, rdepth desc, id asc) packed into one word
-    // so the heap compares integers instead of node-field tuples.
+    // Priority (depth asc, rdepth desc, id asc): depth and inverted
+    // rdepth pack into one comparison word, the id rides alongside so
+    // graphs of any size keep exact tie-break order.
+    using Prio = std::pair<std::uint64_t, int>;
     auto prio = [&](int id) {
         const InstrNode &node = graph.node(id);
-        return (std::uint64_t(node.depth) << (2 * kFieldBits)) |
-            ((kFieldMask - std::uint64_t(node.rdepth)) << kFieldBits) |
-            std::uint64_t(id);
+        return Prio{ (std::uint64_t(node.depth) << 32) |
+                         (0xFFFFFFFFull - std::uint64_t(node.rdepth)),
+                     id };
     };
-    std::priority_queue<std::uint64_t, std::vector<std::uint64_t>,
-                        std::greater<std::uint64_t>>
+    std::priority_queue<Prio, std::vector<Prio>, std::greater<Prio>>
         heap;
     for (const InstrNode &node : graph.nodes()) {
         if (node.live && remaining[node.id] == 0)
@@ -542,7 +540,7 @@ topoSweep(InstrGraph &graph, const GatePlan *plan, int slots = 0)
     std::vector<int> order;
     order.reserve(graph.numLive());
     while (!heap.empty()) {
-        int id = static_cast<int>(heap.top() & kFieldMask);
+        int id = heap.top().second;
         heap.pop();
         const InstrNode &node = graph.node(id);
         int gates[2] = { plan ? plan->sendGate[id] : -1,

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * A lock-free concurrent union-find over a fixed element range, in
+ * the style of ltsmin's mc-lib: finds use path halving with benign
+ * CAS compression, unions link roots with a single CAS, and sameness
+ * checks are wait-free once the structure quiesces. Instead of union
+ * by rank (whose stale-rank races need care to stay acyclic), links
+ * are monotone — the smaller root always points to the larger — so
+ * every parent chain strictly increases and a cycle is impossible by
+ * construction, no matter how racing unions interleave. Path halving
+ * keeps chains short in practice.
+ *
+ * The final partition depends only on the set of unite() calls, not
+ * on their interleaving, which is what makes the race verifier's
+ * parallel chain contraction deterministic at every thread count.
+ */
+
+#ifndef MSCCLANG_COMPILER_UNIONFIND_H_
+#define MSCCLANG_COMPILER_UNIONFIND_H_
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+
+namespace mscclang {
+
+class ConcurrentUnionFind
+{
+  public:
+    explicit ConcurrentUnionFind(std::size_t count)
+        : count_(count),
+          parent_(std::make_unique<std::atomic<std::size_t>[]>(count))
+    {
+        for (std::size_t i = 0; i < count; i++)
+            parent_[i].store(i, std::memory_order_relaxed);
+    }
+
+    std::size_t size() const { return count_; }
+
+    /** The current root of @p x's set, halving the path behind it. */
+    std::size_t
+    find(std::size_t x)
+    {
+        for (;;) {
+            std::size_t p = parent_[x].load(std::memory_order_acquire);
+            if (p == x)
+                return x;
+            std::size_t gp =
+                parent_[p].load(std::memory_order_acquire);
+            if (gp == p)
+                return p;
+            // Point x at its grandparent. Losing the race is fine:
+            // somebody else compressed (or re-rooted) it already, and
+            // parents only ever increase, so progress is preserved.
+            parent_[x].compare_exchange_weak(
+                p, gp, std::memory_order_release,
+                std::memory_order_relaxed);
+            x = gp;
+        }
+    }
+
+    /**
+     * Merges the sets of @p a and @p b. Returns true if this call
+     * performed the link, false if they were already one set (or a
+     * racing call linked them first).
+     */
+    bool
+    unite(std::size_t a, std::size_t b)
+    {
+        for (;;) {
+            std::size_t ra = find(a);
+            std::size_t rb = find(b);
+            if (ra == rb)
+                return false;
+            if (ra > rb)
+                std::swap(ra, rb);
+            // Monotone link: the smaller root joins the larger. The
+            // CAS fails iff ra stopped being a root, in which case we
+            // re-resolve both sides and retry.
+            std::size_t expected = ra;
+            if (parent_[ra].compare_exchange_strong(
+                    expected, rb, std::memory_order_acq_rel,
+                    std::memory_order_acquire)) {
+                return true;
+            }
+        }
+    }
+
+    /**
+     * True iff @p a and @p b are in one set. Sound under concurrent
+     * unions: a true answer is definitive; a false answer means the
+     * two were separate at some instant during the call.
+     */
+    bool
+    sameSet(std::size_t a, std::size_t b)
+    {
+        for (;;) {
+            std::size_t ra = find(a);
+            std::size_t rb = find(b);
+            if (ra == rb)
+                return true;
+            // ra was a root when found; if it still is, the sets were
+            // genuinely distinct at that instant.
+            if (parent_[ra].load(std::memory_order_acquire) == ra)
+                return false;
+        }
+    }
+
+  private:
+    std::size_t count_;
+    std::unique_ptr<std::atomic<std::size_t>[]> parent_;
+};
+
+} // namespace mscclang
+
+#endif // MSCCLANG_COMPILER_UNIONFIND_H_

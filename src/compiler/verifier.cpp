@@ -4,7 +4,6 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
-#include <map>
 #include <mutex>
 #include <optional>
 #include <thread>
@@ -15,6 +14,7 @@
 #include "common/error.h"
 #include "common/strings.h"
 #include "compiler/frac.h"
+#include "compiler/unionfind.h"
 
 namespace mscclang {
 
@@ -526,14 +526,28 @@ struct HbNode
     const IrThreadBlock *block;
 };
 
-} // namespace
-
-void
-verifyRaceFree(const IrProgram &ir, int threads)
+/**
+ * The happens-before graph of an IR program in CSR form: thread
+ * block program order, cross-thread-block dependencies, and
+ * FIFO-matched communication edges. Nodes are instructions with a
+ * stable global index, densely addressed by (rank, tb, step).
+ */
+struct HbGraph
 {
-    // Collect every instruction with a stable global index, addressed
-    // densely by (rank, tb, step).
     std::vector<HbNode> nodes;
+    int numRanks = 0;
+    std::vector<int> succOff; // successors of v: succ[succOff[v]..succOff[v+1])
+    std::vector<int> succ;
+    std::vector<int> indeg;
+
+    int n() const { return static_cast<int>(nodes.size()); }
+    int outdeg(int v) const { return succOff[v + 1] - succOff[v]; }
+};
+
+HbGraph
+buildHbGraph(const IrProgram &ir)
+{
+    HbGraph g;
     int num_ranks = ir.numRanks;
     for (const IrGpu &gpu : ir.gpus) {
         if (gpu.rank < 0)
@@ -541,6 +555,7 @@ verifyRaceFree(const IrProgram &ir, int threads)
                 "race check: IR names a negative rank");
         num_ranks = std::max(num_ranks, gpu.rank + 1);
     }
+    g.numRanks = num_ranks;
     std::vector<std::vector<int>> tb_base(num_ranks);
     std::vector<std::vector<int>> tb_len(num_ranks);
     for (const IrGpu &gpu : ir.gpus) {
@@ -554,16 +569,16 @@ verifyRaceFree(const IrProgram &ir, int threads)
                 base.resize(tb.id + 1, -1);
                 len.resize(tb.id + 1, 0);
             }
-            base[tb.id] = static_cast<int>(nodes.size());
+            base[tb.id] = static_cast<int>(g.nodes.size());
             len[tb.id] = static_cast<int>(tb.steps.size());
             for (size_t s = 0; s < tb.steps.size(); s++) {
-                nodes.push_back(HbNode{ gpu.rank, tb.id,
-                                        static_cast<int>(s),
-                                        &tb.steps[s], &tb });
+                g.nodes.push_back(HbNode{ gpu.rank, tb.id,
+                                          static_cast<int>(s),
+                                          &tb.steps[s], &tb });
             }
         }
     }
-    int n = static_cast<int>(nodes.size());
+    int n = g.n();
     auto lookup = [&](Rank rank, int tb, int step) {
         if (rank < 0 || rank >= num_ranks)
             return -1;
@@ -577,29 +592,23 @@ verifyRaceFree(const IrProgram &ir, int threads)
         return base[tb] + step;
     };
 
-    // Happens-before edges.
-    std::vector<std::vector<int>> succs(n);
-    std::vector<int> indeg(n, 0);
-    auto add_edge = [&](int from, int to) {
-        succs[from].push_back(to);
-        indeg[to]++;
-    };
+    std::vector<std::pair<int, int>> edges;
     // (a) thread block program order
     for (int i = 0; i < n; i++) {
-        if (nodes[i].step + 1 < static_cast<int>(
-                nodes[i].block->steps.size())) {
-            add_edge(i, lookup(nodes[i].rank, nodes[i].tb,
-                               nodes[i].step + 1));
+        if (g.nodes[i].step + 1 < static_cast<int>(
+                g.nodes[i].block->steps.size())) {
+            edges.push_back({ i, lookup(g.nodes[i].rank, g.nodes[i].tb,
+                                        g.nodes[i].step + 1) });
         }
     }
     // (b) cross thread block dependencies
     for (int i = 0; i < n; i++) {
-        for (const IrDep &dep : nodes[i].instr->deps) {
-            int from = lookup(nodes[i].rank, dep.tb, dep.step);
+        for (const IrDep &dep : g.nodes[i].instr->deps) {
+            int from = lookup(g.nodes[i].rank, dep.tb, dep.step);
             if (from < 0)
                 throw VerificationError(
                     "race check: dependency on unknown instruction");
-            add_edge(from, i);
+            edges.push_back({ from, i });
         }
     }
     // (c) communication edges: the k-th send on a connection
@@ -607,92 +616,136 @@ verifyRaceFree(const IrProgram &ir, int threads)
     //     must have a matched receive and vice versa — an imbalance
     //     would leave the surplus operations with no happens-before
     //     edge and silently weaken the analysis, so it is rejected.
-    std::map<std::tuple<Rank, Rank, int>,
-             std::pair<std::vector<int>, std::vector<int>>>
-        conn_ends;
+    //     Sort-based pairing: connection keys pack (src, dst,
+    //     channel) most-significant-first, so sorted key order is the
+    //     tuple order the ordered-map implementation reported in.
+    struct ConnEnd
+    {
+        ConnKey key;
+        int node;
+    };
+    std::vector<ConnEnd> sends, recvs;
     for (int i = 0; i < n; i++) {
-        if (irOpSends(nodes[i].instr->op)) {
-            conn_ends[{ nodes[i].rank, nodes[i].block->sendPeer,
-                        nodes[i].block->channel }]
-                .first.push_back(i);
+        if (irOpSends(g.nodes[i].instr->op)) {
+            sends.push_back(ConnEnd{
+                connKeyOf(g.nodes[i].rank, g.nodes[i].block->sendPeer,
+                          g.nodes[i].block->channel), i });
         }
-        if (irOpReceives(nodes[i].instr->op)) {
-            conn_ends[{ nodes[i].block->recvPeer, nodes[i].rank,
-                        nodes[i].block->channel }]
-                .second.push_back(i);
+        if (irOpReceives(g.nodes[i].instr->op)) {
+            recvs.push_back(ConnEnd{
+                connKeyOf(g.nodes[i].block->recvPeer, g.nodes[i].rank,
+                          g.nodes[i].block->channel), i });
         }
     }
-    for (const auto &[conn, ends] : conn_ends) {
-        const std::vector<int> &sends = ends.first;
-        const std::vector<int> &recvs = ends.second;
-        if (sends.size() != recvs.size()) {
+    auto by_key_node = [](const ConnEnd &a, const ConnEnd &b) {
+        return std::tie(a.key, a.node) < std::tie(b.key, b.node);
+    };
+    std::sort(sends.begin(), sends.end(), by_key_node);
+    std::sort(recvs.begin(), recvs.end(), by_key_node);
+    size_t si = 0, ri = 0;
+    while (si < sends.size() || ri < recvs.size()) {
+        ConnKey key;
+        if (ri >= recvs.size() ||
+            (si < sends.size() && sends[si].key <= recvs[ri].key)) {
+            key = sends[si].key;
+        } else {
+            key = recvs[ri].key;
+        }
+        size_t se = si, re = ri;
+        while (se < sends.size() && sends[se].key == key)
+            se++;
+        while (re < recvs.size() && recvs[re].key == key)
+            re++;
+        if (se - si != re - ri) {
             throw VerificationError(strprintf(
                 "race check: connection %d -> %d channel %d has %zu "
                 "sends but %zu receives; FIFO pairing requires equal "
-                "counts", std::get<0>(conn), std::get<1>(conn),
-                std::get<2>(conn), sends.size(), recvs.size()));
+                "counts", static_cast<int>(key >> 43),
+                static_cast<int>((key >> 22) & 0x1FFFFF),
+                static_cast<int>(key & 0x3FFFFF), se - si, re - ri));
         }
-        for (size_t k = 0; k < sends.size(); k++)
-            add_edge(sends[k], recvs[k]);
+        for (size_t k = 0; si + k < se; k++)
+            edges.push_back({ sends[si + k].node, recvs[ri + k].node });
+        si = se;
+        ri = re;
     }
 
-    // Global topological order; also the cycle check.
+    g.succOff.assign(n + 1, 0);
+    g.indeg.assign(n, 0);
+    for (const auto &[from, to] : edges) {
+        g.succOff[from + 1]++;
+        g.indeg[to]++;
+    }
+    for (int v = 0; v < n; v++)
+        g.succOff[v + 1] += g.succOff[v];
+    g.succ.resize(edges.size());
+    std::vector<int> cursor(g.succOff.begin(), g.succOff.end() - 1);
+    for (const auto &[from, to] : edges)
+        g.succ[cursor[from]++] = to;
+    return g;
+}
+
+/** Kahn topological order; doubles as the cycle check. */
+std::vector<int>
+topoOrderOf(const HbGraph &g)
+{
+    int n = g.n();
     std::vector<int> order;
     order.reserve(n);
-    {
-        std::vector<int> degree = indeg;
-        std::vector<int> ready;
-        for (int i = 0; i < n; i++) {
-            if (degree[i] == 0)
-                ready.push_back(i);
-        }
-        while (!ready.empty()) {
-            int v = ready.back();
-            ready.pop_back();
-            order.push_back(v);
-            for (int s : succs[v]) {
-                if (--degree[s] == 0)
-                    ready.push_back(s);
-            }
-        }
-        if (static_cast<int>(order.size()) != n)
-            throw VerificationError(
-                "race check: happens-before relation has a cycle");
+    std::vector<int> degree = g.indeg;
+    std::vector<int> ready;
+    for (int i = 0; i < n; i++) {
+        if (degree[i] == 0)
+            ready.push_back(i);
     }
+    while (!ready.empty()) {
+        int v = ready.back();
+        ready.pop_back();
+        order.push_back(v);
+        for (int e = g.succOff[v]; e < g.succOff[v + 1]; e++) {
+            if (--degree[g.succ[e]] == 0)
+                ready.push_back(g.succ[e]);
+        }
+    }
+    if (static_cast<int>(order.size()) != n)
+        throw VerificationError(
+            "race check: happens-before relation has a cycle");
+    return order;
+}
 
-    // Conflicts: same (rank, buffer, chunk), overlapping fractions,
-    // at least one write. Both sides of a conflict always live on one
-    // rank, so accesses partition by rank and each rank is checked
-    // independently: same-thread-block pairs are ordered by program
-    // order outright, and reachability for the remaining pairs is
-    // computed with bitset columns restricted to that rank's conflict
-    // candidates, propagated over the full graph (happens-before
-    // paths cross ranks through communication edges). A rank without
-    // cross-thread-block conflict pairs costs nothing.
-    struct LocEntry
-    {
-        int buffer; // canonical BufferKind as int
-        int chunk;
-        int node;
-        bool isWrite;
-        FracInterval range;
-    };
-    std::vector<std::vector<LocEntry>> rank_accesses(num_ranks);
+/** One recorded buffer access of one instruction. */
+struct LocEntry
+{
+    int buffer; // canonical BufferKind as int
+    int chunk;
+    int node;
+    bool isWrite;
+    FracInterval range;
+};
+
+/**
+ * Every buffer access, partitioned by rank: conflicts always live on
+ * one rank, so each rank's accesses are checked independently.
+ */
+std::vector<std::vector<LocEntry>>
+recordAccesses(const HbGraph &g, const IrProgram &ir)
+{
+    std::vector<std::vector<LocEntry>> rank_accesses(g.numRanks);
     auto record = [&](int node, BufferKind buf, int off, bool write) {
-        const IrInstruction &instr = *nodes[node].instr;
+        const IrInstruction &instr = *g.nodes[node].instr;
         FracInterval range =
             splitFraction(instr.splitIdx, instr.splitCount);
         BufferKind canonical = buf;
         if (ir.inPlace && buf == BufferKind::Output)
             canonical = BufferKind::Input;
         for (int k = 0; k < instr.count; k++) {
-            rank_accesses[nodes[node].rank].push_back(
+            rank_accesses[g.nodes[node].rank].push_back(
                 LocEntry{ static_cast<int>(canonical), off + k, node,
                           write, range });
         }
     };
-    for (int i = 0; i < n; i++) {
-        const IrInstruction &instr = *nodes[i].instr;
+    for (int i = 0; i < g.n(); i++) {
+        const IrInstruction &instr = *g.nodes[i].instr;
         if (irOpReadsSrc(instr.op))
             record(i, instr.srcBuf, instr.srcOff, false);
         if (instr.op == IrOp::Reduce ||
@@ -702,116 +755,320 @@ verifyRaceFree(const IrProgram &ir, int threads)
         if (irOpWritesDst(instr.op))
             record(i, instr.dstBuf, instr.dstOff, true);
     }
+    return rank_accesses;
+}
 
-    // Checks one rank; returns the first race error message in
-    // (buffer, chunk, first access, second access) order, or empty.
-    auto check_rank = [&](int r) -> std::string {
-        std::vector<LocEntry> &entries = rank_accesses[r];
-        // Group by location, keeping node order within each group
-        // (entries were recorded in ascending node order).
-        std::stable_sort(entries.begin(), entries.end(),
-                         [](const LocEntry &a, const LocEntry &b) {
-                             return std::tie(a.buffer, a.chunk) <
-                                 std::tie(b.buffer, b.chunk);
-                         });
-        struct Pair
-        {
-            int a, b;
-            int buffer, chunk;
-        };
-        std::vector<Pair> pairs;
-        std::vector<int> cols(n, -1);
-        std::vector<int> cand;
-        for (size_t lo = 0; lo < entries.size();) {
-            size_t hi = lo;
-            while (hi < entries.size() &&
-                   entries[hi].buffer == entries[lo].buffer &&
-                   entries[hi].chunk == entries[lo].chunk) {
-                hi++;
-            }
-            for (size_t a = lo; a < hi; a++) {
-                for (size_t b = a + 1; b < hi; b++) {
-                    if (entries[a].node == entries[b].node)
-                        continue;
-                    if (!entries[a].isWrite && !entries[b].isWrite)
-                        continue;
-                    if (!entries[a].range.overlaps(entries[b].range))
-                        continue;
-                    if (nodes[entries[a].node].tb ==
-                        nodes[entries[b].node].tb) {
-                        continue; // ordered by program order
-                    }
-                    pairs.push_back(Pair{ entries[a].node,
-                                          entries[b].node,
-                                          entries[a].buffer,
-                                          entries[a].chunk });
-                    for (int v : { entries[a].node, entries[b].node }) {
-                        if (cols[v] < 0) {
-                            cols[v] = static_cast<int>(cand.size());
-                            cand.push_back(v);
-                        }
-                    }
-                }
-            }
-            lo = hi;
+/** A conflicting access pair whose ordering must be proven. */
+struct ConflictPair
+{
+    int a, b;
+    int buffer, chunk;
+};
+
+/**
+ * Enumerates one rank's conflict pairs — same location, overlapping
+ * fractions, at least one write, different thread blocks — in
+ * (buffer, chunk, first access, second access) order. Both engines
+ * derive candidates from this list in identical order, which is what
+ * keeps their verdicts and error messages interchangeable.
+ */
+std::vector<ConflictPair>
+conflictPairs(const HbGraph &g, std::vector<LocEntry> &entries)
+{
+    // Group by location, keeping node order within each group
+    // (entries were recorded in ascending node order).
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const LocEntry &a, const LocEntry &b) {
+                         return std::tie(a.buffer, a.chunk) <
+                             std::tie(b.buffer, b.chunk);
+                     });
+    std::vector<ConflictPair> pairs;
+    for (size_t lo = 0; lo < entries.size();) {
+        size_t hi = lo;
+        while (hi < entries.size() &&
+               entries[hi].buffer == entries[lo].buffer &&
+               entries[hi].chunk == entries[lo].chunk) {
+            hi++;
         }
-        if (pairs.empty())
-            return std::string();
-
-        // Ancestor bits restricted to this rank's candidate columns,
-        // propagated over the whole graph in topological order.
-        size_t words = (cand.size() + 63) / 64;
-        std::vector<std::uint64_t> anc(
-            static_cast<size_t>(n) * words, 0);
-        for (int v : order) {
-            const std::uint64_t *src = &anc[v * words];
-            int vcol = cols[v];
-            for (int s : succs[v]) {
-                std::uint64_t *dst = &anc[s * words];
-                for (size_t w = 0; w < words; w++)
-                    dst[w] |= src[w];
-                if (vcol >= 0) {
-                    dst[static_cast<size_t>(vcol) / 64] |= 1ULL
-                        << (static_cast<size_t>(vcol) % 64);
+        for (size_t a = lo; a < hi; a++) {
+            for (size_t b = a + 1; b < hi; b++) {
+                if (entries[a].node == entries[b].node)
+                    continue;
+                if (!entries[a].isWrite && !entries[b].isWrite)
+                    continue;
+                if (!entries[a].range.overlaps(entries[b].range))
+                    continue;
+                if (g.nodes[entries[a].node].tb ==
+                    g.nodes[entries[b].node].tb) {
+                    continue; // ordered by program order
                 }
+                pairs.push_back(ConflictPair{ entries[a].node,
+                                              entries[b].node,
+                                              entries[a].buffer,
+                                              entries[a].chunk });
             }
         }
-        auto bit = [&](int of, int ancestor) {
-            int col = cols[ancestor];
-            return (anc[static_cast<size_t>(of) * words +
-                        static_cast<size_t>(col) / 64] >>
-                        (static_cast<size_t>(col) % 64) &
-                    1) != 0;
-        };
-        for (const Pair &pair : pairs) {
-            if (bit(pair.b, pair.a) || bit(pair.a, pair.b))
+        lo = hi;
+    }
+    return pairs;
+}
+
+std::string
+raceMessage(const HbGraph &g, const ConflictPair &pair)
+{
+    const HbNode &na = g.nodes[pair.a];
+    const HbNode &nb = g.nodes[pair.b];
+    return strprintf(
+        "data race: rank %d tb %d step %d and tb %d "
+        "step %d access %s[%d] unordered",
+        na.rank, na.tb, na.step, nb.tb, nb.step,
+        bufferKindName(static_cast<BufferKind>(pair.buffer)),
+        pair.chunk);
+}
+
+/**
+ * The happens-before graph condensed to chains: runs of nodes linked
+ * by edges (u, v) with outdeg(u) == 1 and indeg(v) == 1 (program
+ * order, dependency and communication edges alike) collapse into one
+ * class. The contraction criterion makes every class a path, and it
+ * confines cross-class edges to chain endpoints — a cross edge
+ * leaves only a chain's last node (any node with another outgoing
+ * edge was never merged with a successor) and enters only a chain's
+ * first node. Two exactness consequences the verifier relies on:
+ * nodes sharing a chain are totally ordered, and for a != b in
+ * different chains, a reaches b iff a's chain reaches b's chain in
+ * the condensed DAG. Compiled collectives are dominated by long
+ * dependency chains, so the condensed graph is typically orders of
+ * magnitude smaller than the instruction graph.
+ */
+struct ChainGraph
+{
+    int numChains = 0;
+    std::vector<int> chainOf; // node -> chain id, ids in topo order
+    std::vector<int> succOff; // condensed CSR, deduplicated
+    std::vector<int> succ;
+};
+
+ChainGraph
+condenseChains(const HbGraph &g, const std::vector<int> &order,
+               int threads)
+{
+    int n = g.n();
+    ConcurrentUnionFind uf(static_cast<size_t>(n));
+    // The contraction is a single scan over nodes: each worker takes
+    // a static slice and unions its contractible out-edges. The final
+    // partition depends only on the edge set, not the interleaving,
+    // so any thread count produces the same chains.
+    auto contract = [&](int lo, int hi) {
+        for (int u = lo; u < hi; u++) {
+            if (g.outdeg(u) != 1)
                 continue;
-            const HbNode &na = nodes[pair.a];
-            const HbNode &nb = nodes[pair.b];
-            return strprintf(
-                "data race: rank %d tb %d step %d and tb %d "
-                "step %d access %s[%d] unordered",
-                na.rank, na.tb, na.step, nb.tb, nb.step,
-                bufferKindName(static_cast<BufferKind>(pair.buffer)),
-                pair.chunk);
+            int v = g.succ[g.succOff[u]];
+            if (g.indeg[v] == 1)
+                uf.unite(static_cast<size_t>(u),
+                         static_cast<size_t>(v));
         }
-        return std::string();
     };
+    if (threads > 1 && n >= 1 << 16) {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        int stride = (n + threads - 1) / threads;
+        for (int t = 0; t < threads; t++) {
+            int lo = t * stride;
+            pool.emplace_back(contract, lo,
+                              std::min(n, lo + stride));
+        }
+        for (std::thread &t : pool)
+            t.join();
+    } else {
+        contract(0, n);
+    }
 
+    ChainGraph c;
+    c.chainOf.assign(n, -1);
+    // Number chains by the topological position of their first node:
+    // every other member is a descendant, so the first member of a
+    // chain reached in topo order is its head, and ascending chain
+    // ids are automatically a topological order of the condensed DAG.
+    std::vector<int> id_of_root(n, -1);
+    for (int v : order) {
+        int root = static_cast<int>(uf.find(static_cast<size_t>(v)));
+        if (id_of_root[root] < 0)
+            id_of_root[root] = c.numChains++;
+        c.chainOf[v] = id_of_root[root];
+    }
+
+    std::vector<std::pair<int, int>> cedges;
+    for (int u = 0; u < n; u++) {
+        for (int e = g.succOff[u]; e < g.succOff[u + 1]; e++) {
+            int cu = c.chainOf[u], cv = c.chainOf[g.succ[e]];
+            if (cu != cv)
+                cedges.push_back({ cu, cv });
+        }
+    }
+    std::sort(cedges.begin(), cedges.end());
+    cedges.erase(std::unique(cedges.begin(), cedges.end()),
+                 cedges.end());
+    c.succOff.assign(c.numChains + 1, 0);
+    for (const auto &[from, to] : cedges)
+        c.succOff[from + 1]++;
+    for (int v = 0; v < c.numChains; v++)
+        c.succOff[v + 1] += c.succOff[v];
+    c.succ.resize(cedges.size());
+    std::vector<int> cursor(c.succOff.begin(), c.succOff.end() - 1);
+    for (const auto &[from, to] : cedges)
+        c.succ[cursor[from]++] = to;
+    return c;
+}
+
+/**
+ * Chain-condensed per-rank check: candidate columns are chains, and
+ * ancestor bits propagate over the condensed DAG (chain ids are
+ * already a topological order). Same-chain pairs are ordered by
+ * construction.
+ */
+std::string
+checkRankChains(const HbGraph &g, const ChainGraph &c,
+                std::vector<LocEntry> &entries)
+{
+    std::vector<ConflictPair> pairs = conflictPairs(g, entries);
+    if (pairs.empty())
+        return std::string();
+
+    std::vector<int> cols(c.numChains, -1);
+    std::vector<int> cand;
+    for (const ConflictPair &pair : pairs) {
+        for (int v : { pair.a, pair.b }) {
+            int chain = c.chainOf[v];
+            if (cols[chain] < 0) {
+                cols[chain] = static_cast<int>(cand.size());
+                cand.push_back(chain);
+            }
+        }
+    }
+
+    size_t words = (cand.size() + 63) / 64;
+    std::vector<std::uint64_t> anc(
+        static_cast<size_t>(c.numChains) * words, 0);
+    for (int v = 0; v < c.numChains; v++) {
+        const std::uint64_t *src = &anc[v * words];
+        int vcol = cols[v];
+        for (int e = c.succOff[v]; e < c.succOff[v + 1]; e++) {
+            std::uint64_t *dst =
+                &anc[static_cast<size_t>(c.succ[e]) * words];
+            for (size_t w = 0; w < words; w++)
+                dst[w] |= src[w];
+            if (vcol >= 0) {
+                dst[static_cast<size_t>(vcol) / 64] |= 1ULL
+                    << (static_cast<size_t>(vcol) % 64);
+            }
+        }
+    }
+    auto bit = [&](int of_chain, int anc_chain) {
+        int col = cols[anc_chain];
+        return (anc[static_cast<size_t>(of_chain) * words +
+                    static_cast<size_t>(col) / 64] >>
+                    (static_cast<size_t>(col) % 64) &
+                1) != 0;
+    };
+    for (const ConflictPair &pair : pairs) {
+        int ca = c.chainOf[pair.a], cb = c.chainOf[pair.b];
+        if (ca == cb)
+            continue; // a chain is a path: totally ordered
+        if (bit(cb, ca) || bit(ca, cb))
+            continue;
+        return raceMessage(g, pair);
+    }
+    return std::string();
+}
+
+/**
+ * Reference per-rank check: candidate columns are instructions and
+ * ancestor bits propagate over the full graph — the engine the
+ * chain-condensed one must agree with verdict-for-verdict.
+ */
+std::string
+checkRankReference(const HbGraph &g, const std::vector<int> &order,
+                   std::vector<LocEntry> &entries)
+{
+    std::vector<ConflictPair> pairs = conflictPairs(g, entries);
+    if (pairs.empty())
+        return std::string();
+
+    int n = g.n();
+    std::vector<int> cols(n, -1);
+    std::vector<int> cand;
+    for (const ConflictPair &pair : pairs) {
+        for (int v : { pair.a, pair.b }) {
+            if (cols[v] < 0) {
+                cols[v] = static_cast<int>(cand.size());
+                cand.push_back(v);
+            }
+        }
+    }
+
+    size_t words = (cand.size() + 63) / 64;
+    std::vector<std::uint64_t> anc(static_cast<size_t>(n) * words, 0);
+    for (int v : order) {
+        const std::uint64_t *src = &anc[v * words];
+        int vcol = cols[v];
+        for (int e = g.succOff[v]; e < g.succOff[v + 1]; e++) {
+            std::uint64_t *dst =
+                &anc[static_cast<size_t>(g.succ[e]) * words];
+            for (size_t w = 0; w < words; w++)
+                dst[w] |= src[w];
+            if (vcol >= 0) {
+                dst[static_cast<size_t>(vcol) / 64] |= 1ULL
+                    << (static_cast<size_t>(vcol) % 64);
+            }
+        }
+    }
+    auto bit = [&](int of, int ancestor) {
+        int col = cols[ancestor];
+        return (anc[static_cast<size_t>(of) * words +
+                    static_cast<size_t>(col) / 64] >>
+                    (static_cast<size_t>(col) % 64) &
+                1) != 0;
+    };
+    for (const ConflictPair &pair : pairs) {
+        if (bit(pair.b, pair.a) || bit(pair.a, pair.b))
+            continue;
+        return raceMessage(g, pair);
+    }
+    return std::string();
+}
+
+/** Worker-count resolution shared by both engines. */
+int
+resolveThreads(int threads)
+{
+    if (threads > 0)
+        return threads;
+    return static_cast<int>(std::min(
+        16u, std::max(1u, std::thread::hardware_concurrency())));
+}
+
+/**
+ * Per-rank parallel driver: ranks with conflict candidates drain
+ * from a shared work list, and the lowest failing rank's message
+ * wins, matching the serial whole-map sweep that visited locations
+ * in (rank, buffer, chunk) order.
+ */
+template <typename CheckRank>
+void
+driveRankChecks(const HbGraph &g,
+                std::vector<std::vector<LocEntry>> &rank_accesses,
+                int resolved, const CheckRank &check_rank)
+{
     std::vector<int> work;
-    for (int r = 0; r < num_ranks; r++) {
+    for (int r = 0; r < g.numRanks; r++) {
         if (rank_accesses[r].size() > 1)
             work.push_back(r);
     }
-    std::vector<std::string> errors(num_ranks);
-    int resolved = threads;
-    if (resolved <= 0) {
-        resolved = static_cast<int>(std::min(
-            16u, std::max(1u, std::thread::hardware_concurrency())));
-    }
+    std::vector<std::string> errors(g.numRanks);
     resolved = std::min<int>(resolved, static_cast<int>(work.size()));
     // Small programs aren't worth the thread spawns.
-    if (n < 4096)
+    if (g.n() < 4096)
         resolved = 1;
 
     std::atomic<size_t> next{ 0 };
@@ -823,7 +1080,7 @@ verifyRaceFree(const IrProgram &ir, int threads)
             if (w >= work.size())
                 return;
             try {
-                errors[work[w]] = check_rank(work[w]);
+                errors[work[w]] = check_rank(rank_accesses[work[w]]);
             } catch (...) {
                 std::lock_guard<std::mutex> lock(error_mu);
                 if (!first_error)
@@ -844,12 +1101,40 @@ verifyRaceFree(const IrProgram &ir, int threads)
     }
     if (first_error)
         std::rethrow_exception(first_error);
-    // Lowest rank wins, matching the serial whole-map sweep that
-    // visited locations in (rank, buffer, chunk) order.
-    for (int r = 0; r < num_ranks; r++) {
+    for (int r = 0; r < g.numRanks; r++) {
         if (!errors[r].empty())
             throw VerificationError(errors[r]);
     }
+}
+
+} // namespace
+
+void
+verifyRaceFree(const IrProgram &ir, int threads)
+{
+    HbGraph g = buildHbGraph(ir);
+    std::vector<int> order = topoOrderOf(g);
+    int resolved = resolveThreads(threads);
+    ChainGraph chains = condenseChains(g, order, resolved);
+    std::vector<std::vector<LocEntry>> rank_accesses =
+        recordAccesses(g, ir);
+    driveRankChecks(g, rank_accesses, resolved,
+                    [&](std::vector<LocEntry> &entries) {
+                        return checkRankChains(g, chains, entries);
+                    });
+}
+
+void
+verifyRaceFreeReference(const IrProgram &ir, int threads)
+{
+    HbGraph g = buildHbGraph(ir);
+    std::vector<int> order = topoOrderOf(g);
+    std::vector<std::vector<LocEntry>> rank_accesses =
+        recordAccesses(g, ir);
+    driveRankChecks(g, rank_accesses, resolveThreads(threads),
+                    [&](std::vector<LocEntry> &entries) {
+                        return checkRankReference(g, order, entries);
+                    });
 }
 
 } // namespace mscclang

@@ -7,12 +7,46 @@
 
 namespace mscclang {
 
+namespace {
+
+/**
+ * Appends the run {(rank+k, index) : k < len} to a run list under
+ * construction, keeping the canonical form: runs are emitted in
+ * sorted-element order and a new element extends the previous run iff
+ * it continues its rank sequence at the same index. Canonicalizing
+ * greedily over the sorted multiset makes the encoding unique, so the
+ * defaulted operator== on run lists is multiset equality.
+ */
+void
+appendRun(std::vector<PartRun> &runs, Rank rank, int index, int len)
+{
+    if (!runs.empty() && runs.back().index == index &&
+        runs.back().rank + runs.back().len == rank) {
+        runs.back().len += len;
+        return;
+    }
+    runs.push_back(PartRun{ rank, index, len });
+}
+
+} // namespace
+
 ChunkValue
 ChunkValue::input(Rank rank, int index)
 {
     ChunkValue value;
     value.initialized_ = true;
-    value.parts_ = { InputChunkId{ rank, index } };
+    value.runs_ = { PartRun{ rank, index, 1 } };
+    return value;
+}
+
+ChunkValue
+ChunkValue::reducedRange(Rank first, int count, int index)
+{
+    if (count < 1)
+        throw Error("ChunkValue: reduction of an empty rank range");
+    ChunkValue value;
+    value.initialized_ = true;
+    value.runs_ = { PartRun{ first, index, count } };
     return value;
 }
 
@@ -21,10 +55,11 @@ ChunkValue::reductionOf(std::vector<InputChunkId> parts)
 {
     if (parts.empty())
         throw Error("ChunkValue: reduction of an empty multiset");
+    std::sort(parts.begin(), parts.end());
     ChunkValue value;
     value.initialized_ = true;
-    value.parts_ = std::move(parts);
-    std::sort(value.parts_.begin(), value.parts_.end());
+    for (const InputChunkId &part : parts)
+        appendRun(value.runs_, part.rank, part.index, 1);
     return value;
 }
 
@@ -33,15 +68,85 @@ ChunkValue::reduce(const ChunkValue &a, const ChunkValue &b)
 {
     if (!a.initialized() || !b.initialized())
         throw Error("ChunkValue: reduce of an uninitialized chunk");
-    std::vector<InputChunkId> merged;
-    merged.reserve(a.parts_.size() + b.parts_.size());
-    std::merge(a.parts_.begin(), a.parts_.end(),
-               b.parts_.begin(), b.parts_.end(),
-               std::back_inserter(merged));
     ChunkValue value;
     value.initialized_ = true;
-    value.parts_ = std::move(merged);
+    value.runs_.reserve(a.runs_.size() + b.runs_.size());
+    // Each operand's run list, read left to right, already yields its
+    // elements in sorted order, so this is a two-cursor merge of two
+    // sorted sequences — but it advances whole run prefixes at a time
+    // instead of single elements, keeping the merge O(runs) for the
+    // rank-contiguous values collectives produce.
+    size_t ai = 0, bi = 0;
+    int aoff = 0, boff = 0; // elements consumed from the current run
+    while (ai < a.runs_.size() && bi < b.runs_.size()) {
+        const PartRun &ra = a.runs_[ai];
+        const PartRun &rb = b.runs_[bi];
+        InputChunkId ha{ ra.rank + aoff, ra.index };
+        InputChunkId hb{ rb.rank + boff, rb.index };
+        if (ha <= hb) {
+            // Take from a: every remaining element of ra that still
+            // sorts <= hb. Elements step by rank, so that is the
+            // count up to hb.rank (inclusive when ra.index <= hb
+            // breaks the tie).
+            int avail = ra.len - aoff;
+            int take = avail;
+            if (InputChunkId{ ra.rank + ra.len - 1, ra.index } > hb) {
+                take = hb.rank - ha.rank;
+                if (ra.index <= hb.index)
+                    take++;
+            }
+            appendRun(value.runs_, ha.rank, ra.index, take);
+            aoff += take;
+            if (aoff == ra.len) {
+                ai++;
+                aoff = 0;
+            }
+        } else {
+            int avail = rb.len - boff;
+            int take = avail;
+            if (InputChunkId{ rb.rank + rb.len - 1, rb.index } > ha) {
+                take = ha.rank - hb.rank;
+                if (rb.index <= ha.index)
+                    take++;
+            }
+            appendRun(value.runs_, hb.rank, rb.index, take);
+            boff += take;
+            if (boff == rb.len) {
+                bi++;
+                boff = 0;
+            }
+        }
+    }
+    for (; ai < a.runs_.size(); ai++, aoff = 0) {
+        const PartRun &ra = a.runs_[ai];
+        appendRun(value.runs_, ra.rank + aoff, ra.index, ra.len - aoff);
+    }
+    for (; bi < b.runs_.size(); bi++, boff = 0) {
+        const PartRun &rb = b.runs_[bi];
+        appendRun(value.runs_, rb.rank + boff, rb.index, rb.len - boff);
+    }
     return value;
+}
+
+std::vector<InputChunkId>
+ChunkValue::parts() const
+{
+    std::vector<InputChunkId> out;
+    out.reserve(partCount());
+    for (const PartRun &run : runs_) {
+        for (int k = 0; k < run.len; k++)
+            out.push_back(InputChunkId{ run.rank + k, run.index });
+    }
+    return out;
+}
+
+std::size_t
+ChunkValue::partCount() const
+{
+    std::size_t total = 0;
+    for (const PartRun &run : runs_)
+        total += static_cast<std::size_t>(run.len);
+    return total;
 }
 
 std::string
@@ -50,10 +155,14 @@ ChunkValue::toString() const
     if (!initialized_)
         return "\xe2\x8a\xa5"; // ⊥
     std::string out;
-    for (size_t i = 0; i < parts_.size(); i++) {
-        if (i > 0)
-            out += "+";
-        out += strprintf("(%d,%d)", parts_[i].rank, parts_[i].index);
+    bool first = true;
+    for (const PartRun &run : runs_) {
+        for (int k = 0; k < run.len; k++) {
+            if (!first)
+                out += "+";
+            first = false;
+            out += strprintf("(%d,%d)", run.rank + k, run.index);
+        }
     }
     return out;
 }

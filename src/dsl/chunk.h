@@ -12,6 +12,7 @@
 #define MSCCLANG_DSL_CHUNK_H_
 
 #include <compare>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -30,10 +31,30 @@ struct InputChunkId
 };
 
 /**
+ * A run of reduction parts with consecutive ranks and one shared
+ * index: the multiset {(rank+k, index) : 0 <= k < len}. Collective
+ * sums are almost always rank-contiguous (an AllReduce output is the
+ * sum of every rank's chunk i), so run-length encoding keeps values
+ * O(1) where the explicit multiset would be O(ranks) — the difference
+ * between 8MB and 8GB of abstract state at 1024 ranks.
+ */
+struct PartRun
+{
+    Rank rank = 0;
+    int index = 0;
+    int len = 1;
+
+    auto operator<=>(const PartRun &) const = default;
+};
+
+/**
  * An abstract chunk value. Uninitialized is the unit type of the
  * paper; a Data value holds the sorted multiset of input chunks it is
  * the reduction of (a singleton multiset is a plain input chunk).
- * Values are small and copied freely.
+ * The multiset is stored run-length encoded over consecutive ranks in
+ * a canonical form (greedy maximal runs over the sorted multiset), so
+ * equality of values is equality of their run lists. Values are small
+ * and copied freely.
  */
 class ChunkValue
 {
@@ -47,21 +68,36 @@ class ChunkValue
     /** Constructs a reduction value from an explicit multiset. */
     static ChunkValue reductionOf(std::vector<InputChunkId> parts);
 
+    /**
+     * Constructs the reduction of input chunk @p index over the
+     * @p count consecutive ranks starting at @p first — the shape of
+     * every AllReduce/ReduceScatter postcondition — in O(1).
+     */
+    static ChunkValue reducedRange(Rank first, int count, int index);
+
     bool initialized() const { return initialized_; }
 
-    /** The multiset of combined input chunks (empty if uninit). */
-    const std::vector<InputChunkId> &parts() const { return parts_; }
+    /** The multiset of combined input chunks, expanded (empty if
+     *  uninit). O(parts); prefer runs() on hot paths. */
+    std::vector<InputChunkId> parts() const;
+
+    /** The canonical run-length encoding of the multiset. */
+    const std::vector<PartRun> &runs() const { return runs_; }
+
+    /** Total multiset size, without expanding. */
+    std::size_t partCount() const;
 
     /** True if this is a single un-reduced input chunk. */
     bool isPureInput() const
     {
-        return initialized_ && parts_.size() == 1;
+        return initialized_ && runs_.size() == 1 && runs_[0].len == 1;
     }
 
     /**
      * The reduction of two values. Both must be initialized; reducing
      * with an uninitialized operand is a program error handled by the
-     * caller (this function asserts via exception).
+     * caller (this function asserts via exception). O(runs), not
+     * O(parts): run lists merge without expansion.
      */
     static ChunkValue reduce(const ChunkValue &a, const ChunkValue &b);
 
@@ -72,7 +108,7 @@ class ChunkValue
 
   private:
     bool initialized_ = false;
-    std::vector<InputChunkId> parts_; // sorted multiset
+    std::vector<PartRun> runs_; // canonical: see appendRun
 };
 
 /** A reference to `count` contiguous chunk locations in one buffer. */

@@ -40,11 +40,7 @@ AllReduceCollective::outputChunkCount(Rank) const
 std::optional<ChunkValue>
 AllReduceCollective::expectedOutput(Rank, int index) const
 {
-    std::vector<InputChunkId> parts;
-    parts.reserve(numRanks());
-    for (Rank r = 0; r < numRanks(); r++)
-        parts.push_back(InputChunkId{ r, index });
-    return ChunkValue::reductionOf(std::move(parts));
+    return ChunkValue::reducedRange(0, numRanks(), index);
 }
 
 AllGatherCollective::AllGatherCollective(int num_ranks, int chunk_factor)
@@ -97,11 +93,8 @@ ReduceScatterCollective::outputChunkCount(Rank) const
 std::optional<ChunkValue>
 ReduceScatterCollective::expectedOutput(Rank rank, int index) const
 {
-    std::vector<InputChunkId> parts;
-    parts.reserve(numRanks());
-    for (Rank r = 0; r < numRanks(); r++)
-        parts.push_back(InputChunkId{ r, rank * chunkFactor() + index });
-    return ChunkValue::reductionOf(std::move(parts));
+    return ChunkValue::reducedRange(0, numRanks(),
+                                    rank * chunkFactor() + index);
 }
 
 AllToAllCollective::AllToAllCollective(int num_ranks, int chunks_per_pair)

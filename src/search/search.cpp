@@ -24,6 +24,14 @@ isRingFamily(AlgoFamily family)
         family == AlgoFamily::RingAllGather;
 }
 
+/** True when the family honors the hierSplit knob. */
+bool
+isHierFamily(AlgoFamily family)
+{
+    return family == AlgoFamily::Hierarchical ||
+        family == AlgoFamily::HierarchicalAllGather;
+}
+
 bool
 isPowerOfTwo(int n)
 {
@@ -159,6 +167,8 @@ candidateLabel(const ScheduleCandidate &spec)
         label += strprintf(" p%d", spec.parallelize);
     if (spec.aggregate > 1)
         label += strprintf(" a%d", spec.aggregate);
+    if (spec.hierSplit > 0)
+        label += strprintf(" h%d", spec.hierSplit);
     label += strprintf(" %s", protocolName(spec.protocol));
     return label;
 }
@@ -171,6 +181,7 @@ buildCandidate(const ScheduleCandidate &spec, const Topology &topology)
     config.protocol = spec.protocol;
     config.parallelize = spec.parallelize;
     config.aggregate = spec.aggregate;
+    config.hierSplit = spec.hierSplit;
     int ranks = topology.numRanks();
     switch (spec.family) {
     case AlgoFamily::Ring:
@@ -208,32 +219,39 @@ enumerateCandidates(const std::string &collective,
 {
     std::vector<ScheduleCandidate> candidates;
     // Fixed nesting order (family, channels, parallelize, instances,
-    // protocol, aggregate) defines the enumeration index every
-    // downstream tie-break refers to.
+    // protocol, aggregate, hierSplit) defines the enumeration index
+    // every downstream tie-break refers to.
     for (AlgoFamily family : familiesFor(collective)) {
         if (!familyFitsTopology(family, topology))
             continue;
         bool ring = isRingFamily(family);
-        // Families that cannot honor a knob get it pinned to 1
-        // instead of crossed, so a knob the trace does not carry can
-        // never mint spurious "variants" of the same schedule.
+        // Families that cannot honor a knob get it pinned to its
+        // neutral value instead of crossed, so a knob the trace does
+        // not carry can never mint spurious "variants" of the same
+        // schedule.
         std::vector<int> channels =
             ring ? options.channels : std::vector<int>{ 1 };
         std::vector<int> aggregates =
             ring ? options.aggregates : std::vector<int>{ 1 };
+        std::vector<int> hier_splits = isHierFamily(family)
+            ? options.hierSplits
+            : std::vector<int>{ 0 };
         for (int ch : channels) {
             for (int par : options.parallelize) {
                 for (int inst : options.instances) {
                     for (Protocol proto : options.protocols) {
                         for (int agg : aggregates) {
-                            ScheduleCandidate spec;
-                            spec.family = family;
-                            spec.channels = ch;
-                            spec.parallelize = par;
-                            spec.instances = inst;
-                            spec.protocol = proto;
-                            spec.aggregate = agg;
-                            candidates.push_back(spec);
+                            for (int split : hier_splits) {
+                                ScheduleCandidate spec;
+                                spec.family = family;
+                                spec.channels = ch;
+                                spec.parallelize = par;
+                                spec.instances = inst;
+                                spec.protocol = proto;
+                                spec.aggregate = agg;
+                                spec.hierSplit = split;
+                                candidates.push_back(spec);
+                            }
                         }
                     }
                 }
@@ -429,12 +447,14 @@ frontierToJson(const SearchResult &result)
             "    {\"label\": \"%s\", \"family\": \"%s\", "
             "\"channels\": %d, \"parallelize\": %d, "
             "\"instances\": %d, \"protocol\": \"%s\", "
-            "\"aggregate\": %d, \"planKey\": \"%016llx\", "
+            "\"aggregate\": %d, \"hierSplit\": %d, "
+            "\"planKey\": \"%016llx\", "
             "\"frontier\": %s, \"timesUs\": [%s]}%s\n",
             jsonEscape(cand.label).c_str(),
             algoFamilyName(cand.spec.family), cand.spec.channels,
             cand.spec.parallelize, cand.spec.instances,
             protocolName(cand.spec.protocol), cand.spec.aggregate,
+            cand.spec.hierSplit,
             static_cast<unsigned long long>(cand.planKey),
             cand.onFrontier ? "true" : "false",
             joinTimes(cand.timesUs).c_str(),
@@ -462,7 +482,7 @@ std::string
 frontierToCsv(const SearchResult &result)
 {
     std::string out = "label,family,channels,parallelize,instances,"
-                      "protocol,aggregate,planKey,frontier";
+                      "protocol,aggregate,hierSplit,planKey,frontier";
     for (std::uint64_t size : result.sizes) {
         out += strprintf(",us@%llu",
                          static_cast<unsigned long long>(size));
@@ -470,10 +490,11 @@ frontierToCsv(const SearchResult &result)
     out += "\n";
     for (const CandidateResult &cand : result.evaluated) {
         out += strprintf(
-            "%s,%s,%d,%d,%d,%s,%d,%016llx,%d", cand.label.c_str(),
+            "%s,%s,%d,%d,%d,%s,%d,%d,%016llx,%d", cand.label.c_str(),
             algoFamilyName(cand.spec.family), cand.spec.channels,
             cand.spec.parallelize, cand.spec.instances,
             protocolName(cand.spec.protocol), cand.spec.aggregate,
+            cand.spec.hierSplit,
             static_cast<unsigned long long>(cand.planKey),
             cand.onFrontier ? 1 : 0);
         for (double us : cand.timesUs)

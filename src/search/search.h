@@ -68,6 +68,9 @@ struct ScheduleCandidate
     Protocol protocol = Protocol::Simple;
     /** Chunks aggregated per ring block (ring families only). */
     int aggregate = 1;
+    /** Hierarchy split — intra-phase group size in ranks, 0 = whole
+     *  node (hierarchical families only; see AlgoConfig::hierSplit). */
+    int hierSplit = 0;
 
     bool operator==(const ScheduleCandidate &) const = default;
 };
@@ -75,9 +78,10 @@ struct ScheduleCandidate
 /**
  * The human-readable label of a candidate, derived from the spec
  * itself so it can never disagree with the program it names:
- * "Ring ch4 r8 LL128", "Tree r4 LL", "Ring ch2 r4 p2 a2 Simple".
- * Channels appear only for ring families; the p/a suffixes only when
- * the factor is not 1.
+ * "Ring ch4 r8 LL128", "Tree r4 LL", "Ring ch2 r4 p2 a2 Simple",
+ * "Hierarchical r2 h4 Simple". Channels appear only for ring
+ * families; the p/a suffixes only when the factor is not 1; the h
+ * suffix only for explicit hierarchy splits.
  */
 std::string candidateLabel(const ScheduleCandidate &spec);
 
@@ -102,6 +106,11 @@ struct SearchOptions
     std::vector<Protocol> protocols = { Protocol::LL, Protocol::LL128,
                                         Protocol::Simple };
     std::vector<int> aggregates = { 1, 2 };
+    /** Hierarchy splits swept for the hierarchical families (other
+     *  families pin 0). Splits that do not divide the node are
+     *  skipped at compile time and counted, like any other
+     *  incompilable knob combination. */
+    std::vector<int> hierSplits = { 0 };
 
     /** Size sweep (same semantics as TuneOptions). */
     std::uint64_t fromBytes = 1 << 10;

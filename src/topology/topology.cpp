@@ -16,6 +16,17 @@ linkTypeName(LinkType type)
     return "?";
 }
 
+const char *
+topologyVariantName(TopologyVariant variant)
+{
+    switch (variant) {
+      case TopologyVariant::Flat: return "flat";
+      case TopologyVariant::Rail: return "rail";
+      case TopologyVariant::FatTree: return "fattree";
+    }
+    return "?";
+}
+
 Topology::Topology(std::string name, int num_nodes, int gpus_per_node,
                    MachineParams params)
     : name_(std::move(name)), numNodes_(num_nodes),
@@ -57,6 +68,35 @@ Topology::setRoute(int src, int dst, Route route)
     }
     routes_[routeIndex(src, dst)] = std::move(route);
     hasRoute_[routeIndex(src, dst)] = true;
+}
+
+int
+Topology::railOf(int rank) const
+{
+    if (rank < 0 || rank >= numRanks())
+        throw Error(strprintf("Topology: railOf(%d) out of range", rank));
+    if (railOfLocal_.empty())
+        return 0;
+    return railOfLocal_[localOf(rank)];
+}
+
+void
+Topology::setRailLayout(TopologyVariant variant, int rails_per_node,
+                        std::vector<int> rail_of)
+{
+    if (rails_per_node < 1)
+        throw Error("Topology: need at least one rail per node");
+    if (!rail_of.empty() &&
+        rail_of.size() != static_cast<size_t>(gpusPerNode_)) {
+        throw Error("Topology: rail map must cover every local GPU");
+    }
+    for (int rail : rail_of) {
+        if (rail < 0 || rail >= rails_per_node)
+            throw Error("Topology: rail map references unknown rail");
+    }
+    variant_ = variant;
+    railsPerNode_ = rails_per_node;
+    railOfLocal_ = std::move(rail_of);
 }
 
 double
@@ -184,15 +224,28 @@ namespace {
  * Builds an NVSwitch-style machine: full intra-node connectivity
  * through per-GPU egress/ingress resources and cross-node IB routes
  * through per-NIC send/recv resources. @p nic_of maps a local GPU
- * index to its NIC index; @p nics_per_node gives the NIC count.
+ * index to its NIC index; @p nics_per_node gives the NIC count. The
+ * @p variant decides what cross-node routes pay beyond the two NICs:
+ * Flat nothing, Rail a shared spine on cross-rail pairs, FatTree the
+ * two nodes' oversubscribed aggregate uplinks on every pair.
  */
 Topology
 buildSwitched(const std::string &name, int num_nodes, int gpus_per_node,
               MachineParams params, int nics_per_node,
-              int (*nic_of)(int local))
+              int (*nic_of)(int local), TopologyVariant variant)
 {
-    Topology topo(name, num_nodes, gpus_per_node, params);
+    std::string full_name = name;
+    if (variant != TopologyVariant::Flat) {
+        full_name += "-";
+        full_name += topologyVariantName(variant);
+    }
+    Topology topo(full_name, num_nodes, gpus_per_node, params);
     int ranks = topo.numRanks();
+
+    std::vector<int> rail_of(gpus_per_node);
+    for (int local = 0; local < gpus_per_node; local++)
+        rail_of[local] = nic_of(local);
+    topo.setRailLayout(variant, nics_per_node, std::move(rail_of));
 
     std::vector<ResourceId> egress(ranks), ingress(ranks);
     for (int r = 0; r < ranks; r++) {
@@ -212,6 +265,26 @@ buildSwitched(const std::string &name, int num_nodes, int gpus_per_node,
         }
     }
 
+    // Half the aggregate NIC bandwidth of one node: the classic 2:1
+    // oversubscription of a cost-reduced second fabric level. Only
+    // traffic that leaves its rail (Rail) or its node (FatTree)
+    // contends for it.
+    double spine_gbps =
+        params.ibNicBwGBps * nics_per_node * num_nodes / 2.0;
+    ResourceId cross_rail_spine = -1;
+    if (variant == TopologyVariant::Rail && num_nodes > 1)
+        cross_rail_spine = topo.addResource("cross-rail-spine", spine_gbps);
+    std::vector<ResourceId> uplinkOut, uplinkIn;
+    if (variant == TopologyVariant::FatTree && num_nodes > 1) {
+        double uplink_gbps = params.ibNicBwGBps * nics_per_node / 2.0;
+        for (int n = 0; n < num_nodes; n++) {
+            uplinkOut.push_back(topo.addResource(
+                strprintf("uplink-out[%d]", n), uplink_gbps));
+            uplinkIn.push_back(topo.addResource(
+                strprintf("uplink-in[%d]", n), uplink_gbps));
+        }
+    }
+
     for (int src = 0; src < ranks; src++) {
         for (int dst = 0; dst < ranks; dst++) {
             if (src == dst)
@@ -223,12 +296,21 @@ buildSwitched(const std::string &name, int num_nodes, int gpus_per_node,
                 route.extraLatencyUs = params.nvlinkLatencyUs;
             } else {
                 route.type = LinkType::InfiniBand;
-                int snic = topo.nodeOf(src) * nics_per_node +
-                    nic_of(topo.localOf(src));
-                int dnic = topo.nodeOf(dst) * nics_per_node +
-                    nic_of(topo.localOf(dst));
+                int srail = nic_of(topo.localOf(src));
+                int drail = nic_of(topo.localOf(dst));
+                int snic = topo.nodeOf(src) * nics_per_node + srail;
+                int dnic = topo.nodeOf(dst) * nics_per_node + drail;
                 route.resources = { nicSend[snic], nicRecv[dnic] };
                 route.extraLatencyUs = params.ibLatencyUs;
+                if (cross_rail_spine >= 0 && srail != drail) {
+                    route.resources.push_back(cross_rail_spine);
+                    route.extraLatencyUs += params.ibLatencyUs;
+                }
+                if (!uplinkOut.empty()) {
+                    route.resources.push_back(uplinkOut[topo.nodeOf(src)]);
+                    route.resources.push_back(uplinkIn[topo.nodeOf(dst)]);
+                    route.extraLatencyUs += params.ibLatencyUs / 2.0;
+                }
             }
             topo.setRoute(src, dst, route);
         }
@@ -242,7 +324,7 @@ int nicPerGpuPair(int local) { return local / 2; }
 } // namespace
 
 Topology
-makeNdv4(int num_nodes)
+makeNdv4(int num_nodes, TopologyVariant variant)
 {
     MachineParams params;
     params.nvlinkGpuBwGBps = 300.0; // 600 GB/s bidirectional
@@ -254,11 +336,11 @@ makeNdv4(int num_nodes)
     params.localCopyBwGBps = 1400.0;
     params.tbReduceBwGBps = 30.0;
     return buildSwitched("NDv4", num_nodes, 8, params,
-                         /*nics_per_node=*/8, nicPerGpu);
+                         /*nics_per_node=*/8, nicPerGpu, variant);
 }
 
 Topology
-makeDgx2(int num_nodes)
+makeDgx2(int num_nodes, TopologyVariant variant)
 {
     MachineParams params;
     params.nvlinkGpuBwGBps = 150.0; // NVLink2: 300 GB/s bidirectional
@@ -272,7 +354,7 @@ makeDgx2(int num_nodes)
     params.tbCopyBwGBps = 18.0;
     params.protocolAlphaScale = 3.0;
     return buildSwitched("DGX2", num_nodes, 16, params,
-                         /*nics_per_node=*/8, nicPerGpuPair);
+                         /*nics_per_node=*/8, nicPerGpuPair, variant);
 }
 
 Topology
@@ -322,16 +404,31 @@ makeDgx1()
 }
 
 Topology
-makeGeneric(int num_nodes, int gpus_per_node, MachineParams params)
+makeGeneric(int num_nodes, int gpus_per_node, MachineParams params,
+            TopologyVariant variant)
 {
     return buildSwitched("Generic", num_nodes, gpus_per_node, params,
-                         /*nics_per_node=*/gpus_per_node, nicPerGpu);
+                         /*nics_per_node=*/gpus_per_node, nicPerGpu,
+                         variant);
 }
 
 Topology
 parseTopology(const std::string &spec)
 {
     std::vector<std::string> parts = splitString(spec, ':');
+    // An optional trailing variant word applies to any multi-node
+    // machine: "ndv4:4:8:rail", "generic:2:8:fattree", "dgx2:2:rail".
+    TopologyVariant variant = TopologyVariant::Flat;
+    if (parts.size() > 1) {
+        const std::string &last = parts.back();
+        if (last == "flat" || last == "rail" || last == "fattree") {
+            if (last == "rail")
+                variant = TopologyVariant::Rail;
+            else if (last == "fattree")
+                variant = TopologyVariant::FatTree;
+            parts.pop_back();
+        }
+    }
     auto int_at = [&](size_t i, int fallback) {
         if (parts.size() <= i || parts[i].empty())
             return fallback;
@@ -341,17 +438,35 @@ parseTopology(const std::string &spec)
             throw Error("parseTopology: bad number in '" + spec + "'");
         }
     };
-    if (parts[0] == "ndv4")
-        return makeNdv4(int_at(1, 1));
-    if (parts[0] == "dgx2")
-        return makeDgx2(int_at(1, 1));
-    if (parts[0] == "dgx1")
+    // Fixed-shape machines may state their GPU count but not change it.
+    auto check_gpus = [&](const char *name, int expected) {
+        if (int_at(2, expected) != expected) {
+            throw Error(strprintf("parseTopology: %s has %d GPUs per "
+                                  "node, got '%s'",
+                                  name, expected, spec.c_str()));
+        }
+    };
+    if (parts[0] == "ndv4") {
+        check_gpus("ndv4", 8);
+        return makeNdv4(int_at(1, 1), variant);
+    }
+    if (parts[0] == "dgx2") {
+        check_gpus("dgx2", 16);
+        return makeDgx2(int_at(1, 1), variant);
+    }
+    if (parts[0] == "dgx1") {
+        if (variant != TopologyVariant::Flat)
+            throw Error("parseTopology: dgx1 is single-node; variants "
+                        "do not apply");
         return makeDgx1();
+    }
     if (parts[0] == "generic")
-        return makeGeneric(int_at(1, 1), int_at(2, 8));
+        return makeGeneric(int_at(1, 1), int_at(2, 8), MachineParams{},
+                           variant);
     throw Error("parseTopology: unknown machine '" + spec +
-                "' (expected ndv4:<n>, dgx2:<n>, dgx1, or "
-                "generic:<nodes>:<gpus>)");
+                "' (expected <name>:<nodes>[:<gpus>][:<variant>] with "
+                "name ndv4|dgx2|dgx1|generic and variant "
+                "flat|rail|fattree)");
 }
 
 } // namespace mscclang

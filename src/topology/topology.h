@@ -32,6 +32,30 @@ enum class LinkType {
 /** Returns a short human-readable name ("NVLink", "IB", ...). */
 const char *linkTypeName(LinkType type);
 
+/**
+ * Shape of the inter-node fabric. The intra-node fabric is always the
+ * machine's own (NVSwitch or cube-mesh); the variant decides what the
+ * cross-node IB routes pay beyond the two NIC endpoints.
+ */
+enum class TopologyVariant {
+    /** Non-blocking cross-node fabric: a route consumes only its two
+     *  NIC endpoints (the pre-multi-node model, kept byte-identical). */
+    Flat,
+    /** Rail-optimized: NIC k of every node hangs off rail switch k.
+     *  Same-rail routes are single-hop; cross-rail routes also cross
+     *  a shared oversubscribed spine and pay an extra hop of latency.
+     *  Hierarchical algorithms that keep inter-node rings on one rail
+     *  avoid the spine entirely. */
+    Rail,
+    /** Two-level fat tree with 2:1 oversubscribed node uplinks: every
+     *  cross-node route additionally consumes the source node's
+     *  aggregate uplink-out and the destination node's uplink-in. */
+    FatTree,
+};
+
+/** Returns a short human-readable name ("flat", "rail", "fattree"). */
+const char *topologyVariantName(TopologyVariant variant);
+
 /** Identifier of a shared capacity resource inside a Topology. */
 using ResourceId = int;
 
@@ -181,6 +205,29 @@ class Topology
         return node * gpusPerNode_ + local;
     }
 
+    /** Inter-node fabric shape this machine was built with. */
+    TopologyVariant variant() const { return variant_; }
+
+    /** Number of rails (NICs) per node; 1 on single-NIC machines. */
+    int numRails() const { return railsPerNode_; }
+
+    /**
+     * The rail (NIC index within its node) a rank's cross-node
+     * traffic leaves through. Defined for every machine, not just
+     * rail-optimized ones: on a flat NDv4 it is the GPU's dedicated
+     * NIC, on a DGX2 the NIC shared by the GPU pair. The hierarchical
+     * factories and degraded-ring replanning use this to keep
+     * inter-node rings rail-aligned.
+     */
+    int railOf(int rank) const;
+
+    /**
+     * Records the rail layout; called by the builders. @p rail_of
+     * maps each local GPU index to its NIC/rail index.
+     */
+    void setRailLayout(TopologyVariant variant, int rails_per_node,
+                       std::vector<int> rail_of);
+
     /** Registers a shared capacity resource; returns its id. */
     ResourceId addResource(const std::string &name, double capacity_gbps);
 
@@ -248,6 +295,9 @@ class Topology
     int numNodes_;
     int gpusPerNode_;
     MachineParams params_;
+    TopologyVariant variant_ = TopologyVariant::Flat;
+    int railsPerNode_ = 1;
+    std::vector<int> railOfLocal_; // empty means every local is rail 0
     std::vector<std::string> resourceNames_;
     std::vector<double> resourceCaps_;
     std::vector<Route> routes_;
@@ -261,13 +311,15 @@ class Topology
  * one dedicated HDR IB NIC per GPU for cross-node traffic (paper
  * Figure 7: each pair of GPUs shares a PCIe switch with 2 NICs).
  */
-Topology makeNdv4(int num_nodes);
+Topology makeNdv4(int num_nodes,
+                  TopologyVariant variant = TopologyVariant::Flat);
 
 /**
  * NVIDIA DGX2: @p num_nodes nodes of 16 V100s behind NVSwitch; each
  * pair of GPUs shares one HDR IB NIC (8 NICs per node).
  */
-Topology makeDgx2(int num_nodes);
+Topology makeDgx2(int num_nodes,
+                  TopologyVariant variant = TopologyVariant::Flat);
 
 /**
  * NVIDIA DGX-1V: a single node of 8 V100s connected point-to-point in
@@ -282,11 +334,16 @@ Topology makeDgx1();
  * one NIC per GPU across nodes, with the given parameters.
  */
 Topology makeGeneric(int num_nodes, int gpus_per_node,
-                     MachineParams params = MachineParams{});
+                     MachineParams params = MachineParams{},
+                     TopologyVariant variant = TopologyVariant::Flat);
 
 /**
- * Parses a machine spec string: "ndv4:2" (2 NDv4 nodes), "dgx2:4",
- * "dgx1", or "generic:<nodes>:<gpus>". Used by the CLI tools.
+ * Parses a machine spec string: "<name>:<nodes>[:<gpus>][:<variant>]"
+ * with <variant> one of flat|rail|fattree, e.g. "ndv4:2",
+ * "ndv4:4:8:rail", "dgx2:4", "dgx1", "generic:2:8:fattree". The GPU
+ * count is fixed per machine (8 for ndv4, 16 for dgx2) and may be
+ * stated or omitted; only "generic" accepts arbitrary values. Used by
+ * the CLI tools.
  * @throws mscclang::Error on malformed specs.
  */
 Topology parseTopology(const std::string &spec);

@@ -697,6 +697,28 @@ goldenPrograms()
           [=] {
               return xml(*makeHierarchicalAllReduce(2, 4, 2, plain));
           } },
+        // Multi-node scaling goldens: the hierarchical factory at
+        // 16/64/256 ranks (8-GPU nodes) plus an explicit hierarchy
+        // split, pinning the generalized group loops to the exact IR
+        // the whole-node implementation emitted.
+        { "hierarchical_2x8", 0xb575bde688fd43aaull,
+          [=] {
+              return xml(*makeHierarchicalAllReduce(2, 8, 1, plain));
+          } },
+        { "hierarchical_8x8", 0x4f3d555957bfb307ull,
+          [=] {
+              return xml(*makeHierarchicalAllReduce(8, 8, 1, plain));
+          } },
+        { "hierarchical_32x8", 0x39147a7e3b401852ull,
+          [=] {
+              return xml(*makeHierarchicalAllReduce(32, 8, 1, plain));
+          } },
+        { "hierarchical_2x4_h2", 0x7d3a2ab38d94a56cull,
+          [=] {
+              AlgoConfig split;
+              split.hierSplit = 2;
+              return xml(*makeHierarchicalAllReduce(2, 4, 2, split));
+          } },
         { "twostep_alltoall_2x4", 0x45fd89fa179dffa7ull,
           [=] { return xml(*makeTwoStepAllToAll(2, 4, plain)); } },
         { "naive_alltoall_8", 0xf3352f705b2aeb2eull,

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The hierarchy-split knob (AlgoConfig::hierSplit) on the
+ * hierarchical factories: the default split must reproduce the
+ * whole-node trace exactly, every divisor must trace/verify/execute
+ * to oracle-identical data, and non-hierarchical builders must
+ * reject the knob instead of dropping it.
+ */
+
+#include <gtest/gtest.h>
+
+#include "collectives/classic.h"
+#include "collectives/collectives.h"
+#include "common/error.h"
+#include "test_util.h"
+
+namespace mscclang {
+namespace {
+
+using testing::runAndCheck;
+
+/** Trace equality modulo program name: op-for-op identical. */
+void
+expectSameTrace(const Program &a, const Program &b)
+{
+    ASSERT_EQ(a.ops().size(), b.ops().size());
+    for (size_t i = 0; i < a.ops().size(); i++) {
+        const TraceOp &x = a.ops()[i];
+        const TraceOp &y = b.ops()[i];
+        EXPECT_EQ(x.kind, y.kind) << "op " << i;
+        EXPECT_EQ(x.src, y.src) << "op " << i;
+        EXPECT_EQ(x.dst, y.dst) << "op " << i;
+        EXPECT_EQ(x.channel, y.channel) << "op " << i;
+        EXPECT_EQ(x.parFactor, y.parFactor) << "op " << i;
+    }
+}
+
+TEST(Hierarchical, DefaultSplitMatchesWholeNode)
+{
+    AlgoConfig plain;
+    AlgoConfig whole;
+    whole.hierSplit = 4; // = gpus_per_node: the natural split
+    auto a = makeHierarchicalAllReduce(2, 4, 2, plain);
+    auto b = makeHierarchicalAllReduce(2, 4, 2, whole);
+    expectSameTrace(*a, *b);
+    EXPECT_EQ(a->options().name, "hierarchical_allreduce");
+    EXPECT_EQ(b->options().name, "hierarchical_allreduce_h4");
+
+    auto c = makeHierarchicalAllGather(2, 4, plain);
+    auto d = makeHierarchicalAllGather(2, 4, whole);
+    expectSameTrace(*c, *d);
+}
+
+TEST(Hierarchical, EveryDivisorVerifiesAndRuns)
+{
+    Topology topo = makeGeneric(2, 4);
+    for (int split : { 1, 2, 4 }) {
+        AlgoConfig config;
+        config.hierSplit = split;
+        auto prog = makeHierarchicalAllReduce(2, 4, 2, config);
+        prog->checkPostcondition();
+        EXPECT_EQ(runAndCheck(topo, *prog, 8 * 256 * 4), "")
+            << "allreduce split " << split;
+
+        auto gather = makeHierarchicalAllGather(2, 4, config);
+        gather->checkPostcondition();
+        EXPECT_EQ(runAndCheck(topo, *gather, 1024), "")
+            << "allgather split " << split;
+    }
+}
+
+TEST(Hierarchical, SplitOneIsOneFlatRing)
+{
+    // s=1 degenerates to a single flat ring over all ranks: the
+    // intra phases contribute no ops, so every transfer sits on the
+    // inter-group channel.
+    AlgoConfig config;
+    config.hierSplit = 1;
+    auto prog = makeHierarchicalAllReduce(2, 4, 1, config);
+    for (const TraceOp &op : prog->ops())
+        EXPECT_EQ(op.channel, 1);
+    // R blocks x (R-1) reduces + R blocks x (R-1) copies.
+    EXPECT_EQ(prog->ops().size(), 2u * 8u * 7u);
+}
+
+TEST(Hierarchical, SplitMustDivideTheNode)
+{
+    AlgoConfig bad;
+    bad.hierSplit = 3;
+    EXPECT_THROW(makeHierarchicalAllReduce(2, 4, 1, bad), Error);
+    EXPECT_THROW(makeHierarchicalAllGather(2, 4, bad), Error);
+    AlgoConfig negative;
+    negative.hierSplit = -1;
+    EXPECT_THROW(makeHierarchicalAllReduce(2, 4, 1, negative), Error);
+}
+
+TEST(Hierarchical, FlatBuildersRejectTheKnob)
+{
+    AlgoConfig config;
+    config.hierSplit = 2;
+    EXPECT_THROW(makeRingAllReduce(8, 1, config), Error);
+    EXPECT_THROW(makeRingAllGather(8, 1, config), Error);
+    EXPECT_THROW(makeNaiveAllToAll(4, config), Error);
+    EXPECT_THROW(makeDoubleBinaryTreeAllReduce(8, config), Error);
+}
+
+TEST(Hierarchical, KnobNameOnlyForExplicitSplits)
+{
+    AlgoConfig config;
+    EXPECT_EQ(algoKnobName("x", config), "x");
+    config.hierSplit = 2;
+    config.parallelize = 3;
+    EXPECT_EQ(algoKnobName("x", config), "x_p3_h2");
+}
+
+TEST(Hierarchical, GroupSizeResolution)
+{
+    AlgoConfig config;
+    EXPECT_EQ(hierGroupSize("t", 8, config), 8);
+    config.hierSplit = 2;
+    EXPECT_EQ(hierGroupSize("t", 8, config), 2);
+    config.hierSplit = 5;
+    EXPECT_THROW(hierGroupSize("t", 8, config), Error);
+}
+
+} // namespace
+} // namespace mscclang

@@ -22,6 +22,7 @@
 
 #include "collectives/classic.h"
 #include "collectives/collectives.h"
+#include "common/strings.h"
 #include "compiler/plan_cache.h"
 #include "search/search.h"
 #include "topology/topology.h"
@@ -296,6 +297,54 @@ TEST(PlanCache, KeySeparatesTopology)
     // healthy one.
     EXPECT_NE(fingerprintTopology(ndv4),
               fingerprintTopology(ndv4.degraded({ Link{ 0, 1 } })));
+}
+
+TEST(PlanCache, KeySeparatesNodeAndRailStructure)
+{
+    // Two machines with byte-identical resource sets and link
+    // matrices but different node boundaries: 2x4 vs 4x2 over the
+    // same 8 ranks, every pair connected through the same per-rank
+    // egress/ingress resources. Schedulers key decisions on nodeOf,
+    // so the fingerprints must not collide.
+    auto build = [](int nodes, int gpus) {
+        Topology topo("uniform", nodes, gpus, MachineParams{});
+        int ranks = topo.numRanks();
+        std::vector<ResourceId> out(ranks), in(ranks);
+        for (int r = 0; r < ranks; r++) {
+            out[r] = topo.addResource(strprintf("out[%d]", r), 100.0);
+            in[r] = topo.addResource(strprintf("in[%d]", r), 100.0);
+        }
+        for (int src = 0; src < ranks; src++) {
+            for (int dst = 0; dst < ranks; dst++) {
+                if (src == dst)
+                    continue;
+                Route route;
+                route.type = LinkType::NvLink;
+                route.resources = { out[src], in[dst] };
+                route.extraLatencyUs = 1.0;
+                topo.setRoute(src, dst, route);
+            }
+        }
+        return topo;
+    };
+    Topology two_by_four = build(2, 4);
+    Topology four_by_two = build(4, 2);
+    EXPECT_NE(fingerprintTopology(two_by_four),
+              fingerprintTopology(four_by_two));
+
+    // Same shape, different rail maps: a rank's NIC assignment
+    // changes which inter-node rings are rail-aligned.
+    Topology paired = build(2, 4);
+    paired.setRailLayout(TopologyVariant::Flat, 2, { 0, 0, 1, 1 });
+    Topology striped = build(2, 4);
+    striped.setRailLayout(TopologyVariant::Flat, 2, { 0, 1, 0, 1 });
+    EXPECT_NE(fingerprintTopology(paired),
+              fingerprintTopology(striped));
+
+    // Variant alone separates too (flat vs rail NDv4 differ in
+    // resources as well, but the tag itself is hashed).
+    EXPECT_NE(fingerprintTopology(makeNdv4(2)),
+              fingerprintTopology(makeNdv4(2, TopologyVariant::Rail)));
 }
 
 TEST(PlanCache, LruEvictsLeastRecentlyUsed)

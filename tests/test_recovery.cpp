@@ -192,6 +192,36 @@ TEST(Recovery, FindRingOrderRoutesAroundDeadLinks)
     EXPECT_TRUE(findRingOrder(topo.degraded(all_out)).empty());
 }
 
+TEST(Recovery, ReformedRingPrefersSameNodePaths)
+{
+    // Kill two intra-node links on node 0 of a 2-node machine. A
+    // purely lexicographic reformation would hop to node 1 and back
+    // to pick up the stranded rank (4 node crossings); the same-node
+    // preference must detour locally and cross the NIC boundary only
+    // the minimal 2 times.
+    Topology topo = makeGeneric(2, 4);
+    Topology degraded =
+        topo.degraded({ Link{ 1, 2 }, Link{ 3, 2 } });
+    std::vector<Rank> order = findRingOrder(degraded);
+    ASSERT_EQ(order.size(), 8u);
+    int crossings = 0;
+    for (size_t i = 0; i < order.size(); i++) {
+        Rank from = order[i];
+        Rank to = order[(i + 1) % order.size()];
+        EXPECT_TRUE(degraded.connected(from, to))
+            << linkName(Link{ from, to });
+        if (degraded.nodeOf(from) != degraded.nodeOf(to))
+            crossings++;
+    }
+    EXPECT_EQ(crossings, 2);
+    EXPECT_EQ(order,
+              (std::vector<Rank>{ 0, 1, 3, 4, 5, 6, 7, 2 }));
+
+    // The reformed program over that order still computes allreduce.
+    auto prog = makeRingAllReduceOver(order, 1, {});
+    EXPECT_EQ(testing::runAndCheck(degraded, *prog, 8 * 1024), "");
+}
+
 /**
  * The acceptance scenario: a 2-node generic machine, primary ring in
  * rank order, the NIC carrying rank 3's cross-node sends dies

@@ -129,5 +129,109 @@ TEST(Topology, EveryResourceIsNamed)
         EXPECT_FALSE(topo.resourceName(r).empty());
 }
 
+TEST(Topology, RailMetadataMatchesNicAssignment)
+{
+    Topology ndv4 = makeNdv4(2);
+    EXPECT_EQ(ndv4.variant(), TopologyVariant::Flat);
+    EXPECT_EQ(ndv4.numRails(), 8);
+    EXPECT_EQ(ndv4.railOf(3), 3);
+    EXPECT_EQ(ndv4.railOf(11), 3); // same local GPU, other node
+
+    Topology dgx2 = makeDgx2(2);
+    EXPECT_EQ(dgx2.numRails(), 8);
+    EXPECT_EQ(dgx2.railOf(0), 0);
+    EXPECT_EQ(dgx2.railOf(1), 0); // GPU pair shares a NIC
+    EXPECT_EQ(dgx2.railOf(2), 1);
+
+    Topology dgx1 = makeDgx1();
+    EXPECT_EQ(dgx1.numRails(), 1);
+    EXPECT_EQ(dgx1.railOf(5), 0);
+    EXPECT_THROW(dgx1.railOf(99), Error);
+}
+
+TEST(Topology, RailVariantPenalizesCrossRailRoutes)
+{
+    Topology flat = makeNdv4(2);
+    Topology rail = makeNdv4(2, TopologyVariant::Rail);
+    EXPECT_EQ(rail.variant(), TopologyVariant::Rail);
+    EXPECT_EQ(rail.name(), "NDv4-rail");
+
+    // Same-rail cross-node traffic is single-hop: two NIC endpoints,
+    // same latency as the flat fabric.
+    const Route &same = rail.route(0, 8); // local 0 -> local 0
+    ASSERT_EQ(same.resources.size(), 2u);
+    EXPECT_DOUBLE_EQ(same.extraLatencyUs,
+                     flat.route(0, 8).extraLatencyUs);
+
+    // Cross-rail traffic crosses the shared spine and pays a hop.
+    const Route &cross = rail.route(0, 9); // local 0 -> local 1
+    ASSERT_EQ(cross.resources.size(), 3u);
+    EXPECT_EQ(rail.resourceName(cross.resources[2]), "cross-rail-spine");
+    EXPECT_GT(cross.extraLatencyUs, same.extraLatencyUs);
+
+    // Every cross-rail pair shares the one spine resource.
+    EXPECT_EQ(rail.route(1, 10).resources[2], cross.resources[2]);
+
+    // Intra-node routes are untouched by the variant.
+    EXPECT_EQ(rail.route(0, 1).resources.size(),
+              flat.route(0, 1).resources.size());
+}
+
+TEST(Topology, FatTreeUplinksAggregatePerNode)
+{
+    Topology fat = makeGeneric(3, 4, MachineParams{},
+                               TopologyVariant::FatTree);
+    EXPECT_EQ(fat.variant(), TopologyVariant::FatTree);
+    EXPECT_EQ(fat.name(), "Generic-fattree");
+
+    // Every cross-node route consumes its source node's uplink-out
+    // and destination node's uplink-in, after its two NICs.
+    const Route &a = fat.route(0, 5);  // node 0 -> node 1
+    const Route &b = fat.route(2, 9);  // node 0 -> node 2
+    ASSERT_EQ(a.resources.size(), 4u);
+    ASSERT_EQ(b.resources.size(), 4u);
+    EXPECT_EQ(fat.resourceName(a.resources[2]), "uplink-out[0]");
+    EXPECT_EQ(fat.resourceName(a.resources[3]), "uplink-in[1]");
+    EXPECT_EQ(a.resources[2], b.resources[2]); // shared per-node uplink
+    EXPECT_NE(a.resources[3], b.resources[3]);
+
+    // 2:1 oversubscription: the uplink carries half the node's
+    // aggregate NIC bandwidth.
+    double nic = fat.resourceCapacityGBps(a.resources[0]);
+    double uplink = fat.resourceCapacityGBps(a.resources[2]);
+    EXPECT_DOUBLE_EQ(uplink, nic * 4 / 2.0);
+
+    // The uplink-out fault domain is every link leaving the node.
+    std::vector<Link> links = fat.linksUsingResource(a.resources[2]);
+    EXPECT_EQ(links.size(), 4u * 8u); // 4 local GPUs x 8 remote ranks
+}
+
+TEST(Topology, ParseTopologyVariants)
+{
+    Topology rail = parseTopology("ndv4:4:8:rail");
+    EXPECT_EQ(rail.numNodes(), 4);
+    EXPECT_EQ(rail.gpusPerNode(), 8);
+    EXPECT_EQ(rail.variant(), TopologyVariant::Rail);
+
+    Topology fat = parseTopology("generic:2:4:fattree");
+    EXPECT_EQ(fat.numNodes(), 2);
+    EXPECT_EQ(fat.gpusPerNode(), 4);
+    EXPECT_EQ(fat.variant(), TopologyVariant::FatTree);
+
+    Topology dgx2 = parseTopology("dgx2:2:rail");
+    EXPECT_EQ(dgx2.gpusPerNode(), 16);
+    EXPECT_EQ(dgx2.variant(), TopologyVariant::Rail);
+
+    // Explicit flat is accepted and identical to the default.
+    EXPECT_EQ(parseTopology("ndv4:2:flat").name(),
+              parseTopology("ndv4:2").name());
+
+    // Fixed-shape machines reject a foreign GPU count; single-node
+    // machines reject variants; junk is still junk.
+    EXPECT_THROW(parseTopology("ndv4:4:16:rail"), Error);
+    EXPECT_THROW(parseTopology("dgx1:rail"), Error);
+    EXPECT_THROW(parseTopology("ndv4:2:mesh"), Error);
+}
+
 } // namespace
 } // namespace mscclang

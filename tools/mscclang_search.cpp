@@ -46,8 +46,10 @@ usage()
 {
     std::fprintf(stderr,
         "usage: mscclang_search [options]\n"
-        "  --machine <spec>      ndv4:<n> | dgx2:<n> | dgx1 | "
-        "generic:<n>:<g>   (default ndv4:1)\n"
+        "  --machine <spec>      <name>:<nodes>[:<gpus>][:<variant>] "
+        "with name ndv4 | dgx2 | dgx1 | generic and variant flat | "
+        "rail | fattree (default ndv4:1; e.g. ndv4:4:8:rail, "
+        "generic:8:8:fattree)\n"
         "  --collective <name>   allreduce | allgather (default "
         "allreduce)\n"
         "  --from <size>         sweep start, bytes per rank "
@@ -62,6 +64,9 @@ usage()
         "  --seed <n>            subsample seed (default 0x5eed)\n"
         "  --max-candidates <n>  cap on evaluated candidates "
         "(0 = all)\n"
+        "  --hier-splits <list>  comma-separated hierarchy splits "
+        "swept by the hierarchical families (default 0 = whole "
+        "node)\n"
         "  --json <path>         write the frontier report as JSON "
         "('-' for stdout)\n"
         "  --csv <path>          write the cost matrix as CSV "
@@ -193,6 +198,16 @@ main(int argc, char **argv)
             } else if (arg == "--max-candidates") {
                 options.maxCandidates = static_cast<std::size_t>(
                     std::strtoull(value().c_str(), nullptr, 0));
+            } else if (arg == "--hier-splits") {
+                options.hierSplits.clear();
+                for (const std::string &tok :
+                     splitString(value(), ',')) {
+                    options.hierSplits.push_back(
+                        std::atoi(tok.c_str()));
+                }
+                if (options.hierSplits.empty())
+                    throw Error("--hier-splits needs at least one "
+                                "value");
             } else if (arg == "--json") {
                 json_path = value();
             } else if (arg == "--csv") {
@@ -265,6 +280,41 @@ main(int argc, char **argv)
             }
             std::printf("smoke OK: searched windows are never slower "
                         "than the hand-tuned picks\n");
+
+            // Multi-node leg: a compact 2-node search sweeping the
+            // hierarchy split must evaluate hierarchical candidates
+            // and cover the sweep with windows.
+            SearchOptions multi;
+            multi.channels = { 1 };
+            multi.parallelize = { 1 };
+            multi.instances = { 1, 2 };
+            multi.protocols = { Protocol::Simple };
+            multi.aggregates = { 1 };
+            multi.hierSplits = { 0, 2, 4 };
+            multi.fromBytes = 64 << 10;
+            multi.toBytes = 4 << 20;
+            multi.threads = options.threads;
+            multi.simThreads = options.simThreads;
+            Topology two_node = parseTopology("generic:2:4");
+            SearchResult mresult =
+                searchSchedules(two_node, "allreduce", multi);
+            std::size_t hier = 0;
+            for (const CandidateResult &cand : mresult.evaluated) {
+                if (cand.spec.family == AlgoFamily::Hierarchical)
+                    hier++;
+            }
+            if (hier == 0 || mresult.windows.empty()) {
+                std::fprintf(stderr,
+                             "FAIL: 2-node smoke evaluated %zu "
+                             "hierarchical candidates and produced "
+                             "%zu windows\n",
+                             hier, mresult.windows.size());
+                return 1;
+            }
+            std::printf("2-node smoke OK: %zu hierarchical "
+                        "candidates evaluated on %s, %zu windows\n",
+                        hier, mresult.topologyName.c_str(),
+                        mresult.windows.size());
         }
         return 0;
     } catch (const Error &error) {

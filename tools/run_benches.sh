@@ -32,7 +32,16 @@ SIM_THREADS="${SIM_THREADS:-1,2,4,8}"
     --ranks "$SIM_RANKS" --threads "$SIM_THREADS" --profile
 echo "wrote $(pwd)/BENCH_sim.json"
 
-"$BUILD_DIR/bench/compiler_scaling" --json BENCH_compile.json
+# --big-ranks (opt-in: BIG_RANKS=1) extends the compile record with
+# verify-on cold/warm cells at 64..1024 ranks for the flat ring and
+# the hierarchical allreduce. The 1024-rank ring compile alone costs
+# ~10s of seconds, so the default run leaves it off.
+if [[ "${BIG_RANKS:-0}" == "1" ]]; then
+    "$BUILD_DIR/bench/compiler_scaling" --json BENCH_compile.json \
+        --big-ranks
+else
+    "$BUILD_DIR/bench/compiler_scaling" --json BENCH_compile.json
+fi
 echo "wrote $(pwd)/BENCH_compile.json"
 
 # The schedule-search smoke gate: searches a compact space that

@@ -23,8 +23,10 @@
 # workers (Sim), the parallel interpreter's rank batches (Interp*,
 # Determinism's ParallelInterp sweeps), the simThreads determinism
 # sweeps (Determinism), the fault path that mutates capacities
-# between batches (Faults), and the schedule search's budget-leased
-# sweep worker pool (Search, SimThreadLease). TSan runs export
+# between batches (Faults), the schedule search's budget-leased
+# sweep worker pool (Search, SimThreadLease), and the race verifier's
+# lock-free union-find contraction plus its differential engine
+# sweeps (UnionFind, Hierarchical). TSan runs export
 # MSCCLANG_SIM_THREADS_UNCAPPED=1 so the worker pools spin real
 # threads — and real interleavings — even on a small CI host where
 # the hardware-concurrency cap would otherwise collapse every pool
@@ -48,18 +50,19 @@ fi
 if [[ "$TSAN" == "1" ]]; then
     BUILD_DIR="${BUILD_DIR:-build-tsan}"
     SANITIZE_FLAG="-DMSCCLANG_TSAN=ON"
-    FILTER="${1:-Sim|Interp|Determinism|Faults|Watchdog|Search|SimThreadLease|Replay}"
+    FILTER="${1:-Sim|Interp|Determinism|Faults|Watchdog|Search|SimThreadLease|Replay|Hierarchical|UnionFind}"
 else
     BUILD_DIR="${BUILD_DIR:-build-asan}"
     SANITIZE_FLAG="-DMSCCLANG_SANITIZE=ON"
-    FILTER="${1:-Faults|Watchdog|Communicator|Interpreter|EventQueue|Flow|Recovery|Health|PlanCache|Determinism|Races|Search|SimThreadLease|Workload|Replay|Slo}"
+    FILTER="${1:-Faults|Watchdog|Communicator|Interpreter|EventQueue|Flow|Recovery|Health|PlanCache|Determinism|Races|Search|SimThreadLease|Workload|Replay|Slo|Hierarchical|UnionFind}"
 fi
 
 cmake -B "$BUILD_DIR" -S . "$SANITIZE_FLAG" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" --target test_faults test_interpreter \
     test_sim test_races test_recovery test_plan_cache \
-    test_determinism test_search test_workload -j"$(nproc)"
+    test_determinism test_search test_workload test_hierarchical \
+    test_unionfind -j"$(nproc)"
 
 if [[ "$TSAN" == "1" ]]; then
     export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
